@@ -1,0 +1,269 @@
+// Package apps assembles the paper's packet-processing flow types
+// (Section 2.1) from Click elements:
+//
+//	IP   — full IPv4 forwarding: header check, radix-trie LPM over a
+//	       128000-entry table, TTL decrement with incremental checksum.
+//	MON  — IP + NetFlow monitoring over a 100000-entry flow table.
+//	FW   — MON + a 1000-rule sequential firewall that no packet matches.
+//	RE   — MON + redundancy elimination (Rabin fingerprints, fingerprint
+//	       table, packet store).
+//	VPN  — MON + AES-128 CTR encryption of the payload.
+//	SYN  — the synthetic profiling workload; SYN_MAX is its most
+//	       aggressive setting.
+//
+// Pipelines are built through the Click configuration language, so the
+// composition path exercised here is the one a user of the library
+// writes.
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"pktpredict/internal/click"
+	"pktpredict/internal/elements"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+	"pktpredict/internal/synth"
+
+	// Element providers register their classes with the click registry.
+	_ "pktpredict/internal/aes"
+	_ "pktpredict/internal/firewall"
+	_ "pktpredict/internal/iplookup"
+	_ "pktpredict/internal/netflow"
+	_ "pktpredict/internal/re"
+)
+
+// FlowType names one of the paper's workloads.
+type FlowType string
+
+// The realistic flow types of Section 2.1, plus the synthetic ones.
+const (
+	IP     FlowType = "IP"
+	MON    FlowType = "MON"
+	FW     FlowType = "FW"
+	RE     FlowType = "RE"
+	VPN    FlowType = "VPN"
+	SYN    FlowType = "SYN"
+	SYNMAX FlowType = "SYN_MAX"
+)
+
+// RealisticTypes lists the five deployed-application workloads in the
+// paper's order.
+var RealisticTypes = []FlowType{IP, MON, FW, RE, VPN}
+
+// Params scales the workloads. Default() is the paper's configuration;
+// Small() shrinks tables for fast unit tests while preserving structure.
+type Params struct {
+	Routes         int // radix-trie routing-table entries
+	NetFlowEntries int // flow-table entries
+	FirewallRules  int // sequential filter rules
+	REStoreBytes   int // packet-store capacity
+	RETableEntries int // fingerprint-table slots
+	RESampleBits   int // fingerprint sampling (1 in 2^bits)
+
+	PacketSizeIP  int // bytes, for IP/MON/FW flows
+	PacketSizeVPN int
+	PacketSizeRE  int
+
+	TrafficFlows int // distinct 5-tuples generated (NetFlow population)
+	Buffers      int // per-core packet-buffer pool
+
+	SynRegionBytes int // SYN data-structure size (the L3 size)
+	SynAccesses    int // SYN memory reads per packet
+}
+
+// Default returns the paper-scale parameters.
+func Default() Params {
+	return Params{
+		Routes:         128000,
+		NetFlowEntries: 100000,
+		FirewallRules:  1000,
+		REStoreBytes:   16 << 20,
+		RETableEntries: 2 << 20,
+		RESampleBits:   3,
+		PacketSizeIP:   64,
+		PacketSizeVPN:  768,
+		PacketSizeRE:   1024,
+		TrafficFlows:   100000,
+		Buffers:        4096,
+		SynRegionBytes: 12 << 20,
+		SynAccesses:    32,
+	}
+}
+
+// Small returns reduced parameters for unit tests: every structure keeps
+// its role (trie deeper than one level, flow table bigger than caches in
+// the test platform, firewall fitting L2) at a fraction of the setup cost.
+func Small() Params {
+	return Params{
+		Routes:         4000,
+		NetFlowEntries: 2048,
+		FirewallRules:  400,
+		REStoreBytes:   1 << 20,
+		RETableEntries: 1 << 14,
+		RESampleBits:   3,
+		PacketSizeIP:   64,
+		PacketSizeVPN:  256,
+		PacketSizeRE:   512,
+		TrafficFlows:   4096,
+		Buffers:        256,
+		SynRegionBytes: 1 << 20,
+		SynAccesses:    16,
+	}
+}
+
+// Instance is one constructed flow ready to attach to a core.
+type Instance struct {
+	Type     FlowType
+	Source   hw.PacketSource
+	Pipeline *click.Pipeline   // nil for raw synthetic sources
+	Control  *elements.Control // non-nil when built with a control element
+}
+
+// Config renders the Click configuration text for flow type t. SYN types
+// have no Click pipeline and return "".
+func (p Params) Config(t FlowType, seed uint64) string {
+	if t == SYN || t == SYNMAX {
+		return ""
+	}
+	var b strings.Builder
+	size := p.PacketSizeIP
+	switch t {
+	case VPN:
+		size = p.PacketSizeVPN
+	case RE:
+		size = p.PacketSizeRE
+	}
+	fmt.Fprintf(&b, "src :: FromDevice(SIZE %d, SEED %d, FLOWS %d, BUFFERS %d);\n",
+		size, seed, p.TrafficFlows, p.Buffers)
+	b.WriteString("src -> CheckIPHeader")
+	fmt.Fprintf(&b, " -> RadixIPLookup(ROUTES %d, SEED %d)", p.Routes, seed^0x5eed)
+	b.WriteString(" -> DecIPTTL")
+	if t != IP {
+		fmt.Fprintf(&b, " -> NetFlow(ENTRIES %d)", p.NetFlowEntries)
+	}
+	switch t {
+	case FW:
+		fmt.Fprintf(&b, " -> IPFilter(RULES %d, SEED %d)", p.FirewallRules, seed^0xf11e)
+	case RE:
+		fmt.Fprintf(&b, " -> RedundancyElim(STORE %d, ENTRIES %d, SAMPLEBITS %d)",
+			p.REStoreBytes, p.RETableEntries, p.RESampleBits)
+	case VPN:
+		fmt.Fprintf(&b, " -> AESEncrypt(OUTBUFS %d)", p.Buffers)
+	}
+	b.WriteString(" -> ToDevice;\n")
+	return b.String()
+}
+
+// Build constructs flow type t with per-flow state allocated from arena
+// (the flow's local NUMA domain) and all randomness derived from seed.
+func (p Params) Build(t FlowType, arena *mem.Arena, seed uint64) (*Instance, error) {
+	return p.build(t, arena, seed, nil)
+}
+
+// BuildWithControl is Build with a Control element inserted at the head
+// of the pipeline (Section 4's aggressiveness-containment knob). SYN
+// flows cannot carry a control element.
+func (p Params) BuildWithControl(t FlowType, arena *mem.Arena, seed uint64) (*Instance, error) {
+	ctl := elements.NewControl(0)
+	return p.build(t, arena, seed, ctl)
+}
+
+func (p Params) build(t FlowType, arena *mem.Arena, seed uint64, ctl *elements.Control) (*Instance, error) {
+	switch t {
+	case SYN:
+		if ctl != nil {
+			return nil, fmt.Errorf("apps: SYN flows have no pipeline for a control element")
+		}
+		src := synth.NewSource(arena, synth.Config{
+			Seed:              seed,
+			RegionBytes:       p.SynRegionBytes,
+			AccessesPerPacket: p.SynAccesses,
+			ComputePerAccess:  200, // moderate default; sweeps override
+		})
+		return &Instance{Type: t, Source: src}, nil
+	case SYNMAX:
+		if ctl != nil {
+			return nil, fmt.Errorf("apps: SYN flows have no pipeline for a control element")
+		}
+		src := synth.NewSource(arena, synth.Config{
+			Seed:              seed,
+			RegionBytes:       p.SynRegionBytes,
+			AccessesPerPacket: p.SynAccesses,
+			ComputePerAccess:  0,
+		})
+		return &Instance{Type: t, Source: src}, nil
+	case IP, MON, FW, RE, VPN:
+		env := &click.Env{Arena: arena, Seed: seed}
+		pl, err := click.ParseConfig(env, string(t), p.Config(t, seed))
+		if err != nil {
+			return nil, fmt.Errorf("apps: building %s: %w", t, err)
+		}
+		if ctl != nil {
+			pl.Elements = append([]click.Element{ctl}, pl.Elements...)
+		}
+		return &Instance{Type: t, Source: pl, Pipeline: pl, Control: ctl}, nil
+	default:
+		return nil, fmt.Errorf("apps: unknown flow type %q", t)
+	}
+}
+
+// BuildSyn constructs a synthetic flow with explicit knobs, used by the
+// profiling sweep to ramp competing references per second.
+func (p Params) BuildSyn(arena *mem.Arena, seed uint64, computePerAccess int) *Instance {
+	src := synth.NewSource(arena, synth.Config{
+		Seed:              seed,
+		RegionBytes:       p.SynRegionBytes,
+		AccessesPerPacket: p.SynAccesses,
+		ComputePerAccess:  computePerAccess,
+	})
+	return &Instance{Type: SYN, Source: src}
+}
+
+// BuildHiddenAggressor constructs the Section 4 adversarial flow: it
+// profiles like FW but, after triggerPackets packets, starts performing
+// SYN_MAX-like memory accesses. The returned instance carries a Control
+// element so the administrator's throttle has something to act on.
+func (p Params) BuildHiddenAggressor(arena *mem.Arena, seed uint64, triggerPackets uint64) (*Instance, error) {
+	inst, err := p.BuildWithControl(FW, arena, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Post-trigger the flow performs SYN_MAX-style processing: since each
+	// FW packet takes far longer than a SYN packet, matching SYN_MAX's
+	// per-second memory pressure requires proportionally more accesses
+	// per packet.
+	aggr := synth.NewElement(arena, synth.Config{
+		Seed:              seed ^ 0xa66,
+		RegionBytes:       p.SynRegionBytes,
+		AccessesPerPacket: p.SynAccesses * 16,
+	}, triggerPackets)
+	// Insert before ToDevice.
+	n := len(inst.Pipeline.Elements)
+	inst.Pipeline.Elements = append(inst.Pipeline.Elements[:n-1],
+		aggr, inst.Pipeline.Elements[n-1])
+	return inst, nil
+}
+
+// ParseFlowType converts a string such as "MON" or "syn_max" to a
+// FlowType.
+func ParseFlowType(s string) (FlowType, error) {
+	switch strings.ToUpper(s) {
+	case "IP":
+		return IP, nil
+	case "MON":
+		return MON, nil
+	case "FW":
+		return FW, nil
+	case "RE":
+		return RE, nil
+	case "VPN":
+		return VPN, nil
+	case "SYN":
+		return SYN, nil
+	case "SYN_MAX", "SYNMAX":
+		return SYNMAX, nil
+	}
+	return "", fmt.Errorf("apps: unknown flow type %q", s)
+}

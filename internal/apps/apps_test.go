@@ -1,0 +1,221 @@
+package apps
+
+import (
+	"testing"
+
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+)
+
+// testPlatform returns a scaled-down platform that keeps the 2-socket
+// structure but with small caches so behaviour shows quickly.
+func testPlatform() *hw.Platform {
+	cfg := hw.DefaultConfig()
+	cfg.L1D = hw.CacheGeom{SizeBytes: 4 << 10, Ways: 4}
+	cfg.L2 = hw.CacheGeom{SizeBytes: 32 << 10, Ways: 8}
+	cfg.L3 = hw.CacheGeom{SizeBytes: 256 << 10, Ways: 16}
+	return hw.NewPlatform(cfg)
+}
+
+func TestBuildAllRealisticTypes(t *testing.T) {
+	p := Small()
+	for _, ft := range RealisticTypes {
+		ft := ft
+		t.Run(string(ft), func(t *testing.T) {
+			arena := mem.NewArena(0)
+			inst, err := p.Build(ft, arena, 7)
+			if err != nil {
+				t.Fatalf("Build(%s): %v", ft, err)
+			}
+			if inst.Pipeline == nil {
+				t.Fatal("realistic flows must have a pipeline")
+			}
+			// Run some packets through a simulated core.
+			plat := testPlatform()
+			e := hw.NewEngine(plat)
+			e.Attach(0, string(ft), inst.Source)
+			e.RunUntil(3_000_000)
+			c := plat.Cores[0].Counters
+			if c.Packets < 10 {
+				t.Fatalf("only %d packets in 3M cycles", c.Packets)
+			}
+			if c.L3Refs == 0 {
+				t.Fatal("no L3 references; flow is not exercising memory")
+			}
+			if got, _ := inst.Pipeline.Stat("dropped"); got > 0 {
+				t.Fatalf("%d packets dropped; workloads must forward everything", got)
+			}
+		})
+	}
+}
+
+func TestBuildSynTypes(t *testing.T) {
+	p := Small()
+	for _, ft := range []FlowType{SYN, SYNMAX} {
+		arena := mem.NewArena(0)
+		inst, err := p.Build(ft, arena, 3)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", ft, err)
+		}
+		if inst.Pipeline != nil {
+			t.Fatal("synthetic flows must not have a pipeline")
+		}
+		ops := inst.Source.EmitPacket(nil)
+		if len(ops) == 0 {
+			t.Fatal("no ops emitted")
+		}
+	}
+}
+
+func TestSynMaxMoreAggressiveThanSyn(t *testing.T) {
+	p := Small()
+	measure := func(ft FlowType) float64 {
+		plat := testPlatform()
+		arena := mem.NewArena(0)
+		inst, _ := p.Build(ft, arena, 5)
+		e := hw.NewEngine(plat)
+		e.Attach(0, string(ft), inst.Source)
+		return e.MeasureWindow(0.0002, 0.001)[0].L3RefsPerSec()
+	}
+	syn, synMax := measure(SYN), measure(SYNMAX)
+	if synMax <= syn {
+		t.Fatalf("SYN_MAX refs/sec (%.0f) must exceed SYN's (%.0f)", synMax, syn)
+	}
+}
+
+func TestRelativeWorkloadWeight(t *testing.T) {
+	// Heavier per-packet processing must show up as higher cycles/packet:
+	// IP < MON < VPN < FW (1000-rule scan) in the paper's Table 1.
+	p := Small()
+	cyc := map[FlowType]float64{}
+	for _, ft := range []FlowType{IP, MON, FW, VPN} {
+		plat := testPlatform()
+		inst, err := p.Build(ft, mem.NewArena(0), 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := hw.NewEngine(plat)
+		e.Attach(0, string(ft), inst.Source)
+		st := e.MeasureWindow(0.0005, 0.002)[0]
+		cyc[ft] = st.CyclesPerPacket()
+	}
+	if !(cyc[IP] < cyc[MON] && cyc[MON] < cyc[VPN] && cyc[VPN] < cyc[FW]) {
+		t.Fatalf("cycles/packet ordering wrong: IP=%.0f MON=%.0f VPN=%.0f FW=%.0f",
+			cyc[IP], cyc[MON], cyc[VPN], cyc[FW])
+	}
+}
+
+func TestBuildWithControl(t *testing.T) {
+	p := Small()
+	inst, err := p.BuildWithControl(MON, mem.NewArena(0), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Control == nil {
+		t.Fatal("control element missing")
+	}
+	if inst.Pipeline.Elements[0] != inst.Control {
+		t.Fatal("control element must be first in the chain")
+	}
+	if _, err := p.BuildWithControl(SYN, mem.NewArena(0), 9); err == nil {
+		t.Fatal("SYN with control element must fail")
+	}
+}
+
+func TestBuildHiddenAggressor(t *testing.T) {
+	p := Small()
+	// Trigger after 2000 packets: far beyond the "before" window below.
+	inst, err := p.BuildHiddenAggressor(mem.NewArena(0), 13, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := testPlatform()
+	e := hw.NewEngine(plat)
+	e.Attach(0, "hidden", inst.Source)
+
+	// Before the trigger the flow behaves like FW; after it, its L3
+	// refs/packet must jump.
+	e.RunUntil(1_000_000)
+	before := plat.Cores[0].Counters
+	if before.Packets >= 2000 {
+		t.Fatalf("before-window already passed the trigger (%d packets)", before.Packets)
+	}
+	e.RunUntil(20_000_000) // run well past the trigger point
+	mid := plat.Cores[0].Counters
+	e.RunUntil(80_000_000)
+	delta := plat.Cores[0].Counters.Sub(mid)
+	if delta.Packets == 0 {
+		t.Fatal("no progress after trigger")
+	}
+	refsPerPacketBefore := float64(before.L3Refs) / float64(before.Packets)
+	refsPerPacketAfter := float64(delta.L3Refs) / float64(delta.Packets)
+	if refsPerPacketAfter < refsPerPacketBefore*1.5 {
+		t.Fatalf("aggression did not manifest: %.1f → %.1f refs/packet",
+			refsPerPacketBefore, refsPerPacketAfter)
+	}
+}
+
+func TestDeterministicBuildAndRun(t *testing.T) {
+	p := Small()
+	run := func() hw.Counters {
+		plat := testPlatform()
+		inst, _ := p.Build(MON, mem.NewArena(0), 21)
+		e := hw.NewEngine(plat)
+		e.Attach(0, "MON", inst.Source)
+		e.RunUntil(2_000_000)
+		return plat.Cores[0].Counters
+	}
+	if run() != run() {
+		t.Fatal("identical builds produced different counters")
+	}
+}
+
+func TestParseFlowType(t *testing.T) {
+	cases := map[string]FlowType{
+		"IP": IP, "mon": MON, "Fw": FW, "re": RE, "VPN": VPN,
+		"syn": SYN, "SYN_MAX": SYNMAX, "synmax": SYNMAX,
+	}
+	for s, want := range cases {
+		got, err := ParseFlowType(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFlowType(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFlowType("bogus"); err == nil {
+		t.Fatal("unknown type must error")
+	}
+}
+
+func TestBuildUnknownType(t *testing.T) {
+	if _, err := Default().Build("NOPE", mem.NewArena(0), 1); err == nil {
+		t.Fatal("unknown type must error")
+	}
+}
+
+func TestConfigRendering(t *testing.T) {
+	cfg := Small().Config(FW, 3)
+	for _, want := range []string{"FromDevice", "CheckIPHeader", "RadixIPLookup", "NetFlow", "IPFilter", "ToDevice"} {
+		if !contains(cfg, want) {
+			t.Fatalf("FW config missing %s:\n%s", want, cfg)
+		}
+	}
+	if contains(Small().Config(IP, 3), "NetFlow") {
+		t.Fatal("IP config must not include NetFlow")
+	}
+	if Small().Config(SYN, 3) != "" {
+		t.Fatal("SYN has no click config")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,81 @@
+package click
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Args holds an element's configuration arguments, in Click style: a
+// comma-separated list where each item is either positional ("64") or a
+// keyword-value pair ("ROUTES 128000").
+type Args struct {
+	Positional []string
+	Keyword    map[string]string
+}
+
+// ParseArgs splits raw comma-separated argument strings into positional
+// and keyword arguments. An item containing whitespace is treated as a
+// keyword-value pair keyed by its upper-cased first word.
+func ParseArgs(items []string) Args {
+	a := Args{Keyword: make(map[string]string)}
+	for _, it := range items {
+		it = strings.TrimSpace(it)
+		if it == "" {
+			continue
+		}
+		if k, v, ok := strings.Cut(it, " "); ok {
+			a.Keyword[strings.ToUpper(k)] = strings.TrimSpace(v)
+			continue
+		}
+		a.Positional = append(a.Positional, it)
+	}
+	return a
+}
+
+// String returns the keyword argument key, or def if absent.
+func (a Args) String(key, def string) string {
+	if v, ok := a.Keyword[strings.ToUpper(key)]; ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the keyword argument key as an int, or def if absent.
+func (a Args) Int(key string, def int) (int, error) {
+	v, ok := a.Keyword[strings.ToUpper(key)]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("click: argument %s: %q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+// Uint64 returns the keyword argument key as a uint64, or def if absent.
+func (a Args) Uint64(key string, def uint64) (uint64, error) {
+	v, ok := a.Keyword[strings.ToUpper(key)]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("click: argument %s: %q is not a uint64", key, v)
+	}
+	return n, nil
+}
+
+// Bool returns the keyword argument key as a bool, or def if absent.
+func (a Args) Bool(key string, def bool) (bool, error) {
+	v, ok := a.Keyword[strings.ToUpper(key)]
+	if !ok {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("click: argument %s: %q is not a bool", key, v)
+	}
+	return b, nil
+}

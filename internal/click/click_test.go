@@ -1,0 +1,332 @@
+package click
+
+import (
+	"strings"
+	"testing"
+
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+)
+
+// Test doubles: a bounded source and pass/drop elements.
+
+type testSource struct {
+	remaining int
+	pulled    int
+}
+
+func (s *testSource) Class() string { return "TestSource" }
+func (s *testSource) Pull(ctx *Ctx) *Packet {
+	if s.remaining == 0 {
+		return nil
+	}
+	s.remaining--
+	s.pulled++
+	ctx.Compute(10, 10)
+	return &Packet{Data: make([]byte, 64), Addr: 0x1000}
+}
+
+type testElement struct {
+	class   string
+	verdict Verdict
+	seen    int
+}
+
+func (e *testElement) Class() string { return e.class }
+func (e *testElement) Process(ctx *Ctx, p *Packet) Verdict {
+	e.seen++
+	ctx.Load(p.Addr)
+	return e.verdict
+}
+
+func (e *testElement) Stat(name string) (uint64, bool) {
+	if name == "seen" {
+		return uint64(e.seen), true
+	}
+	return 0, false
+}
+
+type testRecycler struct{ recycled int }
+
+func (r *testRecycler) Recycle(ctx *Ctx, p *Packet) { r.recycled++ }
+
+func TestCtxFuncAttribution(t *testing.T) {
+	var ctx Ctx
+	fn := hw.RegisterFunc("click_test_fn")
+	old := ctx.SetFunc(fn)
+	ctx.Load(0x40)
+	ctx.SetFunc(old)
+	ctx.Load(0x80)
+	if ctx.Ops[0].Func != fn || ctx.Ops[1].Func != hw.FuncOther {
+		t.Fatalf("attribution wrong: %+v", ctx.Ops)
+	}
+}
+
+func TestCtxLoadBytesSpansLines(t *testing.T) {
+	var ctx Ctx
+	ctx.LoadBytes(0x3f, 2) // straddles a line boundary
+	if len(ctx.Ops) != 2 {
+		t.Fatalf("LoadBytes across boundary emitted %d ops, want 2", len(ctx.Ops))
+	}
+	ctx.Ops = ctx.Ops[:0]
+	ctx.LoadBytes(0x00, 64)
+	if len(ctx.Ops) != 1 {
+		t.Fatalf("LoadBytes within one line emitted %d ops, want 1", len(ctx.Ops))
+	}
+	ctx.Ops = ctx.Ops[:0]
+	ctx.LoadBytes(0x00, 0)
+	if len(ctx.Ops) != 0 {
+		t.Fatal("LoadBytes of 0 bytes must emit nothing")
+	}
+}
+
+func TestCtxComputeSkipsEmpty(t *testing.T) {
+	var ctx Ctx
+	ctx.Compute(0, 0)
+	if len(ctx.Ops) != 0 {
+		t.Fatal("empty compute must emit nothing")
+	}
+}
+
+func TestPacketLineAddrs(t *testing.T) {
+	p := &Packet{Addr: 0x100}
+	var got []hw.Addr
+	p.LineAddrs(60, 10, func(a hw.Addr) { got = append(got, a) })
+	if len(got) != 2 || got[0] != 0x100+0x0 || got[1] != 0x140 {
+		t.Fatalf("LineAddrs = %#v", got)
+	}
+}
+
+func TestPipelineRunsChain(t *testing.T) {
+	src := &testSource{remaining: 3}
+	e1 := &testElement{class: "A", verdict: Continue}
+	e2 := &testElement{class: "B", verdict: Continue}
+	pl := NewPipeline("p", src, e1, e2)
+
+	var ops []hw.Op
+	for {
+		ops = pl.EmitPacket(ops[:0])
+		if len(ops) == 0 {
+			break
+		}
+	}
+	if e1.seen != 3 || e2.seen != 3 {
+		t.Fatalf("elements saw %d/%d packets, want 3/3", e1.seen, e2.seen)
+	}
+	if pl.Received != 3 || pl.Finished != 3 || pl.Dropped != 0 {
+		t.Fatalf("pipeline counters: %d/%d/%d", pl.Received, pl.Finished, pl.Dropped)
+	}
+}
+
+func TestPipelineDropStopsChain(t *testing.T) {
+	src := &testSource{remaining: 2}
+	e1 := &testElement{class: "A", verdict: Drop}
+	e2 := &testElement{class: "B", verdict: Continue}
+	pl := NewPipeline("p", src, e1, e2)
+	for len(pl.EmitPacket(nil)) > 0 {
+	}
+	if e2.seen != 0 {
+		t.Fatal("element after Drop must not run")
+	}
+	if pl.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", pl.Dropped)
+	}
+}
+
+func TestPipelineConsumeCountsFinished(t *testing.T) {
+	src := &testSource{remaining: 1}
+	e1 := &testElement{class: "A", verdict: Consume}
+	pl := NewPipeline("p", src, e1)
+	pl.EmitPacket(nil)
+	if pl.Finished != 1 {
+		t.Fatalf("finished = %d, want 1", pl.Finished)
+	}
+}
+
+func TestPipelineRecycles(t *testing.T) {
+	rec := &testRecycler{}
+	src := &testSource{remaining: 2}
+	pl := NewPipeline("p", SourceFunc(func(ctx *Ctx) *Packet {
+		p := src.Pull(ctx)
+		if p != nil {
+			p.Recycler = rec
+		}
+		return p
+	}), &testElement{class: "A", verdict: Drop})
+	for len(pl.EmitPacket(nil)) > 0 {
+	}
+	if rec.recycled != 2 {
+		t.Fatalf("recycled = %d, want 2", rec.recycled)
+	}
+}
+
+// SourceFunc adapts a function to Source for tests.
+type SourceFunc func(ctx *Ctx) *Packet
+
+func (f SourceFunc) Class() string         { return "SourceFunc" }
+func (f SourceFunc) Pull(ctx *Ctx) *Packet { return f(ctx) }
+
+func TestPipelineStats(t *testing.T) {
+	src := &testSource{remaining: 1}
+	el := &testElement{class: "A", verdict: Continue}
+	pl := NewPipeline("p", src, el)
+	pl.EmitPacket(nil)
+	if v, ok := pl.Stat("received"); !ok || v != 1 {
+		t.Fatalf("received = %d/%v", v, ok)
+	}
+	if v, ok := pl.Stat("A.seen"); !ok || v != 1 {
+		t.Fatalf("A.seen = %d/%v", v, ok)
+	}
+	if _, ok := pl.Stat("A.nope"); ok {
+		t.Fatal("unknown element stat must not resolve")
+	}
+	if _, ok := pl.Stat("bogus"); ok {
+		t.Fatal("unknown stat must not resolve")
+	}
+}
+
+func TestPipelineImplementsPacketSource(t *testing.T) {
+	var _ hw.PacketSource = (*Pipeline)(nil)
+}
+
+// --- configuration parser ---
+
+func testEnv() *Env { return &Env{Arena: mem.NewArena(0), Seed: 1} }
+
+func init() {
+	Register("TSource", func(env *Env, args Args) (interface{}, error) {
+		n, err := args.Int("COUNT", 1)
+		if err != nil {
+			return nil, err
+		}
+		return &testSource{remaining: n}, nil
+	})
+	Register("TElem", func(env *Env, args Args) (interface{}, error) {
+		return &testElement{class: "TElem", verdict: Continue}, nil
+	})
+	Register("TDrop", func(env *Env, args Args) (interface{}, error) {
+		return &testElement{class: "TDrop", verdict: Drop}, nil
+	})
+}
+
+func TestParseConfigDeclared(t *testing.T) {
+	cfg := `
+		// a comment
+		src :: TSource(COUNT 2);
+		a :: TElem; /* block
+		comment */
+		b :: TElem;
+		src -> a -> b;
+	`
+	pl, err := ParseConfig(testEnv(), "test", cfg)
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if len(pl.Elements) != 2 {
+		t.Fatalf("elements = %d, want 2", len(pl.Elements))
+	}
+	n := 0
+	for len(pl.EmitPacket(nil)) > 0 {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("packets = %d, want 2 (COUNT arg not honoured?)", n)
+	}
+}
+
+func TestParseConfigInlineAnonymous(t *testing.T) {
+	pl, err := ParseConfig(testEnv(), "t", `TSource(COUNT 1) -> TElem -> TDrop;`)
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if len(pl.Elements) != 2 {
+		t.Fatalf("elements = %d, want 2", len(pl.Elements))
+	}
+	pl.EmitPacket(nil)
+	if pl.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", pl.Dropped)
+	}
+}
+
+func TestParseConfigMultiStatementChain(t *testing.T) {
+	cfg := `
+		src :: TSource(COUNT 1);
+		mid :: TElem;
+		src -> mid;
+		mid -> TElem;
+	`
+	pl, err := ParseConfig(testEnv(), "t", cfg)
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if len(pl.Elements) != 2 {
+		t.Fatalf("elements = %d, want 2", len(pl.Elements))
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []struct {
+		name, cfg, wantSub string
+	}{
+		{"unknown class", `src :: Nonexistent; src -> TElem;`, "unknown element"},
+		{"undeclared ref", `src :: TSource; src -> missing_element_1;`, "unknown element"},
+		{"double decl", `a :: TElem; a :: TElem; TSource -> a;`, "declared twice"},
+		{"branching", "src :: TSource;\na :: TElem;\nb :: TElem;\nsrc -> a;\nsrc -> b;", "two downstream"},
+		{"head not source", `TElem -> TDrop;`, "not a packet source"},
+		{"two heads", `TSource -> TElem; TSource -> TDrop;`, "multiple chain heads"},
+		{"orphan is second head", `src :: TSource; orphan :: TElem; x :: TElem; src -> x;`, "multiple chain heads"},
+		{"disconnected cycle", "src :: TSource;\na :: TElem;\nb :: TElem;\na -> b;\nb -> a;\nsrc -> TElem;", "not connected"},
+		{"unterminated comment", `/* oops`, "unterminated"},
+		{"dangling arrow", `src :: TSource; src -> ;`, "empty element"},
+		{"source midchain", `TSource -> TSource;`, "not a processing element"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseConfig(testEnv(), "t", tc.cfg)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	a := ParseArgs([]string{"64", "ROUTES 128000", " SEED 7 ", "VERBOSE true", ""})
+	if len(a.Positional) != 1 || a.Positional[0] != "64" {
+		t.Fatalf("positional = %v", a.Positional)
+	}
+	if n, err := a.Int("routes", 0); err != nil || n != 128000 {
+		t.Fatalf("ROUTES = %d, %v", n, err)
+	}
+	if s, err := a.Uint64("SEED", 0); err != nil || s != 7 {
+		t.Fatalf("SEED = %d, %v", s, err)
+	}
+	if b, err := a.Bool("VERBOSE", false); err != nil || !b {
+		t.Fatalf("VERBOSE = %v, %v", b, err)
+	}
+	if n, err := a.Int("MISSING", 42); err != nil || n != 42 {
+		t.Fatalf("default = %d, %v", n, err)
+	}
+	if _, err := a.Int("VERBOSE", 0); err == nil {
+		t.Fatal("non-integer value must error")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Continue.String() != "continue" || Drop.String() != "drop" || Consume.String() != "consume" {
+		t.Fatal("verdict strings wrong")
+	}
+	if Verdict(9).String() != "invalid" {
+		t.Fatal("unknown verdict must render invalid")
+	}
+}
+
+func TestPipelineString(t *testing.T) {
+	pl := NewPipeline("p", &testSource{}, &testElement{class: "A"}, &testElement{class: "B"})
+	if got := pl.String(); got != "p :: TestSource -> A -> B" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,339 @@
+package click
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseConfig builds a pipeline from a Click-style configuration:
+//
+//	// declarations
+//	src :: FromDevice(SIZE 64, SEED 7);
+//	chk :: CheckIPHeader;
+//	rt  :: RadixIPLookup(ROUTES 128000);
+//
+//	// connections (inline anonymous elements are allowed)
+//	src -> chk -> rt -> DecIPTTL -> ToDevice;
+//
+// The element graph must form a single linear chain whose head is a
+// Source; branching configurations are rejected, matching the system's
+// one-flow-per-core model.
+func ParseConfig(env *Env, name, config string) (*Pipeline, error) {
+	stmts, err := lex(config)
+	if err != nil {
+		return nil, err
+	}
+
+	type node struct {
+		name     string
+		instance interface{}
+		out      *node
+		inDeg    int
+	}
+	nodes := make(map[string]*node)
+	order := []*node{} // declaration order, for deterministic errors
+	anon := 0
+
+	declare := func(nm, class string, args Args) (*node, error) {
+		if _, dup := nodes[nm]; dup {
+			return nil, fmt.Errorf("click: element %q declared twice", nm)
+		}
+		inst, err := NewInstance(env, class, args)
+		if err != nil {
+			return nil, fmt.Errorf("click: %q: %w", nm, err)
+		}
+		n := &node{name: nm, instance: inst}
+		nodes[nm] = n
+		order = append(order, n)
+		return n, nil
+	}
+
+	for _, st := range stmts {
+		switch st.kind {
+		case stmtDecl:
+			if _, err := declare(st.name, st.class, st.args); err != nil {
+				return nil, err
+			}
+		case stmtConn:
+			var prev *node
+			for _, ref := range st.chain {
+				var n *node
+				if ref.class != "" {
+					// Inline anonymous element.
+					anon++
+					nm := fmt.Sprintf("%s@%d", ref.class, anon)
+					var err error
+					n, err = declare(nm, ref.class, ref.args)
+					if err != nil {
+						return nil, err
+					}
+				} else {
+					var ok bool
+					n, ok = nodes[ref.name]
+					if !ok {
+						return nil, fmt.Errorf("click: connection references undeclared element %q", ref.name)
+					}
+				}
+				if prev != nil {
+					if prev.out != nil && prev.out != n {
+						return nil, fmt.Errorf("click: element %q has two downstream connections; only linear chains are supported", prev.name)
+					}
+					if prev.out == nil {
+						prev.out = n
+						n.inDeg++
+					}
+				}
+				prev = n
+			}
+		}
+	}
+
+	// Find the head: the unique node with in-degree 0 that is a Source.
+	var head *node
+	for _, n := range order {
+		if n.inDeg == 0 {
+			if head != nil {
+				return nil, fmt.Errorf("click: multiple chain heads (%q and %q); configuration must be one chain", head.name, n.name)
+			}
+			head = n
+		}
+	}
+	if head == nil {
+		return nil, fmt.Errorf("click: configuration has no head (cycle?)")
+	}
+	src, ok := head.instance.(Source)
+	if !ok {
+		return nil, fmt.Errorf("click: chain head %q (%T) is not a packet source", head.name, head.instance)
+	}
+
+	var elements []Element
+	seen := map[*node]bool{head: true}
+	for n := head.out; n != nil; n = n.out {
+		if seen[n] {
+			return nil, fmt.Errorf("click: configuration contains a cycle through %q", n.name)
+		}
+		seen[n] = true
+		el, ok := n.instance.(Element)
+		if !ok {
+			return nil, fmt.Errorf("click: %q (%T) is not a processing element", n.name, n.instance)
+		}
+		elements = append(elements, el)
+	}
+	for _, n := range order {
+		if !seen[n] {
+			return nil, fmt.Errorf("click: element %q is declared but not connected", n.name)
+		}
+	}
+	return NewPipeline(name, src, elements...), nil
+}
+
+type stmtKind int
+
+const (
+	stmtDecl stmtKind = iota
+	stmtConn
+)
+
+type elemRef struct {
+	name  string // reference to a declared element, or
+	class string // inline anonymous class
+	args  Args
+}
+
+type stmt struct {
+	kind  stmtKind
+	name  string // decl
+	class string // decl
+	args  Args   // decl
+	chain []elemRef
+}
+
+// lex splits a configuration into statements. The grammar is small enough
+// that a hand-rolled scanner is clearer than a table-driven one.
+func lex(config string) ([]stmt, error) {
+	stripped, err := stripComments(config)
+	if err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	for lineNo, raw := range splitStatements(stripped) {
+		s := strings.TrimSpace(raw)
+		if s == "" {
+			continue
+		}
+		if name, rest, ok := cutTopLevel(s, "::"); ok {
+			name = strings.TrimSpace(name)
+			if !isIdent(name) {
+				return nil, fmt.Errorf("click: statement %d: bad element name %q", lineNo+1, name)
+			}
+			class, args, err := parseClassRef(strings.TrimSpace(rest))
+			if err != nil {
+				return nil, fmt.Errorf("click: statement %d: %w", lineNo+1, err)
+			}
+			stmts = append(stmts, stmt{kind: stmtDecl, name: name, class: class, args: args})
+			continue
+		}
+		if strings.Contains(s, "->") {
+			parts := splitTopLevel(s, "->")
+			if len(parts) < 2 {
+				return nil, fmt.Errorf("click: statement %d: dangling '->'", lineNo+1)
+			}
+			var chain []elemRef
+			for _, part := range parts {
+				part = strings.TrimSpace(part)
+				if part == "" {
+					return nil, fmt.Errorf("click: statement %d: empty element in chain", lineNo+1)
+				}
+				if isIdent(part) && !strings.Contains(part, "(") {
+					// Could be a declared name or a bare class; resolved at
+					// build time by checking declarations first.
+					chain = append(chain, elemRef{name: part})
+					continue
+				}
+				class, args, err := parseClassRef(part)
+				if err != nil {
+					return nil, fmt.Errorf("click: statement %d: %w", lineNo+1, err)
+				}
+				chain = append(chain, elemRef{class: class, args: args})
+			}
+			stmts = append(stmts, stmt{kind: stmtConn, chain: chain})
+			continue
+		}
+		return nil, fmt.Errorf("click: statement %d: cannot parse %q", lineNo+1, s)
+	}
+	// Bare-class references in chains: if a chain item names something
+	// never declared but registered as a class, treat it as anonymous.
+	declared := map[string]bool{}
+	for _, st := range stmts {
+		if st.kind == stmtDecl {
+			declared[st.name] = true
+		}
+	}
+	for i := range stmts {
+		if stmts[i].kind != stmtConn {
+			continue
+		}
+		for j, ref := range stmts[i].chain {
+			if ref.name != "" && !declared[ref.name] {
+				stmts[i].chain[j] = elemRef{class: ref.name, args: ParseArgs(nil)}
+			}
+		}
+	}
+	return stmts, nil
+}
+
+// parseClassRef parses "Class" or "Class(arg, arg, ...)".
+func parseClassRef(s string) (string, Args, error) {
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return "", Args{}, fmt.Errorf("unbalanced parentheses in %q", s)
+		}
+		class := strings.TrimSpace(s[:i])
+		if !isIdent(class) {
+			return "", Args{}, fmt.Errorf("bad class name %q", class)
+		}
+		inner := s[i+1 : len(s)-1]
+		var items []string
+		if strings.TrimSpace(inner) != "" {
+			items = splitTopLevel(inner, ",")
+		}
+		return class, ParseArgs(items), nil
+	}
+	if !isIdent(s) {
+		return "", Args{}, fmt.Errorf("bad class reference %q", s)
+	}
+	return s, ParseArgs(nil), nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// stripComments removes // line comments and /* */ block comments.
+func stripComments(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if strings.HasPrefix(s[i:], "//") {
+			j := strings.IndexByte(s[i:], '\n')
+			if j < 0 {
+				break
+			}
+			i += j
+			continue
+		}
+		if strings.HasPrefix(s[i:], "/*") {
+			j := strings.Index(s[i+2:], "*/")
+			if j < 0 {
+				return "", fmt.Errorf("click: unterminated block comment")
+			}
+			i += 2 + j + 2
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String(), nil
+}
+
+// splitStatements splits on top-level semicolons.
+func splitStatements(s string) []string {
+	return splitTopLevel(s, ";")
+}
+
+// splitTopLevel splits s on sep occurrences that are not nested inside
+// parentheses.
+func splitTopLevel(s, sep string) []string {
+	var parts []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); {
+		switch {
+		case s[i] == '(':
+			depth++
+			i++
+		case s[i] == ')':
+			depth--
+			i++
+		case depth == 0 && strings.HasPrefix(s[i:], sep):
+			parts = append(parts, s[start:i])
+			i += len(sep)
+			start = i
+		default:
+			i++
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// cutTopLevel is strings.Cut restricted to top-level (unparenthesised)
+// occurrences of sep.
+func cutTopLevel(s, sep string) (before, after string, found bool) {
+	depth := 0
+	for i := 0; i+len(sep) <= len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		if depth == 0 && strings.HasPrefix(s[i:], sep) {
+			return s[:i], s[i+len(sep):], true
+		}
+	}
+	return s, "", false
+}

@@ -1,0 +1,74 @@
+package click
+
+import "pktpredict/internal/hw"
+
+// Ctx accumulates the micro-operation trace of one packet's processing.
+// Elements call Load/Store/Compute as they perform the corresponding real
+// work; each op is attributed to the current function for per-function
+// profiling (Figure 7 of the paper).
+type Ctx struct {
+	Ops []hw.Op
+	fn  hw.FuncID
+}
+
+// SetFunc switches the attribution function and returns the previous one,
+// so callers can restore it:
+//
+//	defer ctx.SetFunc(ctx.SetFunc(myFunc))
+func (c *Ctx) SetFunc(f hw.FuncID) hw.FuncID {
+	old := c.fn
+	c.fn = f
+	return old
+}
+
+// Func returns the current attribution function.
+func (c *Ctx) Func() hw.FuncID { return c.fn }
+
+// Load emits one memory read of the line containing a.
+func (c *Ctx) Load(a hw.Addr) {
+	c.Ops = append(c.Ops, hw.Op{Kind: hw.OpLoad, Addr: a, Func: c.fn})
+}
+
+// Store emits one memory write of the line containing a.
+func (c *Ctx) Store(a hw.Addr) {
+	c.Ops = append(c.Ops, hw.Op{Kind: hw.OpStore, Addr: a, Func: c.fn})
+}
+
+// LoadBytes emits one read per cache line of [a, a+n).
+func (c *Ctx) LoadBytes(a hw.Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	for line, last := hw.LineOf(a), hw.LineOf(a+hw.Addr(n)-1); line <= last; line += hw.LineSize {
+		c.Load(line)
+	}
+}
+
+// StoreBytes emits one write per cache line of [a, a+n).
+func (c *Ctx) StoreBytes(a hw.Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	for line, last := hw.LineOf(a), hw.LineOf(a+hw.Addr(n)-1); line <= last; line += hw.LineSize {
+		c.Store(line)
+	}
+}
+
+// DMABytes emits one NIC direct-cache-access write per line of [a, a+n):
+// the line lands in the socket's L3 and costs the core nothing.
+func (c *Ctx) DMABytes(a hw.Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	for line, last := hw.LineOf(a), hw.LineOf(a+hw.Addr(n)-1); line <= last; line += hw.LineSize {
+		c.Ops = append(c.Ops, hw.Op{Kind: hw.OpDMAWrite, Addr: line, Func: c.fn})
+	}
+}
+
+// Compute emits a burst of cycles core work retiring instrs instructions.
+func (c *Ctx) Compute(cycles, instrs uint32) {
+	if cycles == 0 && instrs == 0 {
+		return
+	}
+	c.Ops = append(c.Ops, hw.Op{Kind: hw.OpCompute, Cycles: cycles, Instrs: instrs, Func: c.fn})
+}

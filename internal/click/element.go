@@ -1,0 +1,52 @@
+package click
+
+// Verdict is an element's decision about a packet.
+type Verdict int8
+
+const (
+	// Continue passes the packet to the next element in the pipeline.
+	Continue Verdict = iota
+	// Drop discards the packet (e.g. a firewall match); the pipeline
+	// recycles its buffer.
+	Drop
+	// Consume ends processing with the packet handed off (e.g. queued for
+	// transmission); the pipeline recycles its buffer.
+	Consume
+)
+
+// String renders the verdict for diagnostics.
+func (v Verdict) String() string {
+	switch v {
+	case Continue:
+		return "continue"
+	case Drop:
+		return "drop"
+	case Consume:
+		return "consume"
+	default:
+		return "invalid"
+	}
+}
+
+// Element is one packet-processing stage. Process performs the element's
+// real work on p and emits the corresponding trace into ctx.
+type Element interface {
+	// Class returns the element's type name as used in configurations
+	// (e.g. "CheckIPHeader").
+	Class() string
+	// Process handles one packet.
+	Process(ctx *Ctx, p *Packet) Verdict
+}
+
+// Source produces packets at the head of a pipeline (Click's FromDevice
+// role). Pull returns nil when no more packets will arrive.
+type Source interface {
+	Class() string
+	Pull(ctx *Ctx) *Packet
+}
+
+// Stats is implemented by elements that expose counters.
+type Stats interface {
+	// Stat returns a named counter value; ok is false for unknown names.
+	Stat(name string) (value uint64, ok bool)
+}

@@ -1,0 +1,90 @@
+package click
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pktpredict/internal/rng"
+)
+
+// Property: ParseConfig never panics, whatever text it is fed —
+// configurations are user input.
+func TestParseConfigNeverPanicsQuick(t *testing.T) {
+	pieces := []string{
+		"a", "::", "->", ";", "(", ")", ",", "TSource", "TElem", "\n",
+		"COUNT 1", "//x", "/*", "*/", " ", "a1", "_b",
+	}
+	f := func(seed uint64, n uint8) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rng.New(seed)
+		var b strings.Builder
+		for i := 0; i < int(n); i++ {
+			b.WriteString(pieces[r.Intn(len(pieces))])
+		}
+		ParseConfig(testEnv(), "fuzz", b.String()) //nolint:errcheck
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: splitTopLevel never loses characters — joining the parts
+// with the separator reproduces the input whenever the input has
+// balanced parentheses at the split points.
+func TestSplitTopLevelLosslessQuick(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := rng.New(seed)
+		alphabet := []byte("ab,();->")
+		raw := make([]byte, int(n))
+		for i := range raw {
+			raw[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		s := string(raw)
+		parts := splitTopLevel(s, ",")
+		joined := strings.Join(parts, ",")
+		return joined == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripCommentsEdgeCases(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a // b\nc", "a \nc"},
+		{"a /* b */ c", "a  c"},
+		{"a // no newline", "a "},
+		{"/*x*/ /*y*/z", " z"},
+		{"no comments", "no comments"},
+	}
+	for _, c := range cases {
+		got, err := stripComments(c.in)
+		if err != nil {
+			t.Fatalf("stripComments(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("stripComments(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsIdent(t *testing.T) {
+	valid := []string{"a", "a1", "_x", "CheckIPHeader", "src_0"}
+	invalid := []string{"", "1a", "a-b", "a b", "a(", "->"}
+	for _, s := range valid {
+		if !isIdent(s) {
+			t.Fatalf("isIdent(%q) = false, want true", s)
+		}
+	}
+	for _, s := range invalid {
+		if isIdent(s) {
+			t.Fatalf("isIdent(%q) = true, want false", s)
+		}
+	}
+}

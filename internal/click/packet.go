@@ -1,0 +1,47 @@
+// Package click implements a Click-inspired modular packet-processing
+// framework (Kohler et al., TOCS 2000), the programmability layer the
+// paper builds on. Processing is composed from elements; a pipeline of
+// elements, fed by a packet source, forms one packet-processing "flow"
+// that is pinned to one simulated core.
+//
+// Elements do real work on real packet bytes, and simultaneously emit the
+// corresponding micro-operation trace (loads, stores, compute bursts)
+// through a Ctx; the hw engine replays that trace against the simulated
+// memory hierarchy. A pipeline therefore implements hw.PacketSource.
+package click
+
+import "pktpredict/internal/hw"
+
+// Packet is one packet in flight: real bytes plus the simulated address
+// of the buffer holding them.
+type Packet struct {
+	// Data is the packet's contents, starting at the IPv4 header.
+	Data []byte
+	// Addr is the simulated address of Data[0].
+	Addr hw.Addr
+	// Recycler, if non-nil, returns the packet's buffer to its pool when
+	// the pipeline finishes with it.
+	Recycler Recycler
+	// pool-internal handle, opaque to elements.
+	PoolIndex int
+}
+
+// LineAddrs calls fn for the simulated address of each cache line the
+// byte range [off, off+n) of the packet touches.
+func (p *Packet) LineAddrs(off, n int, fn func(hw.Addr)) {
+	if n <= 0 {
+		return
+	}
+	start := p.Addr + hw.Addr(off)
+	first := hw.LineOf(start)
+	last := hw.LineOf(start + hw.Addr(n) - 1)
+	for a := first; a <= last; a += hw.LineSize {
+		fn(a)
+	}
+}
+
+// Recycler returns packet buffers to their pool, emitting the trace of
+// the free-list manipulation (the paper's skb_recycle function).
+type Recycler interface {
+	Recycle(ctx *Ctx, p *Packet)
+}

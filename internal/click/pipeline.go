@@ -1,0 +1,93 @@
+package click
+
+import (
+	"fmt"
+	"strings"
+
+	"pktpredict/internal/hw"
+)
+
+// Pipeline is a linear chain of elements fed by a source: one
+// packet-processing flow. It implements hw.PacketSource, so it can be
+// attached directly to a simulated core.
+type Pipeline struct {
+	Name     string
+	Source   Source
+	Elements []Element
+
+	// Counters.
+	Received uint64 // packets pulled from the source
+	Dropped  uint64 // packets dropped by an element
+	Finished uint64 // packets that reached the end or were consumed
+
+	ctx Ctx
+}
+
+// NewPipeline assembles a pipeline. It is also the target of the
+// configuration parser.
+func NewPipeline(name string, src Source, elements ...Element) *Pipeline {
+	return &Pipeline{Name: name, Source: src, Elements: elements}
+}
+
+// EmitPacket implements hw.PacketSource: it pulls one packet, runs it
+// through the element chain, and returns the accumulated trace.
+func (pl *Pipeline) EmitPacket(buf []hw.Op) []hw.Op {
+	pl.ctx.Ops = buf
+	p := pl.Source.Pull(&pl.ctx)
+	if p == nil {
+		return buf[:0]
+	}
+	pl.Received++
+	verdict := Continue
+	for _, el := range pl.Elements {
+		verdict = el.Process(&pl.ctx, p)
+		if verdict != Continue {
+			break
+		}
+	}
+	if verdict == Drop {
+		pl.Dropped++
+	} else {
+		pl.Finished++
+	}
+	if p.Recycler != nil {
+		p.Recycler.Recycle(&pl.ctx, p)
+	}
+	return pl.ctx.Ops
+}
+
+// String renders the pipeline in config-like syntax.
+func (pl *Pipeline) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s :: %s", pl.Name, pl.Source.Class())
+	for _, el := range pl.Elements {
+		fmt.Fprintf(&b, " -> %s", el.Class())
+	}
+	return b.String()
+}
+
+// Stat aggregates pipeline counters and element counters: "received",
+// "dropped", "finished", or "<ElementClass>.<name>".
+func (pl *Pipeline) Stat(name string) (uint64, bool) {
+	switch name {
+	case "received":
+		return pl.Received, true
+	case "dropped":
+		return pl.Dropped, true
+	case "finished":
+		return pl.Finished, true
+	}
+	if class, rest, ok := strings.Cut(name, "."); ok {
+		for _, el := range pl.Elements {
+			if el.Class() != class {
+				continue
+			}
+			if s, isStats := el.(Stats); isStats {
+				if v, found := s.Stat(rest); found {
+					return v, true
+				}
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,60 @@
+package click
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pktpredict/internal/mem"
+)
+
+// Env carries the resources element constructors need: the NUMA arena to
+// allocate simulated memory from (enforcing the paper's local-allocation
+// policy) and a seed for any per-flow randomness.
+type Env struct {
+	Arena *mem.Arena
+	Seed  uint64
+}
+
+// Constructor builds an element or source instance from configuration
+// arguments. The returned value must implement Element or Source.
+type Constructor func(env *Env, args Args) (interface{}, error)
+
+var registry = struct {
+	sync.Mutex
+	classes map[string]Constructor
+}{classes: make(map[string]Constructor)}
+
+// Register makes a class available to configurations. It panics on
+// duplicate registration, which indicates two packages claiming one name.
+func Register(class string, c Constructor) {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.classes[class]; dup {
+		panic(fmt.Sprintf("click: class %q registered twice", class))
+	}
+	registry.classes[class] = c
+}
+
+// NewInstance constructs an instance of class with the given arguments.
+func NewInstance(env *Env, class string, args Args) (interface{}, error) {
+	registry.Lock()
+	ctor, ok := registry.classes[class]
+	registry.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("click: unknown element class %q (known: %v)", class, Classes())
+	}
+	return ctor(env, args)
+}
+
+// Classes returns the sorted names of all registered classes.
+func Classes() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]string, 0, len(registry.classes))
+	for c := range registry.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

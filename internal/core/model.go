@@ -1,0 +1,79 @@
+package core
+
+// Analytical models from the paper: Equation 1 (Section 3.3) relating a
+// flow's performance drop to its hit-to-miss conversion rate, and the
+// Appendix A probabilistic cache-sharing model that explains the shape of
+// the conversion rate as a function of competition. The paper uses these
+// to explain its observations, not to predict — prediction comes from the
+// profiled curves in predict.go — and this package preserves that role.
+
+// DropFromConversion evaluates Equation 1: the throughput drop of a flow
+// achieving hitsPerSec cache hits per second in a solo run when a
+// fraction kappa of those hits become misses, each costing deltaSeconds
+// extra:
+//
+//	drop = 1 / (1 + 1/(δ·κ·h)) = δκh / (1 + δκh)
+func DropFromConversion(hitsPerSec, kappa, deltaSeconds float64) float64 {
+	x := deltaSeconds * kappa * hitsPerSec
+	if x <= 0 {
+		return 0
+	}
+	return x / (1 + x)
+}
+
+// WorstCaseDrop is Equation 1 with κ = 1: every solo-run hit becomes a
+// miss. The paper's Figure 6 plots this bound against solo hits/sec for
+// several values of δ.
+func WorstCaseDrop(hitsPerSec, deltaSeconds float64) float64 {
+	return DropFromConversion(hitsPerSec, 1, deltaSeconds)
+}
+
+// DeltaSeconds is the paper's platform-spec value of δ: 43.75 ns, the
+// extra time to complete a memory reference that misses the L3 instead of
+// hitting it.
+const DeltaSeconds = 43.75e-9
+
+// CacheModel is the Appendix A model: a target flow sharing a cache of C
+// lines with competitors that access it uniformly. The target achieves Ht
+// hits/sec during a solo run over W cacheable chunks.
+type CacheModel struct {
+	CacheLines       float64 // C
+	TargetHitsPerSec float64 // Ht
+	TargetChunks     float64 // W
+}
+
+// ConversionRate estimates the target's hit-to-miss conversion rate under
+// competingRefsPerSec competing references:
+//
+//	p_ev = 1/C
+//	p_t  = (Ht/W) / (Ht/W + Rc)
+//	P(hit) = p_t / (1 − (1−p_ev)(1−p_t))
+//	κ = 1 − P(hit)
+//
+// following the derivation in Appendix A, including its assumption that
+// target and competitors slow down equally (which keeps the reference
+// ratio constant during the run).
+func (m CacheModel) ConversionRate(competingRefsPerSec float64) float64 {
+	if competingRefsPerSec <= 0 {
+		return 0
+	}
+	if m.CacheLines <= 0 || m.TargetChunks <= 0 || m.TargetHitsPerSec <= 0 {
+		return 0
+	}
+	pev := 1 / m.CacheLines
+	perChunk := m.TargetHitsPerSec / m.TargetChunks
+	pt := perChunk / (perChunk + competingRefsPerSec)
+	pHit := pt / (1 - (1-pev)*(1-pt))
+	if pHit > 1 {
+		pHit = 1
+	}
+	return 1 - pHit
+}
+
+// EstimatedDrop chains the Appendix A conversion estimate into Equation
+// 1, yielding the model's drop-versus-competition curve (the analytical
+// counterpart of the measured curves in Figure 7's discussion).
+func (m CacheModel) EstimatedDrop(competingRefsPerSec, deltaSeconds float64) float64 {
+	kappa := m.ConversionRate(competingRefsPerSec)
+	return DropFromConversion(m.TargetHitsPerSec, kappa, deltaSeconds)
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/hw"
+)
+
+// CurvePoint is one sample of a target flow's drop-versus-competition
+// profile.
+type CurvePoint struct {
+	CompetingRefsPerSec float64
+	Drop                float64
+}
+
+// Curve is a flow type's contention profile: measured performance drop as
+// a function of aggregate competing L3 references per second, obtained by
+// co-running the flow with SYN competitors at ramped rates (the paper's
+// Section 4, step 2).
+type Curve struct {
+	Target apps.FlowType
+	Points []CurvePoint // sorted by CompetingRefsPerSec, first is (0,0)
+}
+
+// DropAt interpolates the curve linearly at the given competition level;
+// beyond the last measured point the curve is held flat, which the
+// paper's "turning point" observation justifies.
+func (c Curve) DropAt(refsPerSec float64) float64 {
+	pts := c.Points
+	if len(pts) == 0 || refsPerSec <= 0 {
+		return 0
+	}
+	if refsPerSec >= pts[len(pts)-1].CompetingRefsPerSec {
+		return pts[len(pts)-1].Drop
+	}
+	for i := 1; i < len(pts); i++ {
+		if refsPerSec <= pts[i].CompetingRefsPerSec {
+			x0, y0 := pts[i-1].CompetingRefsPerSec, pts[i-1].Drop
+			x1, y1 := pts[i].CompetingRefsPerSec, pts[i].Drop
+			if x1 == x0 {
+				return y1
+			}
+			return y0 + (y1-y0)*(refsPerSec-x0)/(x1-x0)
+		}
+	}
+	return pts[len(pts)-1].Drop
+}
+
+// String renders the curve compactly.
+func (c Curve) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", c.Target)
+	for _, p := range c.Points {
+		fmt.Fprintf(&b, " (%.0fM,%.1f%%)", p.CompetingRefsPerSec/1e6, p.Drop*100)
+	}
+	return b.String()
+}
+
+// DefaultSweepGrid is the set of SYN compute-per-access values used to
+// ramp competing references per second, from idle competitors to
+// SYN_MAX. Lower compute means more refs/sec.
+var DefaultSweepGrid = []int{3200, 1600, 800, 400, 200, 100, 50, 25, 0}
+
+// Predictor implements the paper's three-step prediction method over a
+// fixed platform configuration and workload scale. It memoises solo
+// profiles and sweep curves: everything is derived from offline profiling
+// and reused across predictions, exactly as an operator would use it.
+type Predictor struct {
+	Cfg       hw.Config
+	Params    apps.Params
+	Warmup    float64
+	Window    float64
+	SweepGrid []int
+	// Competitors is the number of SYN co-runners used in sweeps (the
+	// paper uses 5: one target plus five competitors fill a socket).
+	Competitors int
+
+	solo   map[apps.FlowType]hw.FlowStats
+	curves map[apps.FlowType]Curve
+	sweeps map[apps.FlowType][]SweepSample
+	mixes  map[string][]hw.FlowStats
+}
+
+// SweepSample is one full measurement of a sweep run: the aggregate
+// competition and the target's complete window statistics, from which
+// both the drop curve and hit-to-miss conversion rates (Figure 7) are
+// derived.
+type SweepSample struct {
+	CompetingRefsPerSec float64
+	Target              hw.FlowStats
+}
+
+// NewPredictor builds a predictor with the paper's sweep setup.
+func NewPredictor(cfg hw.Config, params apps.Params, warmup, window float64) *Predictor {
+	return &Predictor{
+		Cfg:         cfg,
+		Params:      params,
+		Warmup:      warmup,
+		Window:      window,
+		SweepGrid:   DefaultSweepGrid,
+		Competitors: cfg.CoresPerSocket - 1,
+		solo:        make(map[apps.FlowType]hw.FlowStats),
+		curves:      make(map[apps.FlowType]Curve),
+		sweeps:      make(map[apps.FlowType][]SweepSample),
+		mixes:       make(map[string][]hw.FlowStats),
+	}
+}
+
+// Solo returns the memoised solo-run statistics of flow type t — the
+// offline profile from which both the flow's aggressiveness (refs/sec)
+// and its baseline throughput are read.
+func (p *Predictor) Solo(t apps.FlowType) (hw.FlowStats, error) {
+	if s, ok := p.solo[t]; ok {
+		return s, nil
+	}
+	sc := Scenario{
+		Cfg:    p.Cfg,
+		Params: p.Params,
+		Flows:  []FlowSpec{{Type: t, Core: 0, Domain: 0, Seed: SeedFor(t, 0)}},
+		Warmup: p.Warmup,
+		Window: p.Window,
+	}
+	res, err := sc.Run()
+	if err != nil {
+		return hw.FlowStats{}, err
+	}
+	p.solo[t] = res.Stats[0]
+	return res.Stats[0], nil
+}
+
+// Sweep returns the memoised sweep samples of flow type t: the target's
+// full statistics when co-running with SYN competitors at each grid rate
+// (step 2 of the method), sorted by competition.
+func (p *Predictor) Sweep(t apps.FlowType) ([]SweepSample, error) {
+	if s, ok := p.sweeps[t]; ok {
+		return s, nil
+	}
+	var samples []SweepSample
+	for _, k := range p.SweepGrid {
+		flows := []FlowSpec{{Type: t, Core: 0, Domain: 0, Seed: SeedFor(t, 0)}}
+		for i := 1; i <= p.Competitors; i++ {
+			flows = append(flows, FlowSpec{
+				Type: apps.SYN, Core: i, Domain: 0,
+				Seed: SeedFor(apps.SYN, i), SynCompute: k,
+			})
+		}
+		res, err := Scenario{Cfg: p.Cfg, Params: p.Params, Flows: flows,
+			Warmup: p.Warmup, Window: p.Window}.Run()
+		if err != nil {
+			return nil, err
+		}
+		var competing float64
+		for i := 1; i <= p.Competitors; i++ {
+			competing += res.Stats[i].L3RefsPerSec()
+		}
+		samples = append(samples, SweepSample{
+			CompetingRefsPerSec: competing,
+			Target:              res.Stats[0],
+		})
+	}
+	sort.Slice(samples, func(i, j int) bool {
+		return samples[i].CompetingRefsPerSec < samples[j].CompetingRefsPerSec
+	})
+	p.sweeps[t] = samples
+	return samples, nil
+}
+
+// Curve returns the memoised drop-versus-competition curve of flow type
+// t, derived from the sweep samples.
+func (p *Predictor) Curve(t apps.FlowType) (Curve, error) {
+	if c, ok := p.curves[t]; ok {
+		return c, nil
+	}
+	solo, err := p.Solo(t)
+	if err != nil {
+		return Curve{}, err
+	}
+	samples, err := p.Sweep(t)
+	if err != nil {
+		return Curve{}, err
+	}
+	curve := Curve{Target: t, Points: []CurvePoint{{0, 0}}}
+	for _, s := range samples {
+		curve.Points = append(curve.Points, CurvePoint{
+			CompetingRefsPerSec: s.CompetingRefsPerSec,
+			Drop:                hw.PerformanceDrop(solo, s.Target),
+		})
+	}
+	p.curves[t] = curve
+	return curve, nil
+}
+
+// Prediction is the predicted contention-induced drop for one flow.
+type Prediction struct {
+	Target              apps.FlowType
+	CompetingRefsPerSec float64 // assumed competition (sum of solo rates)
+	Drop                float64
+}
+
+// Predict runs the paper's step 3: sum the competitors' solo refs/sec and
+// read the target's curve at that level.
+func (p *Predictor) Predict(target apps.FlowType, competitors []apps.FlowType) (Prediction, error) {
+	var sum float64
+	for _, c := range competitors {
+		s, err := p.Solo(c)
+		if err != nil {
+			return Prediction{}, err
+		}
+		sum += s.L3RefsPerSec()
+	}
+	curve, err := p.Curve(target)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return Prediction{Target: target, CompetingRefsPerSec: sum, Drop: curve.DropAt(sum)}, nil
+}
+
+// PredictAt reads the target's curve at a known competition level — the
+// paper's "prediction assuming perfect knowledge of the competition"
+// (Figure 8(b)), where the competitors' actual co-run refs/sec replace
+// the solo-run estimate.
+func (p *Predictor) PredictAt(target apps.FlowType, competingRefsPerSec float64) (Prediction, error) {
+	curve, err := p.Curve(target)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return Prediction{
+		Target:              target,
+		CompetingRefsPerSec: competingRefsPerSec,
+		Drop:                curve.DropAt(competingRefsPerSec),
+	}, nil
+}
+
+// mixKey canonicalises a multiset of flow types.
+func mixKey(mix []apps.FlowType) string {
+	s := make([]string, len(mix))
+	for i, t := range mix {
+		s[i] = string(t)
+	}
+	sort.Strings(s)
+	return strings.Join(s, ",")
+}
+
+// MeasureMix co-runs the given flows on one socket (cores 0..n-1, data
+// local) and returns their window statistics, memoised by multiset. The
+// slice is ordered by the sorted multiset, not the input order.
+func (p *Predictor) MeasureMix(mix []apps.FlowType) ([]hw.FlowStats, []apps.FlowType, error) {
+	if len(mix) == 0 || len(mix) > p.Cfg.CoresPerSocket {
+		return nil, nil, fmt.Errorf("core: mix of %d flows does not fit a %d-core socket",
+			len(mix), p.Cfg.CoresPerSocket)
+	}
+	sorted := append([]apps.FlowType(nil), mix...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	key := mixKey(sorted)
+	if st, ok := p.mixes[key]; ok {
+		return st, sorted, nil
+	}
+	flows := make([]FlowSpec, len(sorted))
+	for i, t := range sorted {
+		flows[i] = FlowSpec{Type: t, Core: i, Domain: 0, Seed: SeedFor(t, i)}
+	}
+	res, err := Scenario{Cfg: p.Cfg, Params: p.Params, Flows: flows,
+		Warmup: p.Warmup, Window: p.Window}.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	p.mixes[key] = res.Stats
+	return res.Stats, sorted, nil
+}
+
+// MeasuredDrops returns each flow's measured contention-induced drop in
+// the given mix, ordered like MeasureMix's sorted result.
+func (p *Predictor) MeasuredDrops(mix []apps.FlowType) ([]float64, []apps.FlowType, error) {
+	stats, sorted, err := p.MeasureMix(mix)
+	if err != nil {
+		return nil, nil, err
+	}
+	drops := make([]float64, len(sorted))
+	for i, t := range sorted {
+		solo, err := p.Solo(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		drops[i] = hw.PerformanceDrop(solo, stats[i])
+	}
+	return drops, sorted, nil
+}
+
+// PredictMix predicts every flow's drop in a mix from solo profiles only.
+// Results are ordered like MeasureMix's sorted order so measured and
+// predicted values align index-wise.
+func (p *Predictor) PredictMix(mix []apps.FlowType) ([]Prediction, []apps.FlowType, error) {
+	sorted := append([]apps.FlowType(nil), mix...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	preds := make([]Prediction, len(sorted))
+	for i, t := range sorted {
+		competitors := make([]apps.FlowType, 0, len(sorted)-1)
+		competitors = append(competitors, sorted[:i]...)
+		competitors = append(competitors, sorted[i+1:]...)
+		pr, err := p.Predict(t, competitors)
+		if err != nil {
+			return nil, nil, err
+		}
+		preds[i] = pr
+	}
+	return preds, sorted, nil
+}

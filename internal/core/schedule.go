@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pktpredict/internal/apps"
+)
+
+// Placement assigns a full machine's worth of flows to the two sockets.
+// Within a socket, core assignment is symmetric (all cores are
+// equivalent), so a placement is fully described by the two multisets.
+type Placement struct {
+	Socket0 []apps.FlowType
+	Socket1 []apps.FlowType
+	// AvgDrop is the contention-induced drop averaged over all flows —
+	// the paper's overall-performance metric for a placement.
+	AvgDrop float64
+	// PerFlow holds each flow's drop, ordered socket 0 then socket 1, in
+	// each socket's sorted-multiset order.
+	PerFlow []FlowDrop
+}
+
+// FlowDrop is one flow's drop under a placement.
+type FlowDrop struct {
+	Type   apps.FlowType
+	Socket int
+	Drop   float64
+}
+
+// String renders the placement compactly.
+func (p Placement) String() string {
+	return fmt.Sprintf("{%s | %s} avg=%.1f%%",
+		joinTypes(p.Socket0), joinTypes(p.Socket1), p.AvgDrop*100)
+}
+
+func joinTypes(ts []apps.FlowType) string {
+	s := make([]string, len(ts))
+	for i, t := range ts {
+		s[i] = string(t)
+	}
+	return strings.Join(s, "+")
+}
+
+// PlacementEval is the outcome of exhaustively evaluating all distinct
+// placements of a flow combination: the best and worst placements and the
+// gain contention-aware scheduling could deliver (Figure 10).
+type PlacementEval struct {
+	Flows []apps.FlowType
+	Best  Placement
+	Worst Placement
+	All   []Placement
+	// Gain is Worst.AvgDrop − Best.AvgDrop: the maximum overall
+	// improvement available to a contention-aware scheduler.
+	Gain float64
+}
+
+// EvaluatePlacements simulates every distinct split of the given flows
+// (one per core on the two-socket platform) and returns the best and
+// worst placements by average drop. Socket evaluations are memoised by
+// multiset through the predictor, since a socket's behaviour depends only
+// on which flows share it (data is NUMA-local, so sockets are
+// independent — the property Section 2.2's configuration establishes).
+func EvaluatePlacements(p *Predictor, flows []apps.FlowType) (PlacementEval, error) {
+	perSocket := p.Cfg.CoresPerSocket
+	if len(flows) != 2*perSocket {
+		return PlacementEval{}, fmt.Errorf("core: %d flows, want %d (one per core)",
+			len(flows), 2*perSocket)
+	}
+	eval := PlacementEval{Flows: append([]apps.FlowType(nil), flows...)}
+
+	seen := make(map[string]bool)
+	splits := enumerateSplits(flows, perSocket)
+	for _, split := range splits {
+		k0, k1 := mixKey(split.s0), mixKey(split.s1)
+		// Socket order is irrelevant: canonicalise the pair.
+		pairKey := k0 + "|" + k1
+		if k1 < k0 {
+			pairKey = k1 + "|" + k0
+		}
+		if seen[pairKey] {
+			continue
+		}
+		seen[pairKey] = true
+
+		drops0, sorted0, err := p.MeasuredDrops(split.s0)
+		if err != nil {
+			return PlacementEval{}, err
+		}
+		drops1, sorted1, err := p.MeasuredDrops(split.s1)
+		if err != nil {
+			return PlacementEval{}, err
+		}
+		pl := Placement{Socket0: sorted0, Socket1: sorted1}
+		var sum float64
+		for i, d := range drops0 {
+			pl.PerFlow = append(pl.PerFlow, FlowDrop{Type: sorted0[i], Socket: 0, Drop: d})
+			sum += d
+		}
+		for i, d := range drops1 {
+			pl.PerFlow = append(pl.PerFlow, FlowDrop{Type: sorted1[i], Socket: 1, Drop: d})
+			sum += d
+		}
+		pl.AvgDrop = sum / float64(len(pl.PerFlow))
+		eval.All = append(eval.All, pl)
+	}
+	if len(eval.All) == 0 {
+		return PlacementEval{}, fmt.Errorf("core: no placements enumerated")
+	}
+	sort.Slice(eval.All, func(i, j int) bool { return eval.All[i].AvgDrop < eval.All[j].AvgDrop })
+	eval.Best = eval.All[0]
+	eval.Worst = eval.All[len(eval.All)-1]
+	eval.Gain = eval.Worst.AvgDrop - eval.Best.AvgDrop
+	return eval, nil
+}
+
+type split struct {
+	s0, s1 []apps.FlowType
+}
+
+// enumerateSplits generates every distinct division of the flow multiset
+// into two halves of size k, by choosing how many of each type go to
+// socket 0.
+func enumerateSplits(flows []apps.FlowType, k int) []split {
+	counts := map[apps.FlowType]int{}
+	var order []apps.FlowType
+	for _, t := range flows {
+		if counts[t] == 0 {
+			order = append(order, t)
+		}
+		counts[t]++
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	var out []split
+	take := make([]int, len(order))
+	var rec func(i, remaining int)
+	rec = func(i, remaining int) {
+		if i == len(order) {
+			if remaining != 0 {
+				return
+			}
+			var s0, s1 []apps.FlowType
+			for j, t := range order {
+				for n := 0; n < take[j]; n++ {
+					s0 = append(s0, t)
+				}
+				for n := 0; n < counts[t]-take[j]; n++ {
+					s1 = append(s1, t)
+				}
+			}
+			out = append(out, split{s0: s0, s1: s1})
+			return
+		}
+		max := counts[order[i]]
+		if max > remaining {
+			max = remaining
+		}
+		for n := 0; n <= max; n++ {
+			take[i] = n
+			rec(i+1, remaining-n)
+		}
+		take[i] = 0
+	}
+	rec(0, k)
+	return out
+}
+
+// GreedyPlacement is the contention-aware heuristic the literature
+// proposes (e.g. Zhuravlev et al.): sort flows by solo refs/sec
+// (aggressiveness) and deal them to sockets in alternating snake order,
+// spreading aggressive flows apart. The paper's point is that even the
+// best placement barely beats the worst; this heuristic lets callers
+// check how close the cheap strategy lands to the exhaustive optimum.
+func GreedyPlacement(p *Predictor, flows []apps.FlowType) ([]apps.FlowType, []apps.FlowType, error) {
+	type ranked struct {
+		t    apps.FlowType
+		refs float64
+	}
+	rs := make([]ranked, len(flows))
+	for i, t := range flows {
+		s, err := p.Solo(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		rs[i] = ranked{t: t, refs: s.L3RefsPerSec()}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].refs != rs[j].refs {
+			return rs[i].refs > rs[j].refs
+		}
+		return rs[i].t < rs[j].t
+	})
+	var s0, s1 []apps.FlowType
+	for i, r := range rs {
+		// Snake order 0,1,1,0,0,1,1,0,... spreads the most aggressive
+		// flows across sockets while balancing totals.
+		if i%4 == 1 || i%4 == 2 {
+			s1 = append(s1, r.t)
+		} else {
+			s0 = append(s0, r.t)
+		}
+	}
+	return s0, s1, nil
+}
+
+// EvaluateSplit measures one specific split's average drop, for callers
+// that want to score a heuristic placement against Best/Worst.
+func EvaluateSplit(p *Predictor, s0, s1 []apps.FlowType) (float64, error) {
+	drops0, _, err := p.MeasuredDrops(s0)
+	if err != nil {
+		return 0, err
+	}
+	drops1, _, err := p.MeasuredDrops(s1)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, d := range drops0 {
+		sum += d
+	}
+	for _, d := range drops1 {
+		sum += d
+	}
+	return sum / float64(len(drops0)+len(drops1)), nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"pktpredict/internal/elements"
+	"pktpredict/internal/hw"
+)
+
+// Throttling (Section 4, "containing hidden aggressiveness"): an
+// administrator monitors each flow's memory-access rate with hardware
+// counters and, when a flow exceeds the rate it exhibited during offline
+// profiling, configures its control element to slow it down. The result
+// is that no flow can perform more cache references per second than it
+// was profiled at, so the offline-profiling-based prediction remains
+// valid even against flows that change behaviour at run time.
+
+// ThrottleSample records one monitoring interval of the containment loop.
+type ThrottleSample struct {
+	Interval    int
+	RefsPerSec  float64
+	DelayCycles uint32
+	Throttled   bool
+}
+
+// Containment drives the monitor-and-throttle loop for one flow.
+type Containment struct {
+	// Limit is the profiled L3 refs/sec the flow may not exceed.
+	Limit float64
+	// Slack tolerates measurement noise above the limit (default 5%).
+	Slack float64
+	// Control is the flow's control element.
+	Control *elements.Control
+
+	engine *hw.Engine
+	flow   int // index into engine.Flows
+}
+
+// NewContainment monitors flow index flowIdx of e, clamping it to
+// limitRefsPerSec via ctl.
+func NewContainment(e *hw.Engine, flowIdx int, ctl *elements.Control, limitRefsPerSec float64) (*Containment, error) {
+	if flowIdx < 0 || flowIdx >= len(e.Flows) {
+		return nil, fmt.Errorf("core: flow index %d out of range", flowIdx)
+	}
+	if ctl == nil {
+		return nil, fmt.Errorf("core: containment requires a control element")
+	}
+	if limitRefsPerSec <= 0 {
+		return nil, fmt.Errorf("core: containment limit must be positive")
+	}
+	return &Containment{
+		Limit:   limitRefsPerSec,
+		Slack:   0.05,
+		Control: ctl,
+		engine:  e,
+		flow:    flowIdx,
+	}, nil
+}
+
+// Run executes steps monitoring intervals of the given virtual length,
+// adjusting the control element after each, and returns the samples. The
+// controller is deliberately simple — multiplicative increase when over
+// the limit, gentle decrease when well under — because the paper's point
+// is that a trivial mechanism suffices once the memory-access rate is
+// observable.
+func (c *Containment) Run(interval float64, steps int) []ThrottleSample {
+	samples := make([]ThrottleSample, 0, steps)
+	for step := 0; step < steps; step++ {
+		before := c.engine.Flows[c.flow].Core.Counters
+		startClock := c.engine.Flows[c.flow].Core.Clock()
+		c.engine.RunSeconds(interval)
+		delta := c.engine.Flows[c.flow].Core.Counters.Sub(before)
+		elapsed := c.engine.Flows[c.flow].Core.Clock() - startClock
+		seconds := float64(elapsed) / c.engine.Platform.Cfg.ClockHz
+		refsPerSec := 0.0
+		if seconds > 0 {
+			refsPerSec = float64(delta.L3Refs) / seconds
+		}
+
+		// Proportional control: to move the reference rate from r to the
+		// limit, per-packet time must scale by r/limit, i.e. the delay
+		// must change by cyclesPerPacket·(r/limit − 1).
+		cyclesPerPacket := 0.0
+		if delta.Packets > 0 {
+			cyclesPerPacket = float64(delta.Cycles) / float64(delta.Packets)
+		}
+		delay := c.Control.Delay()
+		throttled := false
+		switch {
+		case refsPerSec > c.Limit*(1+c.Slack) && cyclesPerPacket > 0:
+			needed := cyclesPerPacket * (refsPerSec/c.Limit - 1)
+			c.Control.SetDelay(delay + uint32(needed) + 1)
+			throttled = true
+		case refsPerSec < c.Limit && delay > 0 && cyclesPerPacket > 0:
+			// Under the profiled rate: hand back the equivalent slack so
+			// a flow hovering near its limit oscillates tightly around it
+			// and a reformed flow regains its throughput.
+			give := cyclesPerPacket * (1 - refsPerSec/c.Limit)
+			if give >= float64(delay) {
+				c.Control.SetDelay(0)
+			} else {
+				c.Control.SetDelay(delay - uint32(give) - 1)
+			}
+		}
+		samples = append(samples, ThrottleSample{
+			Interval:    step,
+			RefsPerSec:  refsPerSec,
+			DelayCycles: c.Control.Delay(),
+			Throttled:   throttled,
+		})
+	}
+	return samples
+}

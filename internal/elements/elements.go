@@ -1,0 +1,372 @@
+// Package elements provides the standard Click-style elements the
+// workloads are composed from: device endpoints (FromDevice/ToDevice),
+// IP-forwarding-path elements (CheckIPHeader, DecIPTTL), and utility
+// elements (Counter, Discard, Control).
+//
+// Each element performs its real work on real packet bytes and emits the
+// matching memory/compute trace through the click.Ctx, so its cache
+// footprint in the simulated hierarchy follows from what it actually does.
+package elements
+
+import (
+	"fmt"
+
+	"pktpredict/internal/click"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/netpkt"
+	"pktpredict/internal/nic"
+	"pktpredict/internal/trafficgen"
+)
+
+// Attribution functions, matching the paper's OProfile symbol names where
+// the paper names them (Figure 7).
+var (
+	fnFromDevice = hw.RegisterFunc("from_device")
+	fnCheckIP    = hw.RegisterFunc("check_ip_header")
+	fnDecTTL     = hw.RegisterFunc("dec_ip_ttl")
+	fnToDevice   = hw.RegisterFunc("to_device")
+	fnControl    = hw.RegisterFunc("control_element")
+)
+
+// Compute costs in cycles/instructions for the fixed per-packet work each
+// element does beyond its memory accesses. They approximate the
+// instruction counts of the corresponding Click elements on the paper's
+// platform and are deliberately centralised for calibration.
+const (
+	rxCompute      = 60
+	rxInstrs       = 50
+	checkIPCompute = 60
+	checkIPInstrs  = 50
+	decTTLCompute  = 25
+	decTTLInstrs   = 20
+	txCompute      = 45
+	txInstrs       = 40
+)
+
+// FromDevice is a pipeline source: it models one NIC receive queue. Each
+// Pull takes a buffer from the per-core pool, writes a generated packet
+// into it (the NIC's DMA, delivered into the L3 via direct cache access),
+// consumes an RX descriptor, and hands the packet to the pipeline.
+type FromDevice struct {
+	pool      *nic.BufferPool
+	ring      *nic.Ring
+	gen       trafficgen.Generator
+	remaining int64 // -1 = unbounded
+	Pulled    uint64
+}
+
+// FromDeviceConfig configures a FromDevice source.
+type FromDeviceConfig struct {
+	Traffic trafficgen.Spec
+	// Buffers is the pool size (default 512, Click's per-core default).
+	Buffers int
+	// RingSize is the RX descriptor ring size (default 256).
+	RingSize int
+	// Count bounds the number of packets delivered; 0 means unbounded.
+	Count int64
+}
+
+// NewFromDevice builds the source, allocating its pool and ring from env's
+// arena so all per-flow state is NUMA-local.
+func NewFromDevice(env *click.Env, cfg FromDeviceConfig) (*FromDevice, error) {
+	if cfg.Buffers == 0 {
+		cfg.Buffers = 512
+	}
+	if cfg.RingSize == 0 {
+		cfg.RingSize = 256
+	}
+	if cfg.Traffic.Seed == 0 {
+		cfg.Traffic.Seed = env.Seed
+	}
+	if err := cfg.Traffic.Validate(); err != nil {
+		return nil, err
+	}
+	bufSize := cfg.Traffic.Size
+	if bufSize < trafficgen.MinPacketSize {
+		bufSize = trafficgen.MinPacketSize
+	}
+	// Buffers are rounded up to the next 512-byte boundary like real
+	// socket buffers, so distinct packets never share lines.
+	bufSize = (bufSize + 511) &^ 511
+	remaining := cfg.Count
+	if remaining == 0 {
+		remaining = -1
+	}
+	return &FromDevice{
+		pool:      nic.NewBufferPool(env.Arena, cfg.Buffers, bufSize),
+		ring:      nic.NewRing(env.Arena, cfg.RingSize),
+		gen:       trafficgen.New(cfg.Traffic),
+		remaining: remaining,
+	}, nil
+}
+
+// Class implements click.Source.
+func (fd *FromDevice) Class() string { return "FromDevice" }
+
+// Pull implements click.Source.
+func (fd *FromDevice) Pull(ctx *click.Ctx) *click.Packet {
+	if fd.remaining == 0 {
+		return nil
+	}
+	if fd.remaining > 0 {
+		fd.remaining--
+	}
+	old := ctx.SetFunc(fnFromDevice)
+	defer ctx.SetFunc(old)
+
+	idx, data, addr := fd.pool.Get(ctx)
+	n := fd.gen.Next(data)
+	ctx.DMABytes(addr, n) // NIC writes the packet into the cache (DCA)
+	fd.ring.Consume(ctx)  // core reads the RX descriptor
+	ctx.Compute(rxCompute, rxInstrs)
+	fd.Pulled++
+	return &click.Packet{
+		Data:      data[:n],
+		Addr:      addr,
+		Recycler:  fd,
+		PoolIndex: idx,
+	}
+}
+
+// Recycle implements click.Recycler, returning the buffer to the pool.
+func (fd *FromDevice) Recycle(ctx *click.Ctx, p *click.Packet) {
+	fd.pool.Put(ctx, p.PoolIndex)
+}
+
+// Pool exposes the buffer pool for tests and diagnostics.
+func (fd *FromDevice) Pool() *nic.BufferPool { return fd.pool }
+
+// ToDevice models one NIC transmit queue: it posts a TX descriptor and
+// consumes the packet.
+type ToDevice struct {
+	ring *nic.Ring
+	Sent uint64
+}
+
+// NewToDevice builds the sink with a TX ring of ringSize descriptors
+// (default 256 when 0).
+func NewToDevice(env *click.Env, ringSize int) *ToDevice {
+	if ringSize == 0 {
+		ringSize = 256
+	}
+	return &ToDevice{ring: nic.NewRing(env.Arena, ringSize)}
+}
+
+// Class implements click.Element.
+func (td *ToDevice) Class() string { return "ToDevice" }
+
+// Process implements click.Element.
+func (td *ToDevice) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
+	old := ctx.SetFunc(fnToDevice)
+	defer ctx.SetFunc(old)
+	td.ring.Produce(ctx)
+	ctx.Compute(txCompute, txInstrs)
+	td.Sent++
+	return click.Consume
+}
+
+// Stat implements click.Stats.
+func (td *ToDevice) Stat(name string) (uint64, bool) {
+	if name == "sent" {
+		return td.Sent, true
+	}
+	return 0, false
+}
+
+// CheckIPHeader validates the IPv4 header exactly as Click's element of
+// the same name: version, header length, total length, checksum. Invalid
+// packets are dropped.
+type CheckIPHeader struct {
+	Ok, Bad uint64
+}
+
+// Class implements click.Element.
+func (c *CheckIPHeader) Class() string { return "CheckIPHeader" }
+
+// Process implements click.Element.
+func (c *CheckIPHeader) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
+	old := ctx.SetFunc(fnCheckIP)
+	defer ctx.SetFunc(old)
+	ctx.LoadBytes(p.Addr, netpkt.IPv4HeaderLen)
+	ctx.Compute(checkIPCompute, checkIPInstrs)
+	if _, err := netpkt.ParseIPv4(p.Data); err != nil {
+		c.Bad++
+		return click.Drop
+	}
+	c.Ok++
+	return click.Continue
+}
+
+// Stat implements click.Stats.
+func (c *CheckIPHeader) Stat(name string) (uint64, bool) {
+	switch name {
+	case "ok":
+		return c.Ok, true
+	case "bad":
+		return c.Bad, true
+	}
+	return 0, false
+}
+
+// DecIPTTL decrements the TTL and incrementally updates the header
+// checksum (RFC 1624), dropping expired packets, as in the paper's "full
+// IP forwarding" path.
+type DecIPTTL struct {
+	Expired uint64
+}
+
+// Class implements click.Element.
+func (d *DecIPTTL) Class() string { return "DecIPTTL" }
+
+// Process implements click.Element.
+func (d *DecIPTTL) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
+	old := ctx.SetFunc(fnDecTTL)
+	defer ctx.SetFunc(old)
+	ctx.Load(p.Addr)
+	ctx.Store(p.Addr)
+	ctx.Compute(decTTLCompute, decTTLInstrs)
+	if err := netpkt.DecTTL(p.Data); err != nil {
+		d.Expired++
+		return click.Drop
+	}
+	return click.Continue
+}
+
+// Counter counts packets and bytes through a bookkeeping line, like
+// Click's Counter element.
+type Counter struct {
+	addr    hw.Addr
+	Packets uint64
+	Bytes   uint64
+}
+
+// NewCounter allocates the counter's bookkeeping line from env's arena.
+func NewCounter(env *click.Env) *Counter {
+	return &Counter{addr: env.Arena.Alloc(hw.LineSize, hw.LineSize)}
+}
+
+// Class implements click.Element.
+func (c *Counter) Class() string { return "Counter" }
+
+// Process implements click.Element.
+func (c *Counter) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
+	ctx.Load(c.addr)
+	ctx.Store(c.addr)
+	ctx.Compute(4, 4)
+	c.Packets++
+	c.Bytes += uint64(len(p.Data))
+	return click.Continue
+}
+
+// Stat implements click.Stats.
+func (c *Counter) Stat(name string) (uint64, bool) {
+	switch name {
+	case "packets":
+		return c.Packets, true
+	case "bytes":
+		return c.Bytes, true
+	}
+	return 0, false
+}
+
+// Discard drops every packet, like Click's element of the same name.
+type Discard struct{ Count uint64 }
+
+// Class implements click.Element.
+func (d *Discard) Class() string { return "Discard" }
+
+// Process implements click.Element.
+func (d *Discard) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
+	d.Count++
+	return click.Drop
+}
+
+// Control is the paper's "control element" (Section 4, containing hidden
+// aggressiveness): a configurable number of simple CPU operations at the
+// head of a flow that slows it down, throttling the rate at which the
+// flow performs memory accesses. The delay is adjustable at run time by
+// the monitoring loop in package core.
+type Control struct {
+	delay uint32
+}
+
+// NewControl builds a control element with an initial delay in cycles.
+func NewControl(delayCycles uint32) *Control { return &Control{delay: delayCycles} }
+
+// Class implements click.Element.
+func (c *Control) Class() string { return "Control" }
+
+// Process implements click.Element.
+func (c *Control) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
+	if d := c.delay; d > 0 {
+		old := ctx.SetFunc(fnControl)
+		ctx.Compute(d, d) // simple ALU ops: one instruction per cycle
+		ctx.SetFunc(old)
+	}
+	return click.Continue
+}
+
+// Delay returns the current delay in cycles per packet.
+func (c *Control) Delay() uint32 { return c.delay }
+
+// SetDelay updates the delay in cycles per packet.
+func (c *Control) SetDelay(cycles uint32) { c.delay = cycles }
+
+func init() {
+	click.Register("FromDevice", func(env *click.Env, args click.Args) (interface{}, error) {
+		size, err := args.Int("SIZE", 0)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := args.Uint64("SEED", 0)
+		if err != nil {
+			return nil, err
+		}
+		flows, err := args.Int("FLOWS", 0)
+		if err != nil {
+			return nil, err
+		}
+		bufs, err := args.Int("BUFFERS", 0)
+		if err != nil {
+			return nil, err
+		}
+		count, err := args.Int("COUNT", 0)
+		if err != nil {
+			return nil, err
+		}
+		return NewFromDevice(env, FromDeviceConfig{
+			Traffic: trafficgen.Spec{Seed: seed, Size: size, Flows: flows},
+			Buffers: bufs,
+			Count:   int64(count),
+		})
+	})
+	click.Register("ToDevice", func(env *click.Env, args click.Args) (interface{}, error) {
+		ring, err := args.Int("RING", 0)
+		if err != nil {
+			return nil, err
+		}
+		return NewToDevice(env, ring), nil
+	})
+	click.Register("CheckIPHeader", func(env *click.Env, args click.Args) (interface{}, error) {
+		return &CheckIPHeader{}, nil
+	})
+	click.Register("DecIPTTL", func(env *click.Env, args click.Args) (interface{}, error) {
+		return &DecIPTTL{}, nil
+	})
+	click.Register("Counter", func(env *click.Env, args click.Args) (interface{}, error) {
+		return NewCounter(env), nil
+	})
+	click.Register("Discard", func(env *click.Env, args click.Args) (interface{}, error) {
+		return &Discard{}, nil
+	})
+	click.Register("Control", func(env *click.Env, args click.Args) (interface{}, error) {
+		d, err := args.Int("DELAY", 0)
+		if err != nil {
+			return nil, err
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("elements: Control DELAY must be non-negative")
+		}
+		return NewControl(uint32(d)), nil
+	})
+}

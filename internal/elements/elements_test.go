@@ -1,0 +1,238 @@
+package elements
+
+import (
+	"testing"
+
+	"pktpredict/internal/click"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+	"pktpredict/internal/netpkt"
+	"pktpredict/internal/trafficgen"
+)
+
+func newEnv() *click.Env { return &click.Env{Arena: mem.NewArena(0), Seed: 42} }
+
+func newFD(t *testing.T, cfg FromDeviceConfig) *FromDevice {
+	t.Helper()
+	fd, err := NewFromDevice(newEnv(), cfg)
+	if err != nil {
+		t.Fatalf("NewFromDevice: %v", err)
+	}
+	return fd
+}
+
+func TestFromDeviceDeliversValidPackets(t *testing.T) {
+	fd := newFD(t, FromDeviceConfig{Count: 5})
+	var ctx click.Ctx
+	for i := 0; i < 5; i++ {
+		p := fd.Pull(&ctx)
+		if p == nil {
+			t.Fatalf("packet %d: unexpected nil", i)
+		}
+		if _, err := netpkt.ParseIPv4(p.Data); err != nil {
+			t.Fatalf("packet %d invalid: %v", i, err)
+		}
+		p.Recycler.Recycle(&ctx, p)
+	}
+	if p := fd.Pull(&ctx); p != nil {
+		t.Fatal("COUNT-bounded source must stop")
+	}
+}
+
+func TestFromDeviceEmitsDMAAndDescriptorTrace(t *testing.T) {
+	fd := newFD(t, FromDeviceConfig{Count: 1})
+	var ctx click.Ctx
+	fd.Pull(&ctx)
+	var dma, loads int
+	for _, op := range ctx.Ops {
+		switch op.Kind {
+		case hw.OpDMAWrite:
+			dma++
+		case hw.OpLoad:
+			loads++
+		}
+	}
+	if dma != 1 { // 64-byte packet = 1 line
+		t.Fatalf("DMA ops = %d, want 1", dma)
+	}
+	if loads == 0 {
+		t.Fatal("descriptor/pool reads missing from trace")
+	}
+}
+
+func TestFromDeviceRecyclesBuffers(t *testing.T) {
+	fd := newFD(t, FromDeviceConfig{Buffers: 2, Count: 100})
+	var ctx click.Ctx
+	for i := 0; i < 100; i++ {
+		p := fd.Pull(&ctx)
+		p.Recycler.Recycle(&ctx, p)
+		ctx.Ops = ctx.Ops[:0]
+	}
+	if fd.Pool().Available() != 2 {
+		t.Fatalf("pool leaked: %d of 2 available", fd.Pool().Available())
+	}
+}
+
+func TestFromDeviceInvalidTraffic(t *testing.T) {
+	_, err := NewFromDevice(newEnv(), FromDeviceConfig{Traffic: trafficgen.Spec{Size: 8}})
+	if err == nil {
+		t.Fatal("expected error for undersized packets")
+	}
+}
+
+func mkPacket(t *testing.T) *click.Packet {
+	t.Helper()
+	b := make([]byte, 64)
+	netpkt.WriteIPv4(b, netpkt.IPv4Header{TotalLen: 64, TTL: 64, Proto: netpkt.ProtoUDP, Src: 1, Dst: 2})
+	return &click.Packet{Data: b, Addr: 0x10000}
+}
+
+func TestCheckIPHeaderAcceptsValid(t *testing.T) {
+	el := &CheckIPHeader{}
+	var ctx click.Ctx
+	if v := el.Process(&ctx, mkPacket(t)); v != click.Continue {
+		t.Fatalf("verdict = %v, want continue", v)
+	}
+	if el.Ok != 1 || el.Bad != 0 {
+		t.Fatalf("counters = %d/%d", el.Ok, el.Bad)
+	}
+}
+
+func TestCheckIPHeaderDropsCorrupt(t *testing.T) {
+	el := &CheckIPHeader{}
+	var ctx click.Ctx
+	p := mkPacket(t)
+	p.Data[12] ^= 0xff // corrupt source, checksum now wrong
+	if v := el.Process(&ctx, p); v != click.Drop {
+		t.Fatalf("verdict = %v, want drop", v)
+	}
+	if v, ok := el.Stat("bad"); !ok || v != 1 {
+		t.Fatalf("bad stat = %d/%v", v, ok)
+	}
+}
+
+func TestDecIPTTLDecrementsAndKeepsChecksumValid(t *testing.T) {
+	el := &DecIPTTL{}
+	var ctx click.Ctx
+	p := mkPacket(t)
+	if v := el.Process(&ctx, p); v != click.Continue {
+		t.Fatalf("verdict = %v", v)
+	}
+	h, err := netpkt.ParseIPv4(p.Data)
+	if err != nil {
+		t.Fatalf("header invalid after DecIPTTL: %v", err)
+	}
+	if h.TTL != 63 {
+		t.Fatalf("TTL = %d, want 63", h.TTL)
+	}
+}
+
+func TestDecIPTTLDropsExpired(t *testing.T) {
+	el := &DecIPTTL{}
+	var ctx click.Ctx
+	p := mkPacket(t)
+	p.Data[8] = 1
+	p.Data[10], p.Data[11] = 0, 0
+	cs := netpkt.Checksum(p.Data[:20])
+	p.Data[10], p.Data[11] = byte(cs>>8), byte(cs)
+	if v := el.Process(&ctx, p); v != click.Drop {
+		t.Fatalf("verdict = %v, want drop", v)
+	}
+	if el.Expired != 1 {
+		t.Fatalf("expired = %d", el.Expired)
+	}
+}
+
+func TestCounterCounts(t *testing.T) {
+	c := NewCounter(newEnv())
+	var ctx click.Ctx
+	c.Process(&ctx, mkPacket(t))
+	c.Process(&ctx, mkPacket(t))
+	if c.Packets != 2 || c.Bytes != 128 {
+		t.Fatalf("counter = %d pkts / %d bytes", c.Packets, c.Bytes)
+	}
+	if v, ok := c.Stat("bytes"); !ok || v != 128 {
+		t.Fatalf("bytes stat = %d/%v", v, ok)
+	}
+}
+
+func TestDiscardDrops(t *testing.T) {
+	d := &Discard{}
+	var ctx click.Ctx
+	if v := d.Process(&ctx, mkPacket(t)); v != click.Drop {
+		t.Fatalf("verdict = %v", v)
+	}
+}
+
+func TestControlEmitsConfiguredDelay(t *testing.T) {
+	c := NewControl(100)
+	var ctx click.Ctx
+	c.Process(&ctx, mkPacket(t))
+	if len(ctx.Ops) != 1 || ctx.Ops[0].Cycles != 100 {
+		t.Fatalf("ops = %+v, want one 100-cycle compute", ctx.Ops)
+	}
+	c.SetDelay(0)
+	ctx.Ops = ctx.Ops[:0]
+	c.Process(&ctx, mkPacket(t))
+	if len(ctx.Ops) != 0 {
+		t.Fatal("zero delay must emit nothing")
+	}
+	if c.Delay() != 0 {
+		t.Fatalf("Delay = %d", c.Delay())
+	}
+}
+
+func TestToDeviceConsumes(t *testing.T) {
+	td := NewToDevice(newEnv(), 0)
+	var ctx click.Ctx
+	if v := td.Process(&ctx, mkPacket(t)); v != click.Consume {
+		t.Fatalf("verdict = %v, want consume", v)
+	}
+	if v, ok := td.Stat("sent"); !ok || v != 1 {
+		t.Fatalf("sent = %d/%v", v, ok)
+	}
+}
+
+func TestConfigIntegration(t *testing.T) {
+	cfg := `
+		src :: FromDevice(SIZE 64, COUNT 10, SEED 3);
+		src -> CheckIPHeader -> DecIPTTL -> Counter -> ToDevice;
+	`
+	pl, err := click.ParseConfig(newEnv(), "ipfwd", cfg)
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	n := 0
+	for len(pl.EmitPacket(nil)) > 0 {
+		n++
+		if n > 20 {
+			t.Fatal("runaway pipeline")
+		}
+	}
+	if n != 10 {
+		t.Fatalf("packets = %d, want 10", n)
+	}
+	if v, _ := pl.Stat("Counter.packets"); v != 10 {
+		t.Fatalf("Counter.packets = %d", v)
+	}
+	if v, _ := pl.Stat("ToDevice.sent"); v != 10 {
+		t.Fatalf("ToDevice.sent = %d", v)
+	}
+}
+
+func TestConfigControlElement(t *testing.T) {
+	pl, err := click.ParseConfig(newEnv(), "t", `FromDevice(COUNT 1) -> Control(DELAY 50) -> ToDevice;`)
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	ops := pl.EmitPacket(nil)
+	found := false
+	for _, op := range ops {
+		if op.Kind == hw.OpCompute && op.Cycles == 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Control delay not present in trace")
+	}
+}

@@ -1,0 +1,320 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/core"
+)
+
+// The experiment drivers re-run many co-run scenarios; tests share one
+// predictor (and its memoised measurements) to keep the package's test
+// time reasonable. Everything is deterministic, so sharing is safe.
+var (
+	sharedOnce sync.Once
+	sharedPred *core.Predictor
+	sharedScl  Scale
+)
+
+func quickSetup(t *testing.T) (Scale, *core.Predictor) {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedScl = Quick()
+		sharedPred = sharedScl.NewPredictor()
+	})
+	return sharedScl, sharedPred
+}
+
+func TestTable1(t *testing.T) {
+	s, p := quickSetup(t)
+	res, err := RunTable1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	if len(res.Profiles) != 5 {
+		t.Fatalf("profiles = %d, want 5", len(res.Profiles))
+	}
+	byLabel := map[string]float64{}
+	for _, pr := range res.Profiles {
+		if pr.Throughput() <= 0 || pr.CyclesPerPacket() <= 0 {
+			t.Fatalf("%s: empty profile", pr.Label)
+		}
+		byLabel[pr.Label] = pr.CyclesPerPacket()
+	}
+	// Heavier processing must cost more cycles per packet.
+	if !(byLabel["IP"] < byLabel["MON"] && byLabel["MON"] < byLabel["FW"]) {
+		t.Fatalf("cycles/packet ordering wrong: %v", byLabel)
+	}
+	if !strings.Contains(res.String(), "Table 1") || !strings.Contains(res.CSV(), "flow,") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	s, p := quickSetup(t)
+	res, err := RunFig2(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 25 {
+		t.Fatalf("cells = %d, want 25", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Drop < -0.05 || c.Drop > 1 {
+			t.Fatalf("%s vs %s: drop %v out of range", c.Target, c.Competitor, c.Drop)
+		}
+	}
+	// The paper's headline orderings: MON is the most sensitive type on
+	// average; FW suffers and causes little.
+	if res.Average[apps.MON] <= res.Average[apps.FW] {
+		t.Fatalf("MON avg (%v) must exceed FW avg (%v)",
+			res.Average[apps.MON], res.Average[apps.FW])
+	}
+	monRE, _ := res.Cell(apps.MON, apps.RE)
+	monFW, _ := res.Cell(apps.MON, apps.FW)
+	if monRE.Drop <= monFW.Drop {
+		t.Fatalf("RE competitors (%v) must hurt MON more than FW competitors (%v)",
+			monRE.Drop, monFW.Drop)
+	}
+	if !strings.Contains(res.String(), "Figure 2") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	s, p := quickSetup(t)
+	res, err := RunFig4(s, p, []apps.FlowType{apps.MON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, ok1 := res.Get(apps.MON, CacheOnly)
+	mem, ok2 := res.Get(apps.MON, MemCtrlOnly)
+	both, ok3 := res.Get(apps.MON, Both)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("missing series")
+	}
+	// The paper's central resource finding: the cache dominates.
+	if cache.MaxDrop() <= mem.MaxDrop() {
+		t.Fatalf("cache-only max drop (%v) must exceed memctrl-only (%v)",
+			cache.MaxDrop(), mem.MaxDrop())
+	}
+	if both.MaxDrop() < cache.MaxDrop()*0.8 {
+		t.Fatalf("both-resources drop (%v) should be at least cache-only (%v)",
+			both.MaxDrop(), cache.MaxDrop())
+	}
+	// Drop must grow with competition within each series.
+	for _, series := range res.Series {
+		pts := series.Points
+		if pts[len(pts)-1].Drop < pts[0].Drop {
+			t.Fatalf("%s/%s: drop decreased along the ramp", series.Target, series.Mode)
+		}
+	}
+	if !strings.Contains(res.String(), "cache contention") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	s, p := quickSetup(t)
+	fig2, err := RunFig2(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFig5(s, p, fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 5 || len(res.Points) != 25 {
+		t.Fatalf("curves/points = %d/%d", len(res.Curves), len(res.Points))
+	}
+	// Observation (b): realistic competitors behave like SYN flows at the
+	// same refs/sec. At quick scale allow a loose bound.
+	if dev := res.MaxDeviation(); dev > 0.25 {
+		t.Fatalf("max deviation %v: realistic points far off synthetic curves", dev)
+	}
+	if res.MeanDeviation() > 0.10 {
+		t.Fatalf("mean deviation %v too large", res.MeanDeviation())
+	}
+}
+
+func TestFig6(t *testing.T) {
+	s, p := quickSetup(t)
+	res, err := RunFig6(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 3 || len(res.Points) != 5 {
+		t.Fatalf("curves/points = %d/%d", len(res.Curves), len(res.Points))
+	}
+	// Larger δ curves must dominate smaller ones point-wise.
+	for i := range res.Curves[0].HitsPerSec {
+		if !(res.Curves[0].Drop[i] <= res.Curves[1].Drop[i] &&
+			res.Curves[1].Drop[i] <= res.Curves[2].Drop[i]) {
+			t.Fatalf("δ ordering violated at index %d", i)
+		}
+	}
+	for _, pt := range res.Points {
+		if pt.WorstCaseDrop < 0 || pt.WorstCaseDrop >= 1 {
+			t.Fatalf("%s: worst-case drop %v out of range", pt.Flow, pt.WorstCaseDrop)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	s, p := quickSetup(t)
+	res, err := RunFig7(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.Measured <= first.Measured {
+		t.Fatalf("conversion did not grow with competition: %v → %v",
+			first.Measured, last.Measured)
+	}
+	if last.Model <= 0 || last.Model > 1 {
+		t.Fatalf("model estimate %v out of range", last.Model)
+	}
+	// The paper's per-function contrast: bookkeeping functions
+	// (skb_recycle) barely convert; the uniformly-accessed flow table
+	// (flow_statistics) converts heavily.
+	if last.PerFunc["skb_recycle"] >= last.PerFunc["flow_statistics"] {
+		t.Fatalf("skb_recycle conversion (%v) must stay below flow_statistics (%v)",
+			last.PerFunc["skb_recycle"], last.PerFunc["flow_statistics"])
+	}
+}
+
+func TestFig8(t *testing.T) {
+	s, p := quickSetup(t)
+	res, err := RunFig8(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 25 {
+		t.Fatalf("cells = %d, want 25", len(res.Cells))
+	}
+	// Prediction quality: the paper achieves <3% at full scale; quick
+	// scale tolerates more but errors must stay bounded.
+	if res.MaxAbsError > 0.20 {
+		t.Fatalf("worst prediction error %v too large", res.MaxAbsError)
+	}
+	// Perfect knowledge must not be systematically worse than the
+	// solo-rate assumption.
+	var oursSum, perfSum float64
+	for _, target := range apps.RealisticTypes {
+		oursSum += res.AvgError[target]
+		perfSum += res.AvgPerfectErr[target]
+	}
+	if perfSum > oursSum*1.5 {
+		t.Fatalf("perfect-knowledge errors (%v) dwarf ours (%v)", perfSum, oursSum)
+	}
+}
+
+func TestFig9(t *testing.T) {
+	s, p := quickSetup(t)
+	res, err := RunFig9(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 6 {
+		t.Fatalf("flows = %d, want 6", len(res.Flows))
+	}
+	if res.MaxError > 0.20 {
+		t.Fatalf("max error %v too large", res.MaxError)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	s, p := quickSetup(t)
+	combos := []Fig10Combo{
+		{Label: "6MON+6FW", Flows: []apps.FlowType{
+			apps.MON, apps.MON, apps.MON, apps.MON, apps.MON, apps.MON,
+			apps.FW, apps.FW, apps.FW, apps.FW, apps.FW, apps.FW}},
+	}
+	res, err := RunFig10(s, p, combos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combo, ok := res.Combo("6MON+6FW")
+	if !ok {
+		t.Fatal("combo missing")
+	}
+	if len(combo.Eval.All) != 4 {
+		t.Fatalf("placements = %d, want 4", len(combo.Eval.All))
+	}
+	if combo.Gain() < 0 {
+		t.Fatalf("negative gain %v", combo.Gain())
+	}
+	if len(combo.Eval.Best.PerFlow) != 12 {
+		t.Fatalf("per-flow = %d, want 12", len(combo.Eval.Best.PerFlow))
+	}
+}
+
+func TestThrottleExperiment(t *testing.T) {
+	s, p := quickSetup(t)
+	res, err := RunThrottle(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakUncontained() < res.ProfiledRefsPerSec*1.5 {
+		t.Fatalf("aggression did not manifest: peak %v vs profiled %v",
+			res.PeakUncontained(), res.ProfiledRefsPerSec)
+	}
+	if res.FinalContained() > res.ProfiledRefsPerSec*1.6 {
+		t.Fatalf("containment failed: final %v vs profiled %v",
+			res.FinalContained(), res.ProfiledRefsPerSec)
+	}
+	if res.VictimContainedTput <= res.VictimUncontainedTput {
+		t.Fatalf("containment did not protect the victim: %v vs %v pkts/sec",
+			res.VictimContainedTput, res.VictimUncontainedTput)
+	}
+}
+
+func TestPipelineExperiment(t *testing.T) {
+	s, _ := quickSetup(t)
+	res, err := RunPipeline(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	var mon, crafted PipelineRow
+	for _, r := range res.Rows {
+		switch r.Workload {
+		case "MON":
+			mon = r
+		case "crafted":
+			crafted = r
+		}
+	}
+	// Section 2.2: parallel wins for realistic workloads...
+	if mon.Winner() != "parallel" {
+		t.Fatalf("MON: %s won (parallel %.0f vs pipeline %.0f)",
+			mon.Winner(), mon.ParallelPktsPerSec, mon.PipelinePktsPerSec)
+	}
+	// ...and the crafted 2x-L3 workload is the exception where the
+	// pipeline wins.
+	if crafted.Winner() != "pipeline" {
+		t.Fatalf("crafted: %s won (parallel %.0f vs pipeline %.0f)",
+			crafted.Winner(), crafted.ParallelPktsPerSec, crafted.PipelinePktsPerSec)
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	full, quick := Full(), Quick()
+	if full.Params.Routes <= quick.Params.Routes {
+		t.Fatal("full scale must exceed quick scale")
+	}
+	if full.Cfg.L3.SizeBytes != 12<<20 {
+		t.Fatalf("full L3 = %d, want 12MB", full.Cfg.L3.SizeBytes)
+	}
+	if quick.Window >= full.Window {
+		t.Fatal("quick window must be shorter")
+	}
+}

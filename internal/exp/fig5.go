@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/core"
+)
+
+// Fig5Result reproduces Figure 5: each target type's drop-versus-
+// competition curve measured against SYN competitors (from the profiling
+// sweep), overlaid with the individual points measured against realistic
+// competitors (from Figure 2). The paper's observation (b) — damage is
+// determined by competing refs/sec, not competitor type — holds when the
+// realistic points fall on the synthetic curves.
+type Fig5Result struct {
+	Curves map[apps.FlowType]core.Curve
+	Points []Fig2Cell
+}
+
+// RunFig5 builds the overlay from the predictor's sweeps and the Figure 2
+// measurements.
+func RunFig5(s Scale, p *core.Predictor, fig2 *Fig2Result) (*Fig5Result, error) {
+	if p == nil {
+		p = s.NewPredictor()
+	}
+	if fig2 == nil {
+		var err error
+		fig2, err = RunFig2(s, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &Fig5Result{Curves: make(map[apps.FlowType]core.Curve)}
+	for _, t := range apps.RealisticTypes {
+		c, err := p.Curve(t)
+		if err != nil {
+			return nil, err
+		}
+		out.Curves[t] = c
+	}
+	out.Points = fig2.Cells
+	return out, nil
+}
+
+// Deviation returns, for one realistic-competitor point, the absolute
+// difference between its measured drop and the synthetic curve's drop at
+// the same competition level — the quantity that must be small for the
+// paper's observation (b) to hold.
+func (r *Fig5Result) Deviation(cell Fig2Cell) float64 {
+	curve, ok := r.Curves[cell.Target]
+	if !ok {
+		return 0
+	}
+	d := cell.Drop - curve.DropAt(cell.CompetingRefsPerSec)
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// MaxDeviation returns the worst-case deviation across all points.
+func (r *Fig5Result) MaxDeviation() float64 {
+	var max float64
+	for _, cell := range r.Points {
+		if d := r.Deviation(cell); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MeanDeviation returns the average deviation across all points.
+func (r *Fig5Result) MeanDeviation() float64 {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, cell := range r.Points {
+		sum += r.Deviation(cell)
+	}
+	return sum / float64(len(r.Points))
+}
+
+// String renders the curves and points.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: drop vs competing refs/sec — SYN curves (S) and realistic points (R)\n")
+	for _, t := range apps.RealisticTypes {
+		curve := r.Curves[t]
+		fmt.Fprintf(&b, "  %s(S):", t)
+		for _, pt := range curve.Points {
+			fmt.Fprintf(&b, " (%s, %s)", mrefs(pt.CompetingRefsPerSec), pct(pt.Drop))
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "  %s(R):", t)
+		for _, cell := range r.Points {
+			if cell.Target != t {
+				continue
+			}
+			fmt.Fprintf(&b, " [5x%s: %s, %s]", cell.Competitor, mrefs(cell.CompetingRefsPerSec), pct(cell.Drop))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "max |realistic - synthetic| deviation: %s (mean %s)\n",
+		pct(r.MaxDeviation()), pct(r.MeanDeviation()))
+	return b.String()
+}
+
+// CSV renders curve points and realistic points in one table.
+func (r *Fig5Result) CSV() string {
+	var c csvBuilder
+	c.row("kind", "target", "competitor", "competing_refs_per_sec", "drop")
+	for _, t := range apps.RealisticTypes {
+		for _, pt := range r.Curves[t].Points {
+			c.row("syn_curve", string(t), "SYN", pt.CompetingRefsPerSec, pt.Drop)
+		}
+	}
+	for _, cell := range r.Points {
+		c.row("realistic", string(cell.Target), string(cell.Competitor),
+			cell.CompetingRefsPerSec, cell.Drop)
+	}
+	return c.String()
+}

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/core"
+)
+
+// Fig8Cell is one scenario's prediction outcome.
+type Fig8Cell struct {
+	Target     apps.FlowType
+	Competitor apps.FlowType
+	Measured   float64
+	Predicted  float64 // step-3 prediction (solo refs/sec of competitors)
+	Perfect    float64 // prediction with measured competing refs/sec
+}
+
+// Error returns predicted − measured (signed, as in Figure 8(a)).
+func (c Fig8Cell) Error() float64 { return c.Predicted - c.Measured }
+
+// PerfectError returns the perfect-knowledge error (Figure 8(b)).
+func (c Fig8Cell) PerfectError() float64 { return c.Perfect - c.Measured }
+
+// Fig8Result reproduces Figure 8: prediction error over the 25 Figure 2
+// scenarios, both for the paper's method and assuming perfect knowledge
+// of the competition, plus per-target average absolute errors (8(c)).
+type Fig8Result struct {
+	Cells         []Fig8Cell
+	AvgError      map[apps.FlowType]float64 // mean |error| per target
+	AvgPerfectErr map[apps.FlowType]float64
+	MaxAbsError   float64
+	MaxAbsPerfErr float64
+}
+
+// RunFig8 predicts and measures every pair scenario.
+func RunFig8(s Scale, p *core.Predictor) (*Fig8Result, error) {
+	if p == nil {
+		p = s.NewPredictor()
+	}
+	out := &Fig8Result{
+		AvgError:      make(map[apps.FlowType]float64),
+		AvgPerfectErr: make(map[apps.FlowType]float64),
+	}
+	for _, target := range apps.RealisticTypes {
+		var sumErr, sumPerf float64
+		for _, comp := range apps.RealisticTypes {
+			cell, err := predictPair(p, target, comp)
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig8 %s vs %s: %w", target, comp, err)
+			}
+			out.Cells = append(out.Cells, cell)
+			sumErr += abs(cell.Error())
+			sumPerf += abs(cell.PerfectError())
+			if abs(cell.Error()) > out.MaxAbsError {
+				out.MaxAbsError = abs(cell.Error())
+			}
+			if abs(cell.PerfectError()) > out.MaxAbsPerfErr {
+				out.MaxAbsPerfErr = abs(cell.PerfectError())
+			}
+		}
+		n := float64(len(apps.RealisticTypes))
+		out.AvgError[target] = sumErr / n
+		out.AvgPerfectErr[target] = sumPerf / n
+	}
+	return out, nil
+}
+
+func predictPair(p *core.Predictor, target, comp apps.FlowType) (Fig8Cell, error) {
+	// Measured drop and measured competition from the co-run.
+	cell2, err := measurePair(p, target, comp)
+	if err != nil {
+		return Fig8Cell{}, err
+	}
+	// Step-3 prediction from solo profiles only.
+	competitors := []apps.FlowType{comp, comp, comp, comp, comp}
+	pred, err := p.Predict(target, competitors)
+	if err != nil {
+		return Fig8Cell{}, err
+	}
+	// Perfect-knowledge prediction from the measured competition.
+	perfect, err := p.PredictAt(target, cell2.CompetingRefsPerSec)
+	if err != nil {
+		return Fig8Cell{}, err
+	}
+	return Fig8Cell{
+		Target:     target,
+		Competitor: comp,
+		Measured:   cell2.Drop,
+		Predicted:  pred.Drop,
+		Perfect:    perfect.Drop,
+	}, nil
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// String renders the error matrices and averages.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 8(a): prediction error (predicted - measured), rows=target, cols=5x competitor\n")
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, comp := range apps.RealisticTypes {
+		fmt.Fprintf(&b, "%8s", comp)
+	}
+	b.WriteByte('\n')
+	for _, target := range apps.RealisticTypes {
+		fmt.Fprintf(&b, "%-8s", target)
+		for _, comp := range apps.RealisticTypes {
+			for _, c := range r.Cells {
+				if c.Target == target && c.Competitor == comp {
+					fmt.Fprintf(&b, "%+8.1f", c.Error()*100)
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("Figure 8(b): error with perfect knowledge of the competition\n")
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, comp := range apps.RealisticTypes {
+		fmt.Fprintf(&b, "%8s", comp)
+	}
+	b.WriteByte('\n')
+	for _, target := range apps.RealisticTypes {
+		fmt.Fprintf(&b, "%-8s", target)
+		for _, comp := range apps.RealisticTypes {
+			for _, c := range r.Cells {
+				if c.Target == target && c.Competitor == comp {
+					fmt.Fprintf(&b, "%+8.1f", c.PerfectError()*100)
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("Figure 8(c): average absolute error per target (ours / perfect)\n")
+	for _, target := range apps.RealisticTypes {
+		fmt.Fprintf(&b, "%-8s %6.2f %6.2f\n", target,
+			r.AvgError[target]*100, r.AvgPerfectErr[target]*100)
+	}
+	fmt.Fprintf(&b, "worst-case |error|: ours %s, perfect %s\n",
+		pct(r.MaxAbsError), pct(r.MaxAbsPerfErr))
+	return b.String()
+}
+
+// CSV renders all cells.
+func (r *Fig8Result) CSV() string {
+	var c csvBuilder
+	c.row("target", "competitor", "measured", "predicted", "perfect")
+	for _, cell := range r.Cells {
+		c.row(string(cell.Target), string(cell.Competitor),
+			cell.Measured, cell.Predicted, cell.Perfect)
+	}
+	return c.String()
+}

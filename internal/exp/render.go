@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// csvBuilder accumulates comma-separated rows.
+type csvBuilder struct {
+	b strings.Builder
+}
+
+func (c *csvBuilder) row(fields ...interface{}) {
+	for i, f := range fields {
+		if i > 0 {
+			c.b.WriteByte(',')
+		}
+		switch v := f.(type) {
+		case float64:
+			fmt.Fprintf(&c.b, "%.6g", v)
+		default:
+			fmt.Fprintf(&c.b, "%v", v)
+		}
+	}
+	c.b.WriteByte('\n')
+}
+
+func (c *csvBuilder) String() string { return c.b.String() }
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// mrefs formats refs/sec in millions.
+func mrefs(f float64) string { return fmt.Sprintf("%.1fM", f/1e6) }

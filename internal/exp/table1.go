@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/perf"
+)
+
+// Table1Result reproduces Table 1: the characteristics of each packet-
+// processing type during a solo run.
+type Table1Result struct {
+	Profiles []perf.Profile
+}
+
+// RunTable1 profiles each realistic flow type solo.
+func RunTable1(s Scale) (*Table1Result, error) {
+	p := s.NewPredictor()
+	out := &Table1Result{}
+	for _, t := range apps.RealisticTypes {
+		st, err := p.Solo(t)
+		if err != nil {
+			return nil, fmt.Errorf("exp: table1 %s: %w", t, err)
+		}
+		out.Profiles = append(out.Profiles, perf.Profile{Label: string(t), Stats: st})
+	}
+	return out, nil
+}
+
+// String renders the table in the paper's column order.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: characteristics of each type of packet processing during a solo run\n")
+	b.WriteString(perf.Table(r.Profiles))
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (r *Table1Result) CSV() string {
+	var c csvBuilder
+	c.row("flow", "cpi", "l3_refs_per_sec", "l3_hits_per_sec",
+		"cycles_per_packet", "l3_refs_per_packet", "l3_misses_per_packet", "l2_hits_per_packet")
+	for _, p := range r.Profiles {
+		c.row(p.Label, p.CPI(), p.L3RefsPerSec(), p.L3HitsPerSec(),
+			p.CyclesPerPacket(), p.L3RefsPerPacket(), p.L3MissesPerPacket(), p.L2HitsPerPacket())
+	}
+	return c.String()
+}

@@ -1,0 +1,205 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/core"
+)
+
+// ThrottleResult reproduces the Section 4 containment demonstration: a
+// flow that profiles like FW turns aggressive at run time; with the
+// control element driven by counter monitoring, its memory-access rate is
+// clamped back to the profiled level.
+type ThrottleResult struct {
+	// ProfiledRefsPerSec is the limit established by offline profiling.
+	ProfiledRefsPerSec float64
+	// Uncontained and Contained are the aggressor's refs/sec time series
+	// without and with the containment loop.
+	Uncontained []core.ThrottleSample
+	Contained   []core.ThrottleSample
+	// VictimUncontainedTput and VictimContainedTput are a MON
+	// co-runner's packets/sec in the post-trigger steady state of each
+	// run, measured at the same virtual-time position so they compare
+	// directly. VictimBaselineTput is its pre-trigger throughput.
+	VictimBaselineTput    float64
+	VictimUncontainedTput float64
+	VictimContainedTput   float64
+}
+
+// VictimProtection returns the fraction of the victim's throughput that
+// containment preserved: 1 − uncontained/contained.
+func (r *ThrottleResult) VictimProtection() float64 {
+	if r.VictimContainedTput == 0 {
+		return 0
+	}
+	return 1 - r.VictimUncontainedTput/r.VictimContainedTput
+}
+
+// RunThrottle builds two identical scenarios — a hidden-aggressor flow
+// plus a MON victim on the same socket — and runs one with the
+// containment loop and one without.
+func RunThrottle(s Scale, p *core.Predictor) (*ThrottleResult, error) {
+	if p == nil {
+		p = s.NewPredictor()
+	}
+	fwSolo, err := p.Solo(apps.FW)
+	if err != nil {
+		return nil, err
+	}
+
+	// The trigger fires well after the offline profiling phase (two
+	// warmup-length windows of honest FW behaviour), whatever the scale's
+	// packet rate is.
+	trigger := uint64(fwSolo.Throughput()*s.Warmup*2*2) + 400
+	build := func() (*core.RunResult, error) {
+		return core.Scenario{
+			Cfg:    s.Cfg,
+			Params: s.Params,
+			Flows: []core.FlowSpec{
+				{Type: apps.FW, Core: 0, Domain: 0, Seed: core.SeedFor(apps.FW, 0), HiddenTrigger: trigger},
+				{Type: apps.MON, Core: 1, Domain: 0, Seed: core.SeedFor(apps.MON, 1)},
+			},
+		}.Build()
+	}
+
+	out := &ThrottleResult{}
+	interval := s.Window / 4
+	steps := 24
+
+	// Offline profile of the honest phase: run a fresh scenario's warmup
+	// and measure before the trigger.
+	prof, err := build()
+	if err != nil {
+		return nil, err
+	}
+	prof.Engine.RunSeconds(s.Warmup)
+	before := prof.Engine.Flows[0].Core.Counters
+	prof.Engine.RunSeconds(s.Warmup)
+	after := prof.Engine.Flows[0].Core.Counters
+	if after.Packets >= trigger {
+		return nil, fmt.Errorf("exp: throttle profiling window crossed the trigger (%d of %d packets)",
+			after.Packets, trigger)
+	}
+	delta := after.Sub(before)
+	out.ProfiledRefsPerSec = float64(delta.L3Refs) / (float64(delta.Cycles) / s.Cfg.ClockHz)
+
+	// Run 1: no containment — observe the aggression and the victim's
+	// drop versus its own pre-trigger throughput.
+	free, err := build()
+	if err != nil {
+		return nil, err
+	}
+	out.VictimBaselineTput = victimBaseline(free, s)
+	out.Uncontained = passiveMonitor(free, interval, steps, s.Cfg.ClockHz)
+	out.VictimUncontainedTput = victimTput(free, interval, s.Cfg.ClockHz)
+
+	// Run 2: containment active.
+	contained, err := build()
+	if err != nil {
+		return nil, err
+	}
+	victimBaseline(contained, s) // advance to the same virtual-time position
+	cont, err := core.NewContainment(contained.Engine, 0, contained.Instances[0].Control, out.ProfiledRefsPerSec)
+	if err != nil {
+		return nil, err
+	}
+	out.Contained = cont.Run(interval, steps)
+	out.VictimContainedTput = victimTput(contained, interval, s.Cfg.ClockHz)
+	return out, nil
+}
+
+// victimBaseline measures the victim's throughput while the aggressor is
+// still in its honest (pre-trigger) phase.
+func victimBaseline(res *core.RunResult, s Scale) float64 {
+	res.Engine.RunSeconds(s.Warmup)
+	before := res.Engine.Flows[1].Core.Counters
+	res.Engine.RunSeconds(s.Warmup)
+	delta := res.Engine.Flows[1].Core.Counters.Sub(before)
+	seconds := float64(delta.Cycles) / s.Cfg.ClockHz
+	if seconds == 0 {
+		return 0
+	}
+	return float64(delta.Packets) / seconds
+}
+
+// passiveMonitor samples a flow's refs/sec without adjusting anything.
+func passiveMonitor(res *core.RunResult, interval float64, steps int, clockHz float64) []core.ThrottleSample {
+	samples := make([]core.ThrottleSample, 0, steps)
+	for i := 0; i < steps; i++ {
+		before := res.Engine.Flows[0].Core.Counters
+		res.Engine.RunSeconds(interval)
+		delta := res.Engine.Flows[0].Core.Counters.Sub(before)
+		seconds := float64(delta.Cycles) / clockHz
+		rate := 0.0
+		if seconds > 0 {
+			rate = float64(delta.L3Refs) / seconds
+		}
+		samples = append(samples, core.ThrottleSample{Interval: i, RefsPerSec: rate})
+	}
+	return samples
+}
+
+// victimTput measures the victim's throughput over four more intervals.
+func victimTput(res *core.RunResult, interval float64, clockHz float64) float64 {
+	before := res.Engine.Flows[1].Core.Counters
+	res.Engine.RunSeconds(interval * 4)
+	delta := res.Engine.Flows[1].Core.Counters.Sub(before)
+	seconds := float64(delta.Cycles) / clockHz
+	if seconds == 0 {
+		return 0
+	}
+	return float64(delta.Packets) / seconds
+}
+
+// PeakUncontained returns the aggressor's maximum observed rate without
+// containment.
+func (r *ThrottleResult) PeakUncontained() float64 {
+	var max float64
+	for _, s := range r.Uncontained {
+		if s.RefsPerSec > max {
+			max = s.RefsPerSec
+		}
+	}
+	return max
+}
+
+// FinalContained returns the aggressor's rate at the end of containment.
+func (r *ThrottleResult) FinalContained() float64 {
+	if len(r.Contained) == 0 {
+		return 0
+	}
+	return r.Contained[len(r.Contained)-1].RefsPerSec
+}
+
+// String renders the containment summary and both time series.
+func (r *ThrottleResult) String() string {
+	var b strings.Builder
+	b.WriteString("Section 4: containing hidden aggressiveness\n")
+	fmt.Fprintf(&b, "profiled rate: %s refs/sec\n", mrefs(r.ProfiledRefsPerSec))
+	fmt.Fprintf(&b, "uncontained: peak %s refs/sec, victim MON at %.0f pkts/sec\n",
+		mrefs(r.PeakUncontained()), r.VictimUncontainedTput)
+	fmt.Fprintf(&b, "contained:   final %s refs/sec, victim MON at %.0f pkts/sec\n",
+		mrefs(r.FinalContained()), r.VictimContainedTput)
+	fmt.Fprintf(&b, "containment preserved %s of the victim's throughput\n",
+		pct(r.VictimProtection()))
+	b.WriteString("contained series (interval, refs/sec, delay):\n")
+	for _, s := range r.Contained {
+		fmt.Fprintf(&b, "  %3d %10s %8d\n", s.Interval, mrefs(s.RefsPerSec), s.DelayCycles)
+	}
+	return b.String()
+}
+
+// CSV renders both series.
+func (r *ThrottleResult) CSV() string {
+	var c csvBuilder
+	c.row("series", "interval", "refs_per_sec", "delay_cycles")
+	for _, s := range r.Uncontained {
+		c.row("uncontained", s.Interval, s.RefsPerSec, s.DelayCycles)
+	}
+	for _, s := range r.Contained {
+		c.row("contained", s.Interval, s.RefsPerSec, s.DelayCycles)
+	}
+	return c.String()
+}

@@ -1,0 +1,243 @@
+package hw
+
+import "fmt"
+
+// CacheGeom describes the geometry of one cache level.
+type CacheGeom struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity; 1 means direct-mapped
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (g CacheGeom) Sets() int {
+	lines := g.SizeBytes / LineSize
+	if g.Ways <= 0 || lines == 0 || lines%g.Ways != 0 {
+		panic(fmt.Sprintf("hw: invalid cache geometry %+v", g))
+	}
+	return lines / g.Ways
+}
+
+// ReplacementPolicy selects how a victim way is chosen on insertion.
+// The platform's caches use (pseudo-)LRU; the alternatives exist for the
+// ablation benchmarks that quantify how much of the paper's behaviour
+// depends on the replacement policy.
+type ReplacementPolicy uint8
+
+const (
+	// ReplaceLRU evicts the least-recently-used way.
+	ReplaceLRU ReplacementPolicy = iota
+	// ReplaceRandom evicts a deterministically pseudo-random way.
+	ReplaceRandom
+)
+
+type cacheLine struct {
+	tag   uint64 // full line address (addr >> LineShift); valid if tag != invalidTag
+	stamp uint64 // last-use time for LRU ordering
+	dirty bool
+}
+
+const invalidTag = ^uint64(0)
+
+// CacheStats aggregates the events observed by one cache instance.
+// For shared caches these are totals across all accessing cores; per-core
+// attribution lives in Counters.
+type CacheStats struct {
+	Refs       uint64 // lookups via Access
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64 // valid lines displaced by Insert
+	Writebacks uint64 // dirty lines displaced or invalidated
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with a
+// configurable replacement policy. It models presence and recency only;
+// latency is charged by the access path in Platform, and coherence across
+// private caches is handled by the inclusive-L3 back-invalidation logic.
+//
+// The zero value is not usable; construct with NewCache.
+type Cache struct {
+	Name   string
+	Stats  CacheStats
+	lines  []cacheLine
+	sets   uint64
+	ways   int
+	policy ReplacementPolicy
+	clock  uint64 // monotonically increasing use stamp
+	rng    uint64 // state for ReplaceRandom victim selection
+}
+
+// NewCache builds a cache with the given geometry and replacement policy.
+func NewCache(name string, g CacheGeom, policy ReplacementPolicy) *Cache {
+	sets := g.Sets()
+	c := &Cache{
+		Name:   name,
+		lines:  make([]cacheLine, sets*g.Ways),
+		sets:   uint64(sets),
+		ways:   g.Ways,
+		policy: policy,
+		rng:    0x9e3779b97f4a7c15,
+	}
+	for i := range c.lines {
+		c.lines[i].tag = invalidTag
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the capacity in bytes.
+func (c *Cache) SizeBytes() int { return int(c.sets) * c.ways * LineSize }
+
+func (c *Cache) setOf(lineAddr uint64) int {
+	return int(lineAddr%c.sets) * c.ways
+}
+
+// Access looks up the line containing addr, updating recency and counting
+// the reference. If write is true and the line is present it is marked
+// dirty. It returns whether the access hit.
+func (c *Cache) Access(addr Addr, write bool) bool {
+	line := uint64(addr >> LineShift)
+	base := c.setOf(line)
+	c.Stats.Refs++
+	c.clock++
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].tag == line {
+			c.lines[i].stamp = c.clock
+			if write {
+				c.lines[i].dirty = true
+			}
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// Contains reports whether the line containing addr is present, without
+// updating recency or statistics. It is intended for tests and assertions.
+func (c *Cache) Contains(addr Addr) bool {
+	line := uint64(addr >> LineShift)
+	base := c.setOf(line)
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line containing addr, evicting a victim if the set is
+// full. It returns the victim's address and dirtiness when a valid line
+// was displaced. Inserting a line that is already present refreshes its
+// recency (and dirtiness if dirty is true) without eviction.
+func (c *Cache) Insert(addr Addr, dirty bool) (victim Addr, victimDirty, evicted bool) {
+	line := uint64(addr >> LineShift)
+	base := c.setOf(line)
+	c.clock++
+
+	victimIdx := base
+	oldest := ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		l := &c.lines[i]
+		if l.tag == line {
+			l.stamp = c.clock
+			if dirty {
+				l.dirty = true
+			}
+			return 0, false, false
+		}
+		if l.tag == invalidTag {
+			// Prefer an invalid way; mark it as the victim and stop
+			// considering occupied ways.
+			victimIdx = i
+			oldest = 0
+		} else if oldest != 0 && l.stamp < oldest {
+			victimIdx = i
+			oldest = l.stamp
+		}
+	}
+	if oldest != 0 && c.policy == ReplaceRandom {
+		// xorshift64* victim selection: deterministic, seed-independent of
+		// workload content.
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		victimIdx = base + int(c.rng%uint64(c.ways))
+	}
+	v := &c.lines[victimIdx]
+	if v.tag != invalidTag {
+		c.Stats.Evictions++
+		if v.dirty {
+			c.Stats.Writebacks++
+		}
+		victim = Addr(v.tag << LineShift)
+		victimDirty = v.dirty
+		evicted = true
+	}
+	v.tag = line
+	v.stamp = c.clock
+	v.dirty = dirty
+	return victim, victimDirty, evicted
+}
+
+// Invalidate removes the line containing addr if present, returning
+// whether it was present and whether it was dirty. Dirty invalidations
+// are counted as writebacks.
+func (c *Cache) Invalidate(addr Addr) (present, dirty bool) {
+	line := uint64(addr >> LineShift)
+	base := c.setOf(line)
+	for i := base; i < base+c.ways; i++ {
+		l := &c.lines[i]
+		if l.tag == line {
+			present = true
+			dirty = l.dirty
+			if dirty {
+				c.Stats.Writebacks++
+			}
+			l.tag = invalidTag
+			l.dirty = false
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// MarkDirty marks the line containing addr dirty if present, returning
+// whether it was present. It models a write-back arriving from an inner
+// cache level.
+func (c *Cache) MarkDirty(addr Addr) bool {
+	line := uint64(addr >> LineShift)
+	base := c.setOf(line)
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].tag == line {
+			c.lines[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// ValidLines returns the number of currently valid lines, for tests and
+// occupancy diagnostics.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].tag != invalidTag {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line and resets statistics.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{tag: invalidTag}
+	}
+	c.Stats = CacheStats{}
+}

@@ -1,0 +1,65 @@
+package hw
+
+// Channel models a bandwidth-limited, first-come-first-served shared
+// resource: a memory controller's command pipeline or a QPI link. Each
+// request occupies the channel for ServiceCycles; a request arriving while
+// the channel is busy waits until it frees. Queueing delay under load is
+// therefore emergent, which is how the simulation reproduces the paper's
+// Figure 4(b) (contention for the memory controller) and the slow growth
+// of the effective miss penalty with competition noted in Section 3.3.
+type Channel struct {
+	Name          string
+	ServiceCycles uint64
+
+	nextFree uint64
+
+	// Stats
+	Requests    uint64
+	QueueCycles uint64 // total cycles requests spent waiting
+	BusyCycles  uint64 // total cycles the channel was occupied
+}
+
+// NewChannel builds a channel that serves one request every serviceCycles.
+func NewChannel(name string, serviceCycles uint64) *Channel {
+	return &Channel{Name: name, ServiceCycles: serviceCycles}
+}
+
+// Occupy reserves the channel for one request arriving at virtual time
+// now and returns the queueing delay the request experiences before
+// service begins. The caller adds any fixed latency (e.g. DRAM access
+// time) itself.
+func (ch *Channel) Occupy(now uint64) (wait uint64) {
+	start := now
+	if ch.nextFree > start {
+		start = ch.nextFree
+	}
+	ch.nextFree = start + ch.ServiceCycles
+	ch.Requests++
+	ch.QueueCycles += start - now
+	ch.BusyCycles += ch.ServiceCycles
+	return start - now
+}
+
+// Utilization returns the fraction of [0, now] the channel spent busy.
+func (ch *Channel) Utilization(now uint64) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(ch.BusyCycles) / float64(now)
+}
+
+// AvgQueueCycles returns the mean queueing delay per request.
+func (ch *Channel) AvgQueueCycles() float64 {
+	if ch.Requests == 0 {
+		return 0
+	}
+	return float64(ch.QueueCycles) / float64(ch.Requests)
+}
+
+// Reset clears statistics and pending occupancy.
+func (ch *Channel) Reset() {
+	ch.nextFree = 0
+	ch.Requests = 0
+	ch.QueueCycles = 0
+	ch.BusyCycles = 0
+}

@@ -1,0 +1,88 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChannelNoContentionNoWait(t *testing.T) {
+	ch := NewChannel("mem", 10)
+	if w := ch.Occupy(100); w != 0 {
+		t.Fatalf("first request wait = %d, want 0", w)
+	}
+	if w := ch.Occupy(200); w != 0 {
+		t.Fatalf("spaced request wait = %d, want 0", w)
+	}
+}
+
+func TestChannelBackToBackQueues(t *testing.T) {
+	ch := NewChannel("mem", 10)
+	ch.Occupy(0) // busy until 10
+	if w := ch.Occupy(0); w != 10 {
+		t.Fatalf("second request wait = %d, want 10", w)
+	}
+	if w := ch.Occupy(0); w != 20 {
+		t.Fatalf("third request wait = %d, want 20", w)
+	}
+	if ch.Requests != 3 || ch.QueueCycles != 30 || ch.BusyCycles != 30 {
+		t.Fatalf("stats = %+v", *ch)
+	}
+}
+
+func TestChannelDrainsAfterIdle(t *testing.T) {
+	ch := NewChannel("mem", 10)
+	ch.Occupy(0)
+	ch.Occupy(0)
+	if w := ch.Occupy(1000); w != 0 {
+		t.Fatalf("request after idle gap waited %d, want 0", w)
+	}
+}
+
+func TestChannelUtilization(t *testing.T) {
+	ch := NewChannel("mem", 10)
+	for i := 0; i < 5; i++ {
+		ch.Occupy(uint64(i) * 20)
+	}
+	if u := ch.Utilization(100); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if ch.AvgQueueCycles() != 0 {
+		t.Fatalf("avg queue = %v, want 0", ch.AvgQueueCycles())
+	}
+}
+
+func TestChannelReset(t *testing.T) {
+	ch := NewChannel("mem", 10)
+	ch.Occupy(0)
+	ch.Reset()
+	if ch.Requests != 0 || ch.BusyCycles != 0 {
+		t.Fatalf("stats not reset: %+v", *ch)
+	}
+	if w := ch.Occupy(0); w != 0 {
+		t.Fatalf("wait after reset = %d, want 0", w)
+	}
+}
+
+// Property: with monotonically non-decreasing arrivals, total wait equals
+// sum of per-request waits and service never overlaps: the k-th request
+// starts no earlier than the (k-1)-th start + service.
+func TestChannelFCFSQuick(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		ch := NewChannel("q", 7)
+		now := uint64(0)
+		prevStart := int64(-7)
+		for _, g := range gaps {
+			now += uint64(g)
+			wait := ch.Occupy(now)
+			start := int64(now + wait)
+			if start < prevStart+7 {
+				return false
+			}
+			prevStart = start
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package hw
+
+// Config describes the simulated platform: topology, cache geometry, and
+// latencies. DefaultConfig returns the paper's testbed (two Intel Xeon
+// X5660 "Westmere" sockets); every knob is exposed so the ablation
+// benchmarks can vary one dimension at a time.
+type Config struct {
+	Sockets        int
+	CoresPerSocket int
+
+	// ClockHz is the core frequency used to convert cycles to seconds.
+	ClockHz float64
+
+	L1D CacheGeom
+	L2  CacheGeom
+	L3  CacheGeom
+
+	// L3Policy selects the shared-cache replacement policy (LRU on the
+	// real platform; Random exists for ablations).
+	L3Policy ReplacementPolicy
+
+	// InclusiveL3 enables back-invalidation of private-cache copies when
+	// the L3 evicts a line, as on Westmere. Disabling it is an ablation.
+	InclusiveL3 bool
+
+	// Latencies, in core cycles, charged for a hit at each level. They
+	// are cumulative along the lookup path: an L3 hit costs L1Latency +
+	// L2Latency + L3Latency.
+	L1Latency uint64
+	L2Latency uint64
+	L3Latency uint64
+
+	// DRAMLatency is the additional latency of a row access beyond the
+	// L3 lookup, excluding queueing. The paper's platform spec puts the
+	// hit-to-miss delta δ at 43.75 ns ≈ 122 cycles at 2.8 GHz.
+	DRAMLatency uint64
+
+	// MemCtrlService is the occupancy of the memory controller per
+	// line transfer; its reciprocal bounds per-socket memory bandwidth.
+	MemCtrlService uint64
+
+	// QPILatency is the one-way latency added to a remote-domain access;
+	// QPIService is the link occupancy per transferred line.
+	QPILatency uint64
+	QPIService uint64
+
+	// StreamMLP is the number of outstanding misses an out-of-order core
+	// overlaps for independent address streams (OpLoadStream). Westmere
+	// sustains roughly 4-8 outstanding L1 misses per core.
+	StreamMLP uint64
+}
+
+// DefaultConfig returns the modelled NSDI'12 testbed: 2 × 6-core 2.8 GHz
+// Westmere, 32 KB 8-way L1D, 256 KB 8-way L2, 12 MB 16-way inclusive L3,
+// three DDR3-1333 channels per socket, 6.4 GT/s QPI.
+func DefaultConfig() Config {
+	return Config{
+		Sockets:        2,
+		CoresPerSocket: 6,
+		ClockHz:        2.8e9,
+		L1D:            CacheGeom{SizeBytes: 32 << 10, Ways: 8},
+		L2:             CacheGeom{SizeBytes: 256 << 10, Ways: 8},
+		L3:             CacheGeom{SizeBytes: 12 << 20, Ways: 16},
+		L3Policy:       ReplaceLRU,
+		InclusiveL3:    true,
+		L1Latency:      1,
+		L2Latency:      9,   // ~10 cycles to L2
+		L3Latency:      30,  // ~40 cycles to L3
+		DRAMLatency:    123, // δ ≈ 43.75 ns ≈ 122.5 cycles at 2.8 GHz
+		MemCtrlService: 5,   // ≈ 1.8 ns/line ⇒ ~35 GB/s per socket (3x DDR3-1333)
+		QPILatency:     45,
+		QPIService:     5,
+		StreamMLP:      4,
+	}
+}
+
+// TotalCores returns the number of cores on the platform.
+func (c Config) TotalCores() int { return c.Sockets * c.CoresPerSocket }
+
+// CyclesToSeconds converts a cycle count to seconds at the configured clock.
+func (c Config) CyclesToSeconds(cycles uint64) float64 {
+	return float64(cycles) / c.ClockHz
+}
+
+// SecondsToCycles converts seconds to cycles at the configured clock.
+func (c Config) SecondsToCycles(s float64) uint64 {
+	return uint64(s * c.ClockHz)
+}

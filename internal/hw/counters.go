@@ -1,0 +1,81 @@
+package hw
+
+// FuncCounters attributes memory-hierarchy events to one logical
+// processing function, mirroring OProfile's per-symbol accounting used for
+// the paper's Figure 7.
+type FuncCounters struct {
+	Cycles   uint64
+	L3Refs   uint64
+	L3Hits   uint64
+	L3Misses uint64
+}
+
+// Counters is the per-core performance-counter block. It is a plain value
+// type: snapshotting is a struct copy and deltas are element-wise
+// subtraction, which is how measurement windows are implemented.
+type Counters struct {
+	Cycles       uint64 // virtual time consumed by the flow on this core
+	Instructions uint64
+	Packets      uint64 // packets whose trace fully executed
+
+	L1Refs uint64
+	L1Hits uint64
+	L2Refs uint64
+	L2Hits uint64
+
+	L3Refs   uint64
+	L3Hits   uint64
+	L3Misses uint64
+
+	RemoteRefs uint64 // L3 misses served by a remote NUMA domain
+
+	MemQueueCycles uint64 // cycles spent waiting in memory-controller queues
+	QPIQueueCycles uint64 // cycles spent waiting for the interconnect
+
+	Func [MaxFuncs]FuncCounters
+}
+
+// Sub returns the element-wise difference c - prev, used to extract the
+// events of a measurement window from two snapshots.
+func (c Counters) Sub(prev Counters) Counters {
+	d := Counters{
+		Cycles:         c.Cycles - prev.Cycles,
+		Instructions:   c.Instructions - prev.Instructions,
+		Packets:        c.Packets - prev.Packets,
+		L1Refs:         c.L1Refs - prev.L1Refs,
+		L1Hits:         c.L1Hits - prev.L1Hits,
+		L2Refs:         c.L2Refs - prev.L2Refs,
+		L2Hits:         c.L2Hits - prev.L2Hits,
+		L3Refs:         c.L3Refs - prev.L3Refs,
+		L3Hits:         c.L3Hits - prev.L3Hits,
+		L3Misses:       c.L3Misses - prev.L3Misses,
+		RemoteRefs:     c.RemoteRefs - prev.RemoteRefs,
+		MemQueueCycles: c.MemQueueCycles - prev.MemQueueCycles,
+		QPIQueueCycles: c.QPIQueueCycles - prev.QPIQueueCycles,
+	}
+	for i := range d.Func {
+		d.Func[i] = FuncCounters{
+			Cycles:   c.Func[i].Cycles - prev.Func[i].Cycles,
+			L3Refs:   c.Func[i].L3Refs - prev.Func[i].L3Refs,
+			L3Hits:   c.Func[i].L3Hits - prev.Func[i].L3Hits,
+			L3Misses: c.Func[i].L3Misses - prev.Func[i].L3Misses,
+		}
+	}
+	return d
+}
+
+// CPI returns cycles per retired instruction.
+func (c Counters) CPI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Instructions)
+}
+
+// PerPacket divides an event count by the packets in the window.
+func (c Counters) PerPacket(events uint64) float64 {
+	if c.Packets == 0 {
+		return 0
+	}
+	return float64(events) / float64(c.Packets)
+}

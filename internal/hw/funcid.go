@@ -1,0 +1,69 @@
+package hw
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FuncID identifies a logical processing function for per-function counter
+// attribution, playing the role OProfile's per-symbol accounting plays in
+// the paper (Figure 7 breaks a MON flow's hit-to-miss conversion rate down
+// by function: flow_statistics, radix_ip_lookup, check_ip_header,
+// skb_recycle).
+type FuncID uint8
+
+// MaxFuncs bounds the number of distinct attribution functions. Counters
+// are stored in fixed arrays of this size so that snapshotting them is a
+// plain struct copy.
+const MaxFuncs = 32
+
+// FuncOther is the default attribution bucket for operations emitted
+// outside any registered function.
+const FuncOther FuncID = 0
+
+var funcRegistry = struct {
+	sync.Mutex
+	names []string
+	ids   map[string]FuncID
+}{
+	names: []string{"other"},
+	ids:   map[string]FuncID{"other": FuncOther},
+}
+
+// RegisterFunc returns a stable FuncID for name, allocating one on first
+// use. Registering the same name twice returns the same id. It panics if
+// more than MaxFuncs distinct functions are registered, which indicates a
+// programming error rather than a runtime condition.
+func RegisterFunc(name string) FuncID {
+	funcRegistry.Lock()
+	defer funcRegistry.Unlock()
+	if id, ok := funcRegistry.ids[name]; ok {
+		return id
+	}
+	if len(funcRegistry.names) >= MaxFuncs {
+		panic(fmt.Sprintf("hw: too many registered functions (max %d) adding %q", MaxFuncs, name))
+	}
+	id := FuncID(len(funcRegistry.names))
+	funcRegistry.names = append(funcRegistry.names, name)
+	funcRegistry.ids[name] = id
+	return id
+}
+
+// FuncName returns the name registered for id, or "other" for unknown ids.
+func FuncName(id FuncID) string {
+	funcRegistry.Lock()
+	defer funcRegistry.Unlock()
+	if int(id) < len(funcRegistry.names) {
+		return funcRegistry.names[id]
+	}
+	return "other"
+}
+
+// FuncNames returns the names of all registered functions, indexed by id.
+func FuncNames() []string {
+	funcRegistry.Lock()
+	defer funcRegistry.Unlock()
+	out := make([]string, len(funcRegistry.names))
+	copy(out, funcRegistry.names)
+	return out
+}

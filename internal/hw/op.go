@@ -1,0 +1,61 @@
+package hw
+
+// OpKind distinguishes the micro-operations a packet-processing flow can
+// emit into its trace.
+type OpKind uint8
+
+const (
+	// OpCompute models a burst of register-to-register work: it advances
+	// the core clock by Cycles and retires Instrs instructions without
+	// touching memory.
+	OpCompute OpKind = iota
+	// OpLoad models one memory read of the cache line containing Addr.
+	OpLoad
+	// OpStore models one memory write of the cache line containing Addr
+	// (write-allocate, write-back, as on the modelled platform).
+	OpStore
+	// OpDMAWrite models the NIC writing a received packet's cache line.
+	// It allocates the line directly into the socket's L3 (Intel DCA
+	// behaviour) and invalidates any stale copy in core-private caches.
+	// It costs the emitting core no cycles: the NIC, not the core, does
+	// the work.
+	OpDMAWrite
+	// OpLoadStream models one read of an independent address stream: an
+	// out-of-order core overlaps such misses (memory-level parallelism),
+	// so the charged latency is the full access latency divided by the
+	// configured MLP factor, while cache state and bandwidth are affected
+	// exactly as by OpLoad. Dependent-chain accesses (pointer chasing,
+	// trie walks) must use OpLoad.
+	OpLoadStream
+)
+
+// Op is one micro-operation of a flow's execution trace. Compute ops use
+// Cycles and Instrs; memory ops use Addr. Every op is attributed to Func
+// for per-function accounting.
+type Op struct {
+	Addr   Addr
+	Cycles uint32
+	Instrs uint32
+	Kind   OpKind
+	Func   FuncID
+}
+
+// PacketSource produces the execution trace of a packet-processing flow,
+// one packet at a time. EmitPacket appends the micro-operations for
+// processing the next packet to buf and returns the extended slice; the
+// engine replays those operations against the simulated hardware.
+//
+// Implementations must be deterministic: the emitted operations may depend
+// on packet contents and internal state, but never on simulated time. This
+// property is what makes trace-replay co-simulation faithful: a flow's
+// access pattern does not change under contention, only its timing does
+// (Section 3 of the paper measures exactly this regime).
+type PacketSource interface {
+	EmitPacket(buf []Op) []Op
+}
+
+// SourceFunc adapts a function to the PacketSource interface.
+type SourceFunc func(buf []Op) []Op
+
+// EmitPacket implements PacketSource.
+func (f SourceFunc) EmitPacket(buf []Op) []Op { return f(buf) }

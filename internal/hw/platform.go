@@ -1,0 +1,219 @@
+package hw
+
+import "fmt"
+
+// Core is one processing core: private L1D and L2, a pointer back to its
+// socket for the shared L3 and memory path, and its performance counters.
+type Core struct {
+	ID     int // global core id, 0-based
+	Socket *Socket
+
+	L1 *Cache
+	L2 *Cache
+
+	Counters Counters
+
+	clock uint64 // local virtual time in cycles
+}
+
+// Clock returns the core's local virtual time in cycles.
+func (c *Core) Clock() uint64 { return c.clock }
+
+// Socket is one processor package: a set of cores sharing an inclusive L3
+// and an integrated memory controller, plus an outgoing QPI link.
+type Socket struct {
+	ID    int
+	Cores []*Core
+	L3    *Cache
+	Mem   *Channel // integrated memory controller
+	QPI   *Channel // outgoing interconnect link
+
+	platform *Platform
+}
+
+// Platform is the simulated machine.
+type Platform struct {
+	Cfg     Config
+	Sockets []*Socket
+	Cores   []*Core // flattened, indexed by global core id
+}
+
+// NewPlatform builds a machine from cfg.
+func NewPlatform(cfg Config) *Platform {
+	if cfg.Sockets < 1 || cfg.CoresPerSocket < 1 {
+		panic(fmt.Sprintf("hw: invalid topology %d sockets x %d cores", cfg.Sockets, cfg.CoresPerSocket))
+	}
+	p := &Platform{Cfg: cfg}
+	for s := 0; s < cfg.Sockets; s++ {
+		sock := &Socket{
+			ID:       s,
+			L3:       NewCache(fmt.Sprintf("socket%d.L3", s), cfg.L3, cfg.L3Policy),
+			Mem:      NewChannel(fmt.Sprintf("socket%d.mem", s), cfg.MemCtrlService),
+			QPI:      NewChannel(fmt.Sprintf("socket%d.qpi", s), cfg.QPIService),
+			platform: p,
+		}
+		for i := 0; i < cfg.CoresPerSocket; i++ {
+			id := s*cfg.CoresPerSocket + i
+			core := &Core{
+				ID:     id,
+				Socket: sock,
+				L1:     NewCache(fmt.Sprintf("core%d.L1D", id), cfg.L1D, ReplaceLRU),
+				L2:     NewCache(fmt.Sprintf("core%d.L2", id), cfg.L2, ReplaceLRU),
+			}
+			sock.Cores = append(sock.Cores, core)
+			p.Cores = append(p.Cores, core)
+		}
+		p.Sockets = append(p.Sockets, sock)
+	}
+	return p
+}
+
+// HomeSocket returns the socket whose memory controller owns addr.
+func (p *Platform) HomeSocket(addr Addr) *Socket {
+	return p.Sockets[DomainOf(addr)%len(p.Sockets)]
+}
+
+// Access performs one memory reference by this core at virtual time now
+// and returns its latency in cycles. The lookup walks L1 → L2 → L3 →
+// memory; fills propagate inward, dirty victims write back outward, and —
+// when the L3 is inclusive — an L3 eviction back-invalidates private
+// copies across the socket, which is the mechanism by which one flow's
+// cache pressure destroys another flow's L1/L2 locality.
+func (c *Core) Access(now uint64, addr Addr, write bool, fn FuncID) uint64 {
+	cfg := &c.Socket.platform.Cfg
+	cnt := &c.Counters
+
+	lat := cfg.L1Latency
+	cnt.L1Refs++
+	if c.L1.Access(addr, write) {
+		cnt.L1Hits++
+		return lat
+	}
+
+	lat += cfg.L2Latency
+	cnt.L2Refs++
+	if c.L2.Access(addr, write) {
+		cnt.L2Hits++
+		c.fillL1(now, addr)
+		return lat
+	}
+
+	// Shared L3.
+	sock := c.Socket
+	lat += cfg.L3Latency
+	cnt.L3Refs++
+	cnt.Func[fn].L3Refs++
+	if sock.L3.Access(addr, false) {
+		cnt.L3Hits++
+		cnt.Func[fn].L3Hits++
+		c.fillL2(now, addr)
+		c.fillL1(now, addr)
+		if write {
+			// The private copy carries the dirtiness; the L3 copy will be
+			// marked dirty when the private copy writes back.
+			c.L1.MarkDirty(addr)
+		}
+		return lat
+	}
+	cnt.L3Misses++
+	cnt.Func[fn].L3Misses++
+
+	// Memory access, possibly across the interconnect.
+	home := sock.platform.HomeSocket(addr)
+	if home != sock {
+		cnt.RemoteRefs++
+		qwait := sock.QPI.Occupy(now + lat)
+		cnt.QPIQueueCycles += qwait
+		lat += qwait + cfg.QPILatency
+	}
+	mwait := home.Mem.Occupy(now + lat)
+	cnt.MemQueueCycles += mwait
+	lat += mwait + cfg.DRAMLatency
+	if home != sock {
+		// Response hop: the return traversal adds latency but the request
+		// already reserved the link slot.
+		lat += cfg.QPILatency
+	}
+
+	c.insertL3(now, addr, write)
+	c.fillL2(now, addr)
+	c.fillL1(now, addr)
+	if write {
+		c.L1.MarkDirty(addr)
+	}
+	return lat
+}
+
+// DMAWrite models the NIC delivering a received line at virtual time now:
+// with direct cache access the line is allocated into the socket's L3 and
+// any stale private copies are invalidated. The core is not charged
+// cycles; the NIC, not the core, does the work.
+func (c *Core) DMAWrite(now uint64, addr Addr) {
+	for _, peer := range c.Socket.Cores {
+		peer.L1.Invalidate(addr)
+		peer.L2.Invalidate(addr)
+	}
+	c.insertL3(now, addr, true)
+}
+
+func (c *Core) fillL1(now uint64, addr Addr) {
+	victim, dirty, evicted := c.L1.Insert(addr, false)
+	if evicted && dirty {
+		// Write the victim back into L2; if L2 no longer holds it the
+		// write-back allocates there (and may cascade).
+		if !c.L2.MarkDirty(victim) {
+			c.insertL2(now, victim, true)
+		}
+	}
+}
+
+func (c *Core) fillL2(now uint64, addr Addr) {
+	c.insertL2(now, addr, false)
+}
+
+func (c *Core) insertL2(now uint64, addr Addr, dirty bool) {
+	victim, vdirty, evicted := c.L2.Insert(addr, dirty)
+	if evicted && vdirty {
+		if !c.Socket.L3.MarkDirty(victim) {
+			c.insertL3(now, victim, true)
+		}
+	}
+}
+
+func (c *Core) insertL3(now uint64, addr Addr, dirty bool) {
+	sock := c.Socket
+	victim, vdirty, evicted := sock.L3.Insert(addr, dirty)
+	if !evicted {
+		return
+	}
+	if sock.platform.Cfg.InclusiveL3 {
+		// Inclusive L3: displaced lines may not survive in private caches.
+		for _, peer := range sock.Cores {
+			if p, d := peer.L1.Invalidate(victim); p && d {
+				vdirty = true
+			}
+			if p, d := peer.L2.Invalidate(victim); p && d {
+				vdirty = true
+			}
+		}
+	}
+	if vdirty {
+		// Posted write-back: consumes controller bandwidth, adds no
+		// latency to the access that triggered the eviction.
+		sock.platform.HomeSocket(victim).Mem.Occupy(now)
+	}
+}
+
+// FlushCaches invalidates every cache on the platform and resets channel
+// state; counters are left untouched.
+func (p *Platform) FlushCaches() {
+	for _, s := range p.Sockets {
+		s.L3.Flush()
+		s.Mem.Reset()
+		s.QPI.Reset()
+		for _, c := range s.Cores {
+			c.L1.Flush()
+			c.L2.Flush()
+		}
+	}
+}

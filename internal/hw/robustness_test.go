@@ -1,0 +1,220 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Robustness and invariant tests across the hw package: counter algebra,
+// derived statistics, function registry, and cross-configuration
+// determinism.
+
+func TestCountersSubRoundTrip(t *testing.T) {
+	a := Counters{Cycles: 100, Instructions: 80, Packets: 3, L3Refs: 20, L3Hits: 15, L3Misses: 5}
+	a.Func[1] = FuncCounters{Cycles: 10, L3Refs: 4, L3Hits: 3, L3Misses: 1}
+	zero := Counters{}
+	if a.Sub(zero) != a {
+		t.Fatal("X - 0 must equal X")
+	}
+	if d := a.Sub(a); d != zero {
+		t.Fatalf("X - X must be zero, got %+v", d)
+	}
+}
+
+func TestCountersDerived(t *testing.T) {
+	c := Counters{Cycles: 200, Instructions: 100, Packets: 4, L3Refs: 8}
+	if c.CPI() != 2.0 {
+		t.Fatalf("CPI = %v", c.CPI())
+	}
+	if c.PerPacket(c.L3Refs) != 2.0 {
+		t.Fatalf("PerPacket = %v", c.PerPacket(c.L3Refs))
+	}
+	var empty Counters
+	if empty.CPI() != 0 || empty.PerPacket(5) != 0 {
+		t.Fatal("zero-division guards missing")
+	}
+}
+
+func TestFlowStatsDerivations(t *testing.T) {
+	st := NewFlowStats("x", Counters{
+		Packets: 1000, Cycles: 2_800_000, Instructions: 2_000_000,
+		L3Refs: 10_000, L3Hits: 8_000, L3Misses: 2_000, L2Hits: 5_000,
+	}, 2_800_000, 2.8e9)
+	if st.Seconds != 0.001 {
+		t.Fatalf("Seconds = %v", st.Seconds)
+	}
+	if st.Throughput() != 1e6 {
+		t.Fatalf("Throughput = %v", st.Throughput())
+	}
+	if st.L3RefsPerSec() != 1e7 {
+		t.Fatalf("L3RefsPerSec = %v", st.L3RefsPerSec())
+	}
+	if st.HitRate() != 0.8 {
+		t.Fatalf("HitRate = %v", st.HitRate())
+	}
+	if st.L2HitsPerPacket() != 5 {
+		t.Fatalf("L2HitsPerPacket = %v", st.L2HitsPerPacket())
+	}
+	var zero FlowStats
+	if zero.Throughput() != 0 || zero.HitRate() != 0 || zero.CPI() != 0 {
+		t.Fatal("zero-value stats must not divide by zero")
+	}
+}
+
+func TestFuncRegistry(t *testing.T) {
+	a := RegisterFunc("robustness_test_fn")
+	b := RegisterFunc("robustness_test_fn")
+	if a != b {
+		t.Fatal("re-registration must return the same id")
+	}
+	if FuncName(a) != "robustness_test_fn" {
+		t.Fatalf("FuncName = %q", FuncName(a))
+	}
+	if FuncName(FuncID(200)) != "other" {
+		t.Fatal("unknown ids must name as other")
+	}
+	names := FuncNames()
+	if names[0] != "other" {
+		t.Fatalf("id 0 must be other, got %q", names[0])
+	}
+}
+
+func TestAddrHelpers(t *testing.T) {
+	if DomainOf(DomainBase(1)+123) != 1 {
+		t.Fatal("DomainOf(DomainBase(1)+x) != 1")
+	}
+	if LineOf(0x7f) != 0x40 {
+		t.Fatalf("LineOf(0x7f) = %#x", LineOf(0x7f))
+	}
+	cases := []struct {
+		addr Addr
+		n    int
+		want int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 64, 1}, {0, 65, 2}, {63, 2, 2}, {64, 64, 1},
+	}
+	for _, c := range cases {
+		if got := LinesSpanned(c.addr, c.n); got != c.want {
+			t.Fatalf("LinesSpanned(%#x,%d) = %d, want %d", c.addr, c.n, got, c.want)
+		}
+	}
+}
+
+// Property: per-core counters are internally consistent after arbitrary
+// access sequences: L1 refs = L1 hits + L2 refs, L2 refs = L2 hits + L3
+// refs, L3 refs = L3 hits + misses.
+func TestCounterHierarchyInvariantQuick(t *testing.T) {
+	f := func(addrs []uint32, writes []bool) bool {
+		cfg := smallConfig()
+		p := NewPlatform(cfg)
+		core := p.Cores[0]
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			core.Access(uint64(i), Addr(a%(1<<22)), w, FuncOther)
+		}
+		c := core.Counters
+		return c.L1Refs == c.L1Hits+c.L2Refs &&
+			c.L2Refs == c.L2Hits+c.L3Refs &&
+			c.L3Refs == c.L3Hits+c.L3Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-function L3 counters sum to the core totals.
+func TestFuncAttributionSumsQuick(t *testing.T) {
+	fnA := RegisterFunc("attr_sum_a")
+	fnB := RegisterFunc("attr_sum_b")
+	f := func(addrs []uint16) bool {
+		cfg := smallConfig()
+		p := NewPlatform(cfg)
+		core := p.Cores[0]
+		for i, a := range addrs {
+			fn := fnA
+			if i%2 == 1 {
+				fn = fnB
+			}
+			core.Access(uint64(i), Addr(a), false, fn)
+		}
+		c := core.Counters
+		var refs, hits, misses uint64
+		for i := range c.Func {
+			refs += c.Func[i].L3Refs
+			hits += c.Func[i].L3Hits
+			misses += c.Func[i].L3Misses
+		}
+		return refs == c.L3Refs && hits == c.L3Hits && misses == c.L3Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical op streams produce identical platform-wide state
+// regardless of which socket the flow runs on (with domain-local data).
+func TestSocketSymmetryQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		run := func(socket int) Counters {
+			cfg := smallConfig()
+			p := NewPlatform(cfg)
+			e := NewEngine(p)
+			coreID := socket * cfg.CoresPerSocket
+			base := DomainBase(socket)
+			e.Attach(coreID, "t", stridedSource(base+Addr(seed%4096)*LineSize, 512, 8))
+			e.RunUntil(200_000)
+			return p.Cores[coreID].Counters
+		}
+		return run(0) == run(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.TotalCores() != 12 {
+		t.Fatalf("TotalCores = %d", cfg.TotalCores())
+	}
+	if cfg.CyclesToSeconds(cfg.SecondsToCycles(0.5)) != 0.5 {
+		t.Fatal("cycle/second conversion must round-trip")
+	}
+}
+
+func TestStreamLoadCheaperThanLoad(t *testing.T) {
+	cfg := smallConfig()
+	run := func(kind OpKind) uint64 {
+		p := NewPlatform(cfg)
+		e := NewEngine(p)
+		n := 0
+		e.Attach(0, "t", SourceFunc(func(buf []Op) []Op {
+			if n >= 256 {
+				return buf
+			}
+			n++
+			return append(buf, Op{Kind: kind, Addr: Addr(n * 64 * 1024)})
+		}))
+		e.RunUntil(1 << 40)
+		return p.Cores[0].Counters.Cycles
+	}
+	serial := run(OpLoad)
+	stream := run(OpLoadStream)
+	if stream*2 >= serial {
+		t.Fatalf("stream loads (%d cycles) must be much cheaper than serial (%d)", stream, serial)
+	}
+}
+
+func TestEngineUnknownOpPanics(t *testing.T) {
+	p := NewPlatform(smallConfig())
+	e := NewEngine(p)
+	e.Attach(0, "bad", SourceFunc(func(buf []Op) []Op {
+		return append(buf, Op{Kind: OpKind(99)})
+	}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown op kind")
+		}
+	}()
+	e.RunUntil(1000)
+}

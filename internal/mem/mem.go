@@ -1,0 +1,108 @@
+// Package mem manages the simulated physical address space: per-NUMA-domain
+// arenas hand out address ranges for the data structures of
+// packet-processing applications, so that every logical structure has a
+// stable simulated location and every access to it can be replayed against
+// the cache hierarchy in package hw.
+//
+// The paper's configuration allocates each flow's data "locally", through
+// the memory controller attached to the processor running the flow
+// (Section 2.2, "NUMA memory allocation"); arenas make that placement
+// decision explicit and testable.
+package mem
+
+import (
+	"fmt"
+
+	"pktpredict/internal/hw"
+)
+
+// Arena is a bump allocator over one NUMA domain's simulated address
+// range. It is not safe for concurrent use; allocation happens during
+// single-threaded experiment setup.
+type Arena struct {
+	domain int
+	next   hw.Addr
+	limit  hw.Addr
+}
+
+// arenaCapacity bounds each domain's allocatable range. 1 TiB per domain
+// is far beyond any experiment's needs and keeps domain ids disjoint.
+const arenaCapacity = hw.Addr(1) << 40
+
+// NewArena returns an empty arena for NUMA domain d. Multiple arenas for
+// the same domain would hand out overlapping addresses; create one per
+// domain per experiment.
+func NewArena(d int) *Arena {
+	if d < 0 {
+		panic(fmt.Sprintf("mem: negative NUMA domain %d", d))
+	}
+	base := hw.DomainBase(d)
+	// The first page of every domain stays unallocated, like a real
+	// address space's null page; address 0 is never a valid allocation.
+	return &Arena{domain: d, next: base + 4096, limit: base + arenaCapacity}
+}
+
+// Domain returns the NUMA domain this arena allocates from.
+func (a *Arena) Domain() int { return a.domain }
+
+// Used returns the number of bytes allocated so far, excluding the
+// reserved null page.
+func (a *Arena) Used() uint64 { return uint64(a.next-hw.DomainBase(a.domain)) - 4096 }
+
+// Alloc reserves size bytes aligned to align (which must be a power of
+// two; 0 means cache-line alignment) and returns the base address.
+func (a *Arena) Alloc(size uint64, align uint64) hw.Addr {
+	if align == 0 {
+		align = hw.LineSize
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	base := (a.next + hw.Addr(align-1)) &^ hw.Addr(align-1)
+	end := base + hw.Addr(size)
+	if end > a.limit {
+		panic(fmt.Sprintf("mem: domain %d arena exhausted (%d bytes requested)", a.domain, size))
+	}
+	a.next = end
+	return base
+}
+
+// AllocLines reserves n cache lines and returns the base address.
+func (a *Arena) AllocLines(n int) hw.Addr {
+	return a.Alloc(uint64(n)*hw.LineSize, hw.LineSize)
+}
+
+// Region is a fixed-stride array of elements in simulated memory,
+// pairing a Go-side data structure with its simulated layout.
+type Region struct {
+	Base   hw.Addr
+	Stride uint64 // bytes per element, including padding
+	Count  int
+}
+
+// NewRegion allocates count elements of elemSize bytes each. Elements
+// smaller than a cache line are padded up to line granularity only if
+// padToLine is set; otherwise they pack contiguously, so consecutive
+// elements may share lines — exactly like a real array.
+func NewRegion(a *Arena, count int, elemSize uint64, padToLine bool) Region {
+	stride := elemSize
+	if padToLine {
+		stride = (elemSize + hw.LineSize - 1) &^ uint64(hw.LineSize-1)
+	}
+	base := a.Alloc(stride*uint64(count), hw.LineSize)
+	return Region{Base: base, Stride: stride, Count: count}
+}
+
+// Addr returns the simulated address of element i.
+func (r Region) Addr(i int) hw.Addr {
+	if i < 0 || i >= r.Count {
+		panic(fmt.Sprintf("mem: region index %d out of range [0,%d)", i, r.Count))
+	}
+	return r.Base + hw.Addr(uint64(i)*r.Stride)
+}
+
+// Size returns the region's extent in bytes.
+func (r Region) Size() uint64 { return r.Stride * uint64(r.Count) }
+
+// Lines returns how many distinct cache lines the region spans.
+func (r Region) Lines() int { return hw.LinesSpanned(r.Base, int(r.Size())) }

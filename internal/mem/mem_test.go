@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pktpredict/internal/hw"
+)
+
+func TestArenaDomainSeparation(t *testing.T) {
+	a0 := NewArena(0)
+	a1 := NewArena(1)
+	p0 := a0.Alloc(4096, 0)
+	p1 := a1.Alloc(4096, 0)
+	if hw.DomainOf(p0) != 0 || hw.DomainOf(p1) != 1 {
+		t.Fatalf("domains = %d, %d; want 0, 1", hw.DomainOf(p0), hw.DomainOf(p1))
+	}
+}
+
+func TestArenaAllocationsDisjoint(t *testing.T) {
+	a := NewArena(0)
+	p1 := a.Alloc(100, 0)
+	p2 := a.Alloc(100, 0)
+	if p2 < p1+100 {
+		t.Fatalf("allocations overlap: %#x then %#x", p1, p2)
+	}
+}
+
+func TestArenaAlignment(t *testing.T) {
+	a := NewArena(0)
+	a.Alloc(3, 1)
+	p := a.Alloc(64, 64)
+	if p%64 != 0 {
+		t.Fatalf("allocation %#x not 64-byte aligned", p)
+	}
+	if q := a.Alloc(10, 0); q%hw.LineSize != 0 {
+		t.Fatalf("default alignment should be line-sized; got %#x", q)
+	}
+}
+
+func TestArenaBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two alignment")
+		}
+	}()
+	NewArena(0).Alloc(8, 3)
+}
+
+func TestArenaUsed(t *testing.T) {
+	a := NewArena(2)
+	a.Alloc(128, 64)
+	if a.Used() != 128 {
+		t.Fatalf("Used = %d, want 128", a.Used())
+	}
+}
+
+func TestRegionPacked(t *testing.T) {
+	a := NewArena(0)
+	r := NewRegion(a, 16, 16, false) // 4 elements per line
+	if r.Addr(0)+16 != r.Addr(1) {
+		t.Fatal("packed elements must be contiguous")
+	}
+	if hw.LineOf(r.Addr(0)) != hw.LineOf(r.Addr(3)) {
+		t.Fatal("elements 0..3 must share a cache line when packed")
+	}
+	if r.Lines() != 4 {
+		t.Fatalf("16 x 16B packed = %d lines, want 4", r.Lines())
+	}
+}
+
+func TestRegionPadded(t *testing.T) {
+	a := NewArena(0)
+	r := NewRegion(a, 4, 16, true)
+	if hw.LineOf(r.Addr(0)) == hw.LineOf(r.Addr(1)) {
+		t.Fatal("padded elements must not share cache lines")
+	}
+	if r.Size() != 4*hw.LineSize {
+		t.Fatalf("padded size = %d, want %d", r.Size(), 4*hw.LineSize)
+	}
+}
+
+func TestRegionBoundsPanic(t *testing.T) {
+	a := NewArena(0)
+	r := NewRegion(a, 4, 8, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	r.Addr(4)
+}
+
+// Property: all allocations from one arena are disjoint and belong to the
+// arena's domain.
+func TestArenaDisjointQuick(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := NewArena(1)
+		var prevEnd hw.Addr
+		for _, s := range sizes {
+			size := uint64(s%4096) + 1
+			p := a.Alloc(size, 8)
+			if p < prevEnd || hw.DomainOf(p) != 1 {
+				return false
+			}
+			prevEnd = p + hw.Addr(size)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package netflow
+
+import (
+	"testing"
+
+	"pktpredict/internal/click"
+)
+
+func TestAgeValidation(t *testing.T) {
+	tb := newTable(64)
+	var ctx click.Ctx
+	if _, err := tb.Age(&ctx, AgeConfig{}, &CountingExporter{}, 0); err == nil {
+		t.Fatal("zero timeouts must fail")
+	}
+	if _, err := tb.Age(&ctx, AgeConfig{InactiveTimeout: 1}, nil, 0); err == nil {
+		t.Fatal("nil exporter must fail")
+	}
+}
+
+func TestAgeInactiveTimeout(t *testing.T) {
+	tb := newTable(64)
+	var ctx click.Ctx
+	tb.Update(&ctx, tuple(1), 100)
+	// Advance the table clock with other flows.
+	for i := uint32(2); i < 40; i++ {
+		tb.Update(&ctx, tuple(i), 64)
+	}
+	exp := &CountingExporter{}
+	n, err := tb.Age(&ctx, AgeConfig{InactiveTimeout: 20}, exp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("idle flow not expired")
+	}
+	// Flow 1 (idle for 38 ticks) must be among the exports with its
+	// accumulated counters.
+	found := false
+	for _, r := range exp.Records {
+		if r.Key == tuple(1) {
+			found = true
+			if r.Packets != 1 || r.Bytes != 100 {
+				t.Fatalf("record = %+v, want 1 pkt / 100 bytes", r)
+			}
+			if r.First == 0 && r.Last == 0 {
+				t.Fatal("timestamps missing")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expired flow not exported")
+	}
+	if _, ok := tb.Get(tuple(1)); ok {
+		t.Fatal("expired flow still in table")
+	}
+}
+
+func TestAgeActiveTimeoutReportsLongFlows(t *testing.T) {
+	tb := newTable(64)
+	var ctx click.Ctx
+	// One long-lived flow updated continuously.
+	for i := 0; i < 50; i++ {
+		tb.Update(&ctx, tuple(9), 64)
+	}
+	exp := &CountingExporter{}
+	// Inactive timeout alone would not expire it...
+	n, _ := tb.Age(&ctx, AgeConfig{InactiveTimeout: 100}, exp, 0)
+	if n != 0 {
+		t.Fatal("active flow wrongly expired by inactive timeout")
+	}
+	// ...but the active timeout does.
+	n, _ = tb.Age(&ctx, AgeConfig{ActiveTimeout: 30}, exp, 0)
+	if n != 1 {
+		t.Fatalf("active timeout expired %d records, want 1", n)
+	}
+	if exp.Records[0].Packets != 50 {
+		t.Fatalf("exported %d packets, want 50", exp.Records[0].Packets)
+	}
+}
+
+func TestAgePartialScanRotates(t *testing.T) {
+	tb := newTable(64)
+	var ctx click.Ctx
+	for i := uint32(0); i < 32; i++ {
+		tb.Update(&ctx, tuple(i), 64)
+	}
+	// Make everything stale.
+	for i := uint32(100); i < 200; i++ {
+		tb.Update(&ctx, tuple(i), 64)
+	}
+	exp := &CountingExporter{}
+	total := 0
+	// Scanning quarters must cover the whole table after 4 passes.
+	for pass := 0; pass < 4; pass++ {
+		n, err := tb.Age(&ctx, AgeConfig{InactiveTimeout: 1}, exp, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	// Only the very last updated flow (idle for 0 ticks) may survive.
+	if tb.Occupied() > 1 {
+		t.Fatalf("%d flows survived a full rotation of stale-expiry scans", tb.Occupied())
+	}
+	if uint64(total) != tb.Exported {
+		t.Fatalf("exported counter %d != returned total %d", tb.Exported, total)
+	}
+}
+
+func TestAgeEmitsScanTrace(t *testing.T) {
+	tb := newTable(64)
+	var ctx click.Ctx
+	tb.Update(&ctx, tuple(1), 64)
+	ctx.Ops = ctx.Ops[:0]
+	if _, err := tb.Age(&ctx, AgeConfig{InactiveTimeout: 1000}, &CountingExporter{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Ops) < tb.Size() {
+		t.Fatalf("scan emitted %d ops for %d slots", len(ctx.Ops), tb.Size())
+	}
+}
+
+func TestCountingExporterKeepBound(t *testing.T) {
+	c := &CountingExporter{Keep: 2}
+	for i := uint32(0); i < 5; i++ {
+		c.Export(Record{Packets: uint64(i)})
+	}
+	if c.Count != 5 || len(c.Records) != 2 {
+		t.Fatalf("count=%d kept=%d, want 5/2", c.Count, len(c.Records))
+	}
+	if c.Records[1].Packets != 4 {
+		t.Fatalf("kept records not the most recent: %+v", c.Records)
+	}
+}
+
+func TestExporterFunc(t *testing.T) {
+	var got Record
+	ExporterFunc(func(r Record) { got = r }).Export(Record{Packets: 7})
+	if got.Packets != 7 {
+		t.Fatal("ExporterFunc did not forward")
+	}
+}

@@ -1,0 +1,207 @@
+// Package netflow implements per-flow traffic statistics in the style of
+// Cisco NetFlow, the paper's MON workload: hash the IP and transport
+// header of each packet, index a hash table of per-TCP/UDP-flow entries,
+// and update a packet counter and timestamp in the matching entry.
+//
+// The table is the canonical "memory-intensive but cacheable" structure:
+// at the paper's 100000 flows it occupies several megabytes, benefits
+// heavily from the L3 cache, and is therefore the workload most sensitive
+// to cache contention (Figure 2).
+package netflow
+
+import (
+	"fmt"
+
+	"pktpredict/internal/click"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+	"pktpredict/internal/netpkt"
+)
+
+// fnFlowStats matches the paper's flow_statistics profile symbol.
+var fnFlowStats = hw.RegisterFunc("flow_statistics")
+
+// Entry is one flow record.
+type Entry struct {
+	Key      netpkt.FiveTuple
+	Packets  uint64
+	Bytes    uint64
+	First    uint64 // packet sequence number at creation
+	LastSeen uint64 // packet sequence number of the last update
+	used     bool
+}
+
+// Table is an open-addressing (linear probing) flow table in the layout
+// production collectors use: a bucket-index array (hash → record slot)
+// and line-sized flow records. Each update reads the index line, probes
+// record lines, and writes the matching record.
+type Table struct {
+	slots  []Entry
+	index  mem.Region // bucket-index array, 8 bytes per slot
+	region mem.Region // flow records, one line each
+	mask   uint64
+
+	// Statistics.
+	Lookups   uint64
+	Inserts   uint64
+	Probes    uint64
+	Evictions uint64 // slots reused after collisions exhaust probe budget
+	Exported  uint64 // records expired by Age
+
+	clock     uint64
+	ageCursor int
+}
+
+// maxProbes bounds a probe chain; production flow tables bound probing
+// and evict (export) the record at the end of the chain when full.
+const maxProbes = 8
+
+// NewTable builds a table with capacity slots (rounded up to a power of
+// two) allocated from arena.
+func NewTable(arena *mem.Arena, capacity int) *Table {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netflow: capacity %d must be positive", capacity))
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &Table{
+		slots:  make([]Entry, size),
+		index:  mem.NewRegion(arena, size, 8, false),
+		region: mem.NewRegion(arena, size, hw.LineSize, true),
+		mask:   uint64(size - 1),
+	}
+}
+
+// Size returns the slot count.
+func (t *Table) Size() int { return len(t.slots) }
+
+// SimBytes returns the table's simulated footprint.
+func (t *Table) SimBytes() uint64 { return t.region.Size() }
+
+// Occupied returns the number of used slots.
+func (t *Table) Occupied() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].used {
+			n++
+		}
+	}
+	return n
+}
+
+// Update records one packet of size bytes for flow key, emitting the
+// probe-and-update trace: one load per probed slot and one store for the
+// written record.
+func (t *Table) Update(ctx *click.Ctx, key netpkt.FiveTuple, size int) *Entry {
+	old := ctx.SetFunc(fnFlowStats)
+	defer ctx.SetFunc(old)
+
+	t.clock++
+	t.Lookups++
+	h := key.Hash()
+	ctx.Compute(30, 28) // header hash computation
+	idx := h & t.mask
+	ctx.Load(t.index.Addr(int(idx))) // bucket-index entry
+	var victim *Entry
+	victimIdx := idx
+	for probe := 0; probe < maxProbes; probe++ {
+		slot := &t.slots[idx]
+		ctx.Load(t.region.Addr(int(idx))) // record line
+		ctx.Compute(4, 5)
+		t.Probes++
+		if slot.used && slot.Key == key {
+			slot.Packets++
+			slot.Bytes += uint64(size)
+			slot.LastSeen = t.clock
+			ctx.Store(t.region.Addr(int(idx)))
+			return slot
+		}
+		if !slot.used {
+			victim = slot
+			victimIdx = idx
+			break
+		}
+		// Remember the stalest record in the chain as the eviction
+		// candidate.
+		if victim == nil || slot.LastSeen < victim.LastSeen {
+			victim = slot
+			victimIdx = idx
+		}
+		idx = (idx + 1) & t.mask
+	}
+	if victim.used {
+		t.Evictions++
+	}
+	t.Inserts++
+	*victim = Entry{Key: key, Packets: 1, Bytes: uint64(size), First: t.clock, LastSeen: t.clock, used: true}
+	ctx.Store(t.index.Addr(int(victimIdx)))
+	ctx.Store(t.region.Addr(int(victimIdx)))
+	return victim
+}
+
+// Get returns the entry for key without tracing, for tests and export.
+func (t *Table) Get(key netpkt.FiveTuple) (Entry, bool) {
+	idx := key.Hash() & t.mask
+	for probe := 0; probe < maxProbes; probe++ {
+		slot := &t.slots[idx]
+		if slot.used && slot.Key == key {
+			return *slot, true
+		}
+		if !slot.used {
+			return Entry{}, false
+		}
+		idx = (idx + 1) & t.mask
+	}
+	return Entry{}, false
+}
+
+// Element is the NetFlow click element.
+type Element struct {
+	Table  *Table
+	Failed uint64 // packets whose 5-tuple could not be extracted
+}
+
+// Class implements click.Element.
+func (e *Element) Class() string { return "NetFlow" }
+
+// Process implements click.Element.
+func (e *Element) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
+	ft, err := netpkt.ExtractFiveTuple(p.Data)
+	if err != nil {
+		e.Failed++
+		return click.Drop
+	}
+	// Reading the transport header may touch a second packet line.
+	old := ctx.SetFunc(fnFlowStats)
+	ctx.LoadBytes(p.Addr+netpkt.IPv4HeaderLen, 4)
+	ctx.SetFunc(old)
+	e.Table.Update(ctx, ft, len(p.Data))
+	return click.Continue
+}
+
+// Stat implements click.Stats.
+func (e *Element) Stat(name string) (uint64, bool) {
+	switch name {
+	case "lookups":
+		return e.Table.Lookups, true
+	case "inserts":
+		return e.Table.Inserts, true
+	case "evictions":
+		return e.Table.Evictions, true
+	case "failed":
+		return e.Failed, true
+	}
+	return 0, false
+}
+
+func init() {
+	click.Register("NetFlow", func(env *click.Env, args click.Args) (interface{}, error) {
+		n, err := args.Int("ENTRIES", 100000)
+		if err != nil {
+			return nil, err
+		}
+		return &Element{Table: NewTable(env.Arena, n)}, nil
+	})
+}

@@ -1,0 +1,168 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func validPacket(src, dst uint32, proto uint8, totalLen int) []byte {
+	b := make([]byte, totalLen)
+	WriteIPv4(b, IPv4Header{
+		TotalLen: uint16(totalLen),
+		ID:       42,
+		TTL:      64,
+		Proto:    proto,
+		Src:      src,
+		Dst:      dst,
+	})
+	return b
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	b := validPacket(0x0a000001, 0xc0a80101, ProtoUDP, 64)
+	h, err := ParseIPv4(b)
+	if err != nil {
+		t.Fatalf("ParseIPv4: %v", err)
+	}
+	if h.Src != 0x0a000001 || h.Dst != 0xc0a80101 || h.Proto != ProtoUDP || h.TTL != 64 || h.TotalLen != 64 {
+		t.Fatalf("parsed header mismatch: %+v", h)
+	}
+}
+
+func TestParseRejectsBadPackets(t *testing.T) {
+	good := validPacket(1, 2, ProtoTCP, 64)
+
+	short := good[:10]
+	if _, err := ParseIPv4(short); err != ErrTooShort {
+		t.Fatalf("short: %v, want ErrTooShort", err)
+	}
+
+	v6 := append([]byte(nil), good...)
+	v6[0] = 0x65
+	if _, err := ParseIPv4(v6); err != ErrBadVersion {
+		t.Fatalf("version: %v, want ErrBadVersion", err)
+	}
+
+	ihl := append([]byte(nil), good...)
+	ihl[0] = 0x46
+	if _, err := ParseIPv4(ihl); err != ErrBadHeaderLen {
+		t.Fatalf("ihl: %v, want ErrBadHeaderLen", err)
+	}
+
+	long := append([]byte(nil), good...)
+	binary.BigEndian.PutUint16(long[2:], 2000)
+	if _, err := ParseIPv4(long); err != ErrBadLength {
+		t.Fatalf("len: %v, want ErrBadLength", err)
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[15] ^= 0xff // corrupt src without fixing checksum
+	if _, err := ParseIPv4(bad); err != ErrBadChecksum {
+		t.Fatalf("checksum: %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Classic example from RFC 1071 discussions.
+	b := []byte{0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+		0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7}
+	if got := Checksum(b); got != 0xb861 {
+		t.Fatalf("Checksum = %#x, want 0xb861", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	even := Checksum([]byte{0x12, 0x34, 0x56, 0x00})
+	odd := Checksum([]byte{0x12, 0x34, 0x56})
+	if even != odd {
+		t.Fatalf("odd-length padding mismatch: %#x vs %#x", odd, even)
+	}
+}
+
+func TestDecTTL(t *testing.T) {
+	b := validPacket(1, 2, ProtoUDP, 64)
+	if err := DecTTL(b); err != nil {
+		t.Fatalf("DecTTL: %v", err)
+	}
+	h, err := ParseIPv4(b)
+	if err != nil {
+		t.Fatalf("header invalid after DecTTL: %v", err)
+	}
+	if h.TTL != 63 {
+		t.Fatalf("TTL = %d, want 63", h.TTL)
+	}
+}
+
+func TestDecTTLExpired(t *testing.T) {
+	b := validPacket(1, 2, ProtoUDP, 64)
+	b[8] = 1
+	binary.BigEndian.PutUint16(b[10:], 0)
+	binary.BigEndian.PutUint16(b[10:], Checksum(b[:IPv4HeaderLen]))
+	if err := DecTTL(b); err != ErrTTLExpired {
+		t.Fatalf("DecTTL = %v, want ErrTTLExpired", err)
+	}
+}
+
+// Property (RFC 1624): incremental checksum update after a TTL decrement
+// matches a full recomputation, for arbitrary headers.
+func TestDecTTLIncrementalMatchesRecomputeQuick(t *testing.T) {
+	f := func(src, dst uint32, id uint16, ttl uint8, proto uint8) bool {
+		if ttl <= 1 {
+			ttl = 2
+		}
+		b := make([]byte, 64)
+		WriteIPv4(b, IPv4Header{TotalLen: 64, ID: id, TTL: ttl, Proto: proto, Src: src, Dst: dst})
+		if err := DecTTL(b); err != nil {
+			return false
+		}
+		// A correct incremental update leaves the checksum valid.
+		return Checksum(b[:IPv4HeaderLen]) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractFiveTuple(t *testing.T) {
+	b := validPacket(0x01020304, 0x05060708, ProtoTCP, 64)
+	binary.BigEndian.PutUint16(b[IPv4HeaderLen:], 1234)
+	binary.BigEndian.PutUint16(b[IPv4HeaderLen+2:], 80)
+	ft, err := ExtractFiveTuple(b)
+	if err != nil {
+		t.Fatalf("ExtractFiveTuple: %v", err)
+	}
+	want := FiveTuple{Src: 0x01020304, Dst: 0x05060708, SrcPort: 1234, DstPort: 80, Proto: ProtoTCP}
+	if ft != want {
+		t.Fatalf("five-tuple = %+v, want %+v", ft, want)
+	}
+}
+
+func TestExtractFiveTupleNonTransport(t *testing.T) {
+	b := validPacket(1, 2, 47 /* GRE */, 64)
+	ft, err := ExtractFiveTuple(b)
+	if err != nil {
+		t.Fatalf("ExtractFiveTuple: %v", err)
+	}
+	if ft.SrcPort != 0 || ft.DstPort != 0 {
+		t.Fatalf("non-transport packet must have zero ports, got %+v", ft)
+	}
+}
+
+func TestFiveTupleHashDistinguishes(t *testing.T) {
+	a := FiveTuple{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: ProtoTCP}
+	b := a
+	b.SrcPort = 5
+	if a.Hash() == b.Hash() {
+		t.Fatal("distinct tuples should hash differently")
+	}
+	if a.Hash() != a.Hash() {
+		t.Fatal("hash must be deterministic")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if s := AddrString(0xc0a80101); s != "192.168.1.1" {
+		t.Fatalf("AddrString = %q", s)
+	}
+}

@@ -1,0 +1,75 @@
+// Package perf implements offline profiling of packet-processing flows:
+// the solo-run measurements of Table 1 (cycles per instruction, cache
+// references and hits per second, per-packet cache behaviour) and
+// per-function attribution, playing the role OProfile plays in the paper.
+package perf
+
+import (
+	"fmt"
+	"strings"
+
+	"pktpredict/internal/hw"
+)
+
+// Profile is one flow's solo-run characterisation — one row of the
+// paper's Table 1.
+type Profile struct {
+	Label string
+	Stats hw.FlowStats
+}
+
+// CPI returns cycles per instruction.
+func (p Profile) CPI() float64 { return p.Stats.CPI() }
+
+// L3RefsPerSec returns last-level-cache references per second.
+func (p Profile) L3RefsPerSec() float64 { return p.Stats.L3RefsPerSec() }
+
+// L3HitsPerSec returns last-level-cache hits per second.
+func (p Profile) L3HitsPerSec() float64 { return p.Stats.L3HitsPerSec() }
+
+// CyclesPerPacket returns core cycles per processed packet.
+func (p Profile) CyclesPerPacket() float64 { return p.Stats.CyclesPerPacket() }
+
+// L3RefsPerPacket returns L3 references per packet.
+func (p Profile) L3RefsPerPacket() float64 { return p.Stats.L3RefsPerPacket() }
+
+// L3MissesPerPacket returns L3 misses per packet.
+func (p Profile) L3MissesPerPacket() float64 { return p.Stats.L3MissesPerPacket() }
+
+// L2HitsPerPacket returns L2 hits per packet.
+func (p Profile) L2HitsPerPacket() float64 { return p.Stats.L2HitsPerPacket() }
+
+// Throughput returns packets per second.
+func (p Profile) Throughput() float64 { return p.Stats.Throughput() }
+
+// String renders the profile in Table 1's column order.
+func (p Profile) String() string {
+	return fmt.Sprintf("%-8s cpi=%.2f l3refs/s=%.2fM l3hits/s=%.2fM cyc/pkt=%.0f refs/pkt=%.2f miss/pkt=%.2f l2hits/pkt=%.2f",
+		p.Label, p.CPI(), p.L3RefsPerSec()/1e6, p.L3HitsPerSec()/1e6,
+		p.CyclesPerPacket(), p.L3RefsPerPacket(), p.L3MissesPerPacket(), p.L2HitsPerPacket())
+}
+
+// Solo measures src running alone on core 0 of a fresh platform built
+// from cfg, after warmup virtual seconds, over a window of virtual
+// seconds. This is the paper's offline profiling primitive: everything
+// the prediction method needs is derived from solo runs.
+func Solo(cfg hw.Config, label string, src hw.PacketSource, warmup, window float64) Profile {
+	p := hw.NewPlatform(cfg)
+	e := hw.NewEngine(p)
+	e.Attach(0, label, src)
+	stats := e.MeasureWindow(warmup, window)
+	return Profile{Label: label, Stats: stats[0]}
+}
+
+// Table renders profiles as an aligned text table mirroring Table 1.
+func Table(profiles []Profile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %14s %14s %10s %10s %10s %10s\n",
+		"Flow", "CPI", "L3refs/s(M)", "L3hits/s(M)", "cyc/pkt", "refs/pkt", "miss/pkt", "L2hit/pkt")
+	for _, p := range profiles {
+		fmt.Fprintf(&b, "%-8s %8.2f %14.2f %14.2f %10.0f %10.2f %10.2f %10.2f\n",
+			p.Label, p.CPI(), p.L3RefsPerSec()/1e6, p.L3HitsPerSec()/1e6,
+			p.CyclesPerPacket(), p.L3RefsPerPacket(), p.L3MissesPerPacket(), p.L2HitsPerPacket())
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+)
+
+func testCfg() hw.Config {
+	cfg := hw.DefaultConfig()
+	cfg.L1D = hw.CacheGeom{SizeBytes: 4 << 10, Ways: 4}
+	cfg.L2 = hw.CacheGeom{SizeBytes: 32 << 10, Ways: 8}
+	cfg.L3 = hw.CacheGeom{SizeBytes: 1 << 20, Ways: 16}
+	return cfg
+}
+
+func TestSoloProfileBasics(t *testing.T) {
+	inst, err := apps.Small().Build(apps.MON, mem.NewArena(0), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Solo(testCfg(), "MON", inst.Source, 0.0003, 0.001)
+	if p.Throughput() == 0 {
+		t.Fatal("zero throughput")
+	}
+	if p.CPI() <= 0 {
+		t.Fatal("CPI must be positive")
+	}
+	if p.L3RefsPerPacket() <= 0 || p.CyclesPerPacket() <= 0 {
+		t.Fatalf("per-packet metrics empty: %+v", p)
+	}
+	if p.L3RefsPerPacket() < p.L3MissesPerPacket() {
+		t.Fatal("misses cannot exceed references")
+	}
+	if !strings.Contains(p.String(), "MON") {
+		t.Fatal("String() must include the label")
+	}
+}
+
+func TestSoloDeterministic(t *testing.T) {
+	run := func() Profile {
+		inst, err := apps.Small().Build(apps.IP, mem.NewArena(0), 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Solo(testCfg(), "IP", inst.Source, 0.0002, 0.001)
+	}
+	a, b := run(), run()
+	if a.Stats.Raw != b.Stats.Raw {
+		t.Fatal("solo profiling not deterministic")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	inst, _ := apps.Small().Build(apps.IP, mem.NewArena(0), 3)
+	p := Solo(testCfg(), "IP", inst.Source, 0.0002, 0.0005)
+	out := Table([]Profile{p})
+	if !strings.Contains(out, "Flow") || !strings.Contains(out, "IP") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Fatalf("table has %d lines, want 2", lines)
+	}
+}

@@ -1,0 +1,296 @@
+package re
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pktpredict/internal/click"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+	"pktpredict/internal/netpkt"
+)
+
+// Config sizes one RE processor instance.
+type Config struct {
+	// StoreBytes is the packet-store capacity. The paper holds one
+	// second of traffic (~100 MB at its rates); the default here is
+	// 16 MiB, still greater than the whole L3, which preserves the
+	// cache-behaviour regime while keeping multi-flow experiments within
+	// host memory.
+	StoreBytes int
+	// TableEntries is the fingerprint-table slot count (paper: >4M;
+	// default 2M).
+	TableEntries int
+	// Window is the fingerprint window width (default 64).
+	Window int
+	// SampleBits selects representative fingerprints: a window is
+	// representative when the low SampleBits bits of its fingerprint are
+	// zero, i.e. 1 in 2^SampleBits positions on average (default 4).
+	SampleBits int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StoreBytes == 0 {
+		c.StoreBytes = 16 << 20
+	}
+	if c.TableEntries == 0 {
+		c.TableEntries = 2 << 20
+	}
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.SampleBits == 0 {
+		c.SampleBits = 4
+	}
+	return c
+}
+
+// Segment is one piece of an encoded payload: either a literal byte range
+// or a reference to content in the packet store.
+type Segment struct {
+	// Literal bytes, when Match is false.
+	Literal []byte
+	// Store offset and length, when Match is true.
+	Off   uint64
+	Len   int
+	Match bool
+}
+
+// Encoded is the result of processing one payload.
+type Encoded struct {
+	Segments   []Segment
+	RawLen     int
+	MatchedLen int // bytes replaced by references
+}
+
+// SavedBytes returns how many payload bytes the encoding eliminated,
+// accounting for the reference tokens' own size (12 bytes each).
+func (e Encoded) SavedBytes() int {
+	saved := e.MatchedLen
+	for _, s := range e.Segments {
+		if s.Match {
+			saved -= 12
+		}
+	}
+	if saved < 0 {
+		return 0
+	}
+	return saved
+}
+
+// Processor is one flow's redundancy-elimination engine.
+type Processor struct {
+	cfg    Config
+	rabin  *Rabin
+	store  *PacketStore
+	table  *FPTable
+	sample uint64 // selection mask
+
+	// Stats.
+	Packets      uint64
+	MatchedBytes uint64
+	Fingerprints uint64 // representative fingerprints examined
+}
+
+// NewProcessor allocates the processor's store and table from arena.
+func NewProcessor(arena *mem.Arena, cfg Config) *Processor {
+	cfg = cfg.withDefaults()
+	return &Processor{
+		cfg:    cfg,
+		rabin:  NewRabin(DefaultPoly, cfg.Window),
+		store:  NewPacketStore(arena, cfg.StoreBytes),
+		table:  NewFPTable(arena, cfg.TableEntries),
+		sample: 1<<uint(cfg.SampleBits) - 1,
+	}
+}
+
+// Store exposes the packet store (for decode-side tests).
+func (p *Processor) Store() *PacketStore { return p.store }
+
+// Table exposes the fingerprint table.
+func (p *Processor) Table() *FPTable { return p.table }
+
+// rollCyclesPerByte charges the rolling-hash arithmetic: two table
+// lookups, two shifts and two XORs per byte.
+const rollCyclesPerByte = 3
+
+// Process runs redundancy elimination over payload (whose first byte has
+// simulated address addr): it fingerprints the content, looks up
+// representative fingerprints, verifies and extends matches against the
+// packet store, appends the new content to the store, and returns the
+// encoding. All table and store traffic is emitted into ctx.
+func (p *Processor) Process(ctx *click.Ctx, payload []byte, addr hw.Addr) Encoded {
+	old := ctx.SetFunc(fnRE)
+	defer ctx.SetFunc(old)
+
+	p.Packets++
+	enc := Encoded{RawLen: len(payload)}
+
+	// Fingerprint the payload. The payload lines are (re)read and the
+	// rolling hash is charged per byte.
+	ctx.LoadBytes(addr, len(payload))
+	ctx.Compute(uint32(len(payload)*rollCyclesPerByte), uint32(len(payload)*2))
+
+	type rep struct {
+		pos int // window start position in payload
+		fp  uint64
+	}
+	var reps []rep
+	w := p.rabin.Window()
+	p.rabin.Roll(payload, func(pos int, fp uint64) {
+		if fp&p.sample == 0 {
+			reps = append(reps, rep{pos: pos - w + 1, fp: fp})
+		}
+	})
+	p.Fingerprints += uint64(len(reps))
+
+	// Match representative regions against the store, greedily and
+	// left-to-right; matched regions are extended byte-wise in both
+	// directions as in Spring & Wetherall.
+	covered := 0 // payload prefix already emitted
+	for _, rp := range reps {
+		if rp.pos < covered {
+			continue
+		}
+		loc, ok := p.table.Lookup(ctx, rp.fp)
+		if !ok || !p.store.Valid(loc, w) {
+			continue
+		}
+		// Verify the window byte-for-byte against the store.
+		if !p.compare(ctx, payload, rp.pos, loc, w) {
+			continue // fingerprint collision
+		}
+		// Extend the match forwards.
+		length := w
+		for rp.pos+length < len(payload) &&
+			p.store.Valid(loc, length+1) &&
+			p.store.byteAt(loc+uint64(length)) == payload[rp.pos+length] {
+			length++
+		}
+		// Extend backwards, not crossing already-covered bytes.
+		start, sloc := rp.pos, loc
+		for start > covered && sloc > 0 &&
+			p.store.Valid(sloc-1, 1) &&
+			p.store.byteAt(sloc-1) == payload[start-1] {
+			start--
+			sloc--
+			length++
+		}
+		if start > covered {
+			enc.Segments = append(enc.Segments, Segment{Literal: payload[covered:start]})
+		}
+		enc.Segments = append(enc.Segments, Segment{Off: sloc, Len: length, Match: true})
+		enc.MatchedLen += length
+		covered = start + length
+	}
+	if covered < len(payload) {
+		enc.Segments = append(enc.Segments, Segment{Literal: payload[covered:]})
+	}
+	p.MatchedBytes += uint64(enc.MatchedLen)
+
+	// Append the raw payload to the store and index its representative
+	// fingerprints at their new locations.
+	base := p.store.Append(ctx, payload)
+	for _, rp := range reps {
+		p.table.Insert(ctx, rp.fp, base+uint64(rp.pos))
+	}
+	return enc
+}
+
+// compare verifies n payload bytes at pos against the store at loc,
+// charging the store-line loads and comparison work.
+func (p *Processor) compare(ctx *click.Ctx, payload []byte, pos int, loc uint64, n int) bool {
+	for i := 0; i < n; i += hw.LineSize {
+		ctx.Load(p.store.addrOf(loc + uint64(i)))
+	}
+	ctx.Compute(uint32(n/4), uint32(n/4))
+	for i := 0; i < n; i++ {
+		if p.store.byteAt(loc+uint64(i)) != payload[pos+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Decode reconstructs the original payload from an encoding using the
+// store — what the device at the other end of the link does. It fails if
+// referenced content has been overwritten.
+func (p *Processor) Decode(enc Encoded) ([]byte, error) {
+	out := make([]byte, 0, enc.RawLen)
+	for _, s := range enc.Segments {
+		if !s.Match {
+			out = append(out, s.Literal...)
+			continue
+		}
+		if !p.store.Valid(s.Off, s.Len) {
+			return nil, fmt.Errorf("re: reference (%d,%d) no longer in store", s.Off, s.Len)
+		}
+		for i := 0; i < s.Len; i++ {
+			out = append(out, p.store.byteAt(s.Off+uint64(i)))
+		}
+	}
+	if len(out) != enc.RawLen {
+		return nil, fmt.Errorf("re: decoded %d bytes, want %d", len(out), enc.RawLen)
+	}
+	return out, nil
+}
+
+// Element is the RedundancyElim click element.
+type Element struct {
+	Proc *Processor
+	// SavedBytes accumulates eliminated output bytes.
+	SavedBytes uint64
+}
+
+// Class implements click.Element.
+func (e *Element) Class() string { return "RedundancyElim" }
+
+// Process implements click.Element.
+func (e *Element) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
+	if len(p.Data) <= netpkt.IPv4HeaderLen {
+		return click.Continue
+	}
+	payload := p.Data[netpkt.IPv4HeaderLen:]
+	enc := e.Proc.Process(ctx, payload, p.Addr+netpkt.IPv4HeaderLen)
+	e.SavedBytes += uint64(enc.SavedBytes())
+	return click.Continue
+}
+
+// Stat implements click.Stats.
+func (e *Element) Stat(name string) (uint64, bool) {
+	switch name {
+	case "saved":
+		return e.SavedBytes, true
+	case "matched":
+		return e.Proc.MatchedBytes, true
+	case "fingerprints":
+		return e.Proc.Fingerprints, true
+	case "hits":
+		return e.Proc.Table().Hits, true
+	}
+	return 0, false
+}
+
+var _ = binary.BigEndian // keep encoding/binary available for token wire format extensions
+
+func init() {
+	click.Register("RedundancyElim", func(env *click.Env, args click.Args) (interface{}, error) {
+		store, err := args.Int("STORE", 0)
+		if err != nil {
+			return nil, err
+		}
+		entries, err := args.Int("ENTRIES", 0)
+		if err != nil {
+			return nil, err
+		}
+		sample, err := args.Int("SAMPLEBITS", 0)
+		if err != nil {
+			return nil, err
+		}
+		return &Element{Proc: NewProcessor(env.Arena, Config{
+			StoreBytes:   store,
+			TableEntries: entries,
+			SampleBits:   sample,
+		})}, nil
+	})
+}

@@ -1,0 +1,168 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator (splitmix64) used by every traffic generator and synthetic
+// workload in the system. The experiments must be exactly reproducible —
+// two runs with the same seed produce identical packets, identical memory
+// traces, and therefore identical performance counters — so nothing in
+// the measurement path may use math/rand's global, seed-racy state.
+package rng
+
+// RNG is a splitmix64 generator. The zero value is a valid generator
+// seeded with 0; prefer New to decorrelate seeds.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Distinct seeds, even
+// consecutive integers, yield decorrelated streams: splitmix64 was
+// designed exactly for that use.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift range reduction; bias is negligible for the
+	// ranges used here (simulation parameters, not cryptography).
+	return int((r.Uint64() >> 32) * uint64(n) >> 32)
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Fill writes pseudo-random bytes into b.
+func (r *RNG) Fill(b []byte) {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		v := r.Uint64()
+		b[i] = byte(v)
+		b[i+1] = byte(v >> 8)
+		b[i+2] = byte(v >> 16)
+		b[i+3] = byte(v >> 24)
+		b[i+4] = byte(v >> 32)
+		b[i+5] = byte(v >> 40)
+		b[i+6] = byte(v >> 48)
+		b[i+7] = byte(v >> 56)
+	}
+	if i < len(b) {
+		v := r.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// Zipf draws from a Zipf-like distribution over [0, n) with exponent s,
+// using inverse-CDF sampling over a precomputed table. It models skewed
+// flow popularity for the non-uniform traffic scenarios.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: r}
+}
+
+// Next returns the next sample in [0, len(cdf)).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pow computes x**y for y > 0 via exp/log-free repeated squaring on the
+// integer part and a short Taylor refinement for the fraction. Zipf table
+// construction is the only caller and happens once at setup, so clarity
+// beats speed; precision to ~1e-9 is ample for a sampling CDF.
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// x^y = exp(y * ln x): implement ln and exp with enough precision.
+	return exp(y * ln(x))
+}
+
+func ln(x float64) float64 {
+	// Range-reduce x into [1,2) by halving; ln(x) = k*ln2 + ln(m).
+	k := 0
+	for x >= 2 {
+		x /= 2
+		k++
+	}
+	for x < 1 {
+		x *= 2
+		k--
+	}
+	// atanh series: ln(m) = 2*atanh((m-1)/(m+1)).
+	t := (x - 1) / (x + 1)
+	t2 := t * t
+	sum, term := 0.0, t
+	for i := 1; i < 40; i += 2 {
+		sum += term / float64(i)
+		term *= t2
+	}
+	const ln2 = 0.6931471805599453
+	return float64(k)*ln2 + 2*sum
+}
+
+func exp(x float64) float64 {
+	// Range-reduce: exp(x) = 2^k * exp(r), |r| <= ln2/2.
+	const ln2 = 0.6931471805599453
+	k := int(x/ln2 + 0.5)
+	if x < 0 {
+		k = int(x/ln2 - 0.5)
+	}
+	r := x - float64(k)*ln2
+	// Taylor series for exp(r).
+	sum, term := 1.0, 1.0
+	for i := 1; i < 20; i++ {
+		term *= r / float64(i)
+		sum += term
+	}
+	for ; k > 0; k-- {
+		sum *= 2
+	}
+	for ; k < 0; k++ {
+		sum /= 2
+	}
+	return sum
+}

@@ -1,0 +1,161 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDecorrelated(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between adjacent seeds", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnCoversRange(t *testing.T) {
+	r := New(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(8)] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("Intn(8) covered only %d values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestFillDeterministicAndFull(t *testing.T) {
+	a := make([]byte, 37)
+	b := make([]byte, 37)
+	New(9).Fill(a)
+	New(9).Fill(b)
+	if string(a) != string(b) {
+		t.Fatal("Fill not deterministic")
+	}
+	zero := 0
+	for _, v := range a {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero > 10 {
+		t.Fatalf("Fill left %d/37 zero bytes; looks unfilled", zero)
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	r := New(11)
+	buckets := make([]int, 16)
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Uint64()%16]++
+	}
+	for i, c := range buckets {
+		if c < n/16*9/10 || c > n/16*11/10 {
+			t.Fatalf("bucket %d has %d of %d; distribution skewed", i, c, n)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(13)
+	z := NewZipf(r, 1000, 1.0)
+	counts := make([]int, 1000)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] < counts[500]*5 {
+		t.Fatalf("rank 0 (%d) should dominate rank 500 (%d)", counts[0], counts[500])
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1)
+}
+
+func TestInternalMathAgainstStdlib(t *testing.T) {
+	for _, x := range []float64{0.1, 0.5, 1, 1.5, 2, 3.14159, 10, 123.456} {
+		if got, want := ln(x), math.Log(x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("ln(%v) = %v, want %v", x, got, want)
+		}
+	}
+	for _, x := range []float64{-5, -1, -0.1, 0, 0.1, 1, 2.5, 10} {
+		if got, want := exp(x), math.Exp(x); math.Abs(got-want)/math.Max(want, 1e-300) > 1e-9 {
+			t.Fatalf("exp(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// Property: pow matches math.Pow for positive bases and exponents in the
+// range Zipf construction uses.
+func TestPowQuick(t *testing.T) {
+	f := func(xi, yi uint16) bool {
+		x := 1 + float64(xi%5000)    // [1, 5001)
+		y := 0.1 + float64(yi%30)/10 // [0.1, 3.1)
+		got, want := pow(x, y), math.Pow(x, y)
+		return math.Abs(got-want)/want < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package trafficgen produces deterministic packet streams for the
+// experiment workloads. The paper crafts input traffic to maximise each
+// application's sensitivity to contention — random destination addresses
+// for IP lookup, random 5-tuples for NetFlow, non-matching packets for
+// the firewall, unique content for redundancy elimination — and these
+// generators reproduce those distributions from explicit seeds.
+package trafficgen
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pktpredict/internal/netpkt"
+	"pktpredict/internal/rng"
+)
+
+// Generator writes successive packets into caller-provided buffers.
+type Generator interface {
+	// Next writes the next packet into b and returns its length.
+	// b must be at least MinPacketSize bytes; packets never exceed
+	// the generator's configured size.
+	Next(b []byte) int
+}
+
+// MinPacketSize is the smallest generated packet: an IPv4 header plus
+// ports plus a minimal payload, 64 bytes as on the wire.
+const MinPacketSize = 64
+
+// Spec configures a generator.
+type Spec struct {
+	// Seed drives all randomness; equal specs yield identical streams.
+	Seed uint64
+	// Size is the total packet length in bytes (default MinPacketSize).
+	Size int
+	// Flows, when positive, draws each packet's 5-tuple from a fixed set
+	// of that many flows instead of generating a fresh random tuple per
+	// packet. The paper's NetFlow table of 100000 entries is populated by
+	// setting Flows to 100000.
+	Flows int
+	// ZipfS, when positive and Flows > 0, skews flow popularity with a
+	// Zipf distribution of this exponent; otherwise flows are uniform.
+	ZipfS float64
+	// Redundancy is the probability that a packet's payload repeats one
+	// of the last HistorySize payloads, exercising redundancy
+	// elimination's match path. Zero (the paper's contention setup)
+	// makes every payload unique.
+	Redundancy float64
+	// HistorySize is the number of recent payloads kept for Redundancy
+	// (default 32).
+	HistorySize int
+	// TTL is the initial TTL (default 64).
+	TTL uint8
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Size == 0 {
+		s.Size = MinPacketSize
+	}
+	if s.HistorySize == 0 {
+		s.HistorySize = 32
+	}
+	if s.TTL == 0 {
+		s.TTL = 64
+	}
+	return s
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if s.Size < MinPacketSize {
+		return fmt.Errorf("trafficgen: size %d below minimum %d", s.Size, MinPacketSize)
+	}
+	if s.Redundancy < 0 || s.Redundancy >= 1 {
+		return fmt.Errorf("trafficgen: redundancy %v outside [0,1)", s.Redundancy)
+	}
+	if s.ZipfS > 0 && s.Flows <= 0 {
+		return fmt.Errorf("trafficgen: ZipfS requires Flows > 0")
+	}
+	return nil
+}
+
+type gen struct {
+	spec    Spec
+	r       *rng.RNG
+	zipf    *rng.Zipf
+	flows   []netpkt.FiveTuple
+	history [][]byte
+	histLen int
+	id      uint16
+}
+
+// New builds a generator from spec. It panics on invalid specs: generator
+// configuration is experiment setup, where failing fast is the right
+// behaviour.
+func New(spec Spec) Generator {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	g := &gen{spec: spec, r: rng.New(spec.Seed)}
+	if spec.Flows > 0 {
+		g.flows = make([]netpkt.FiveTuple, spec.Flows)
+		fr := rng.New(spec.Seed ^ 0xf10e5)
+		for i := range g.flows {
+			g.flows[i] = randomTuple(fr)
+		}
+		if spec.ZipfS > 0 {
+			g.zipf = rng.NewZipf(rng.New(spec.Seed^0x21bf), spec.Flows, spec.ZipfS)
+		}
+	}
+	if spec.Redundancy > 0 {
+		g.history = make([][]byte, spec.HistorySize)
+	}
+	return g
+}
+
+func randomTuple(r *rng.RNG) netpkt.FiveTuple {
+	proto := uint8(netpkt.ProtoUDP)
+	if r.Uint64()&1 == 0 {
+		proto = netpkt.ProtoTCP
+	}
+	return netpkt.FiveTuple{
+		Src:     r.Uint32(),
+		Dst:     r.Uint32(),
+		SrcPort: uint16(r.Uint32()),
+		DstPort: uint16(r.Uint32()),
+		Proto:   proto,
+	}
+}
+
+// Next implements Generator.
+func (g *gen) Next(b []byte) int {
+	size := g.spec.Size
+	if len(b) < size {
+		panic(fmt.Sprintf("trafficgen: buffer %d too small for %d-byte packet", len(b), size))
+	}
+	var t netpkt.FiveTuple
+	switch {
+	case g.flows == nil:
+		t = randomTuple(g.r)
+	case g.zipf != nil:
+		t = g.flows[g.zipf.Next()]
+	default:
+		t = g.flows[g.r.Intn(len(g.flows))]
+	}
+	g.id++
+	netpkt.WriteIPv4(b, netpkt.IPv4Header{
+		TotalLen: uint16(size),
+		ID:       g.id,
+		TTL:      g.spec.TTL,
+		Proto:    t.Proto,
+		Src:      t.Src,
+		Dst:      t.Dst,
+	})
+	binary.BigEndian.PutUint16(b[netpkt.IPv4HeaderLen:], t.SrcPort)
+	binary.BigEndian.PutUint16(b[netpkt.IPv4HeaderLen+2:], t.DstPort)
+	binary.BigEndian.PutUint32(b[netpkt.IPv4HeaderLen+4:], 0)
+
+	payload := b[netpkt.IPv4HeaderLen+8 : size]
+	if g.history != nil && g.histLen > 0 && g.r.Float64() < g.spec.Redundancy {
+		// Repeat a recent payload so redundancy elimination can encode it.
+		src := g.history[g.r.Intn(g.histLen)]
+		n := copy(payload, src)
+		for i := n; i < len(payload); i++ {
+			payload[i] = 0
+		}
+	} else {
+		g.r.Fill(payload)
+	}
+	if g.history != nil {
+		idx := int(g.id) % len(g.history)
+		g.history[idx] = append(g.history[idx][:0], payload...)
+		if g.histLen < len(g.history) {
+			g.histLen++
+		}
+	}
+	return size
+}
