@@ -12,6 +12,7 @@
 package pktpredict_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"pktpredict/internal/core"
 	"pktpredict/internal/exp"
 	"pktpredict/internal/hw"
+	"pktpredict/internal/runtime"
 )
 
 // benchScale is the paper-scale platform with benchmark-friendly
@@ -223,6 +225,48 @@ func BenchmarkPipelineVsParallel(b *testing.B) {
 				}
 			}
 		}
+	}
+}
+
+// BenchmarkRuntime scales the concurrent dataplane across worker counts
+// so scaling regressions are visible: each sub-benchmark executes a
+// saturating IP-forwarding mix on 1, 2, 4, and 8 workers (8 spans both
+// sockets) for a fixed virtual window and reports aggregate packets per
+// virtual second plus host-time cost per simulated packet.
+func BenchmarkRuntime(b *testing.B) {
+	s, _ := benchSetup(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var total uint64
+			var virtSec float64
+			for i := 0; i < b.N; i++ {
+				cfg := runtime.Config{
+					Cfg:      s.Cfg,
+					Params:   s.Params,
+					Apps:     []runtime.AppSpec{{Name: "ipfwd", Type: apps.IP, Workers: workers}},
+					Warmup:   0.001,
+					Scenario: fmt.Sprintf("bench-%d", workers),
+				}
+				r, err := runtime.NewRuntime(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := r.Run(0.004)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += rep.TotalProcessed()
+				virtSec += rep.Duration
+			}
+			if virtSec > 0 {
+				// total and virtSec both accumulate across iterations, so
+				// their ratio is already the per-run aggregate rate.
+				b.ReportMetric(float64(total)/virtSec/1e6, "Mpps_virtual")
+			}
+			if total > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "host_ns/pkt")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,135 @@
+// Command dataplane runs the concurrent multi-core runtime on a builtin
+// scenario: it profiles the scenario's flow types offline (solo runs and
+// drop-versus-competition sweeps on the deterministic engine), then
+// executes the scenario on worker goroutines — one per simulated core —
+// and reports per-flow observed throughput and drop next to the paper's
+// prediction, plus any admission throttling and live re-placement the
+// control loop performed.
+//
+// Usage:
+//
+//	dataplane -scenario mixed|bursty|thrash|hidden
+//	          [-scale quick|full] [-duration 0.05] [-packets N]
+//	          [-batch 32] [-ring 512] [-quantum 200000] [-noprofile]
+//	          [-telemetry]
+//
+// Durations are virtual seconds on the simulated platform.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pktpredict/internal/exp"
+	"pktpredict/internal/runtime"
+)
+
+func main() {
+	scenario := flag.String("scenario", "mixed",
+		"scenario: "+strings.Join(runtime.ScenarioNames(), ", "))
+	scaleName := flag.String("scale", "quick", "platform/workload scale: quick or full")
+	duration := flag.Float64("duration", 0.05, "measured virtual seconds")
+	packets := flag.Uint64("packets", 0, "stop after N processed packets instead of -duration")
+	batch := flag.Int("batch", 0, "worker batch size (default 32)")
+	ring := flag.Int("ring", 0, "input-ring capacity in packets (default per scenario)")
+	quantum := flag.Uint64("quantum", 0, "clock-sync quantum in cycles (default 200000)")
+	noprofile := flag.Bool("noprofile", false,
+		"skip offline profiling (disables prediction, admission limits, re-placement)")
+	telemetry := flag.Bool("telemetry", false, "dump per-window telemetry samples")
+	flag.Parse()
+
+	var scale exp.Scale
+	switch *scaleName {
+	case "full":
+		scale = exp.Full()
+	case "quick":
+		scale = exp.Quick()
+	default:
+		fatalf("unknown scale %q", *scaleName)
+	}
+
+	cfg, err := runtime.ScenarioConfig(*scenario, scale.Cfg, scale.Params)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *batch > 0 {
+		cfg.Batch = *batch
+	}
+	if *ring > 0 {
+		cfg.RingSize = *ring
+	}
+	if *quantum > 0 {
+		cfg.QuantumCycles = *quantum
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = scale.Warmup
+	}
+
+	if !*noprofile {
+		types, err := runtime.ScenarioTypes(*scenario, scale.Cfg, scale.Params)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dataplane: profiling %v offline (%s scale)...\n", types, scale.Name)
+		start := time.Now()
+		// Profiling must use the scenario's workload parameters (thrash,
+		// for example, pins the SYN region), not the raw scale's.
+		profiles, err := runtime.ProfileFlows(scale.Cfg, cfg.Params, scale.Warmup, scale.Window,
+			scale.SweepGrid, types)
+		if err != nil {
+			fatalf("profiling: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dataplane: profiling done in %.1fs\n", time.Since(start).Seconds())
+		for t, p := range profiles {
+			fmt.Fprintf(os.Stderr, "  %-8s solo %.2fM pps, %.1fM refs/s, curve %s\n",
+				t, p.SoloPPS/1e6, p.SoloRefsPerSec/1e6, p.Curve)
+		}
+		cfg.Profiles = profiles
+	}
+
+	r, err := runtime.NewRuntime(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	start := time.Now()
+	var rep *runtime.Report
+	if *packets > 0 {
+		rep, err = r.RunPackets(*packets)
+	} else {
+		rep, err = r.Run(*duration)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dataplane: ran %.1f ms virtual in %.2fs host\n",
+		rep.Duration*1e3, time.Since(start).Seconds())
+
+	fmt.Println(rep.String())
+
+	if *telemetry {
+		fmt.Println("telemetry samples:")
+		for _, cs := range r.Stats().Samples() {
+			for _, w := range cs.Workers {
+				fmt.Printf("  t=%.2fms wkr=%d sock=%d %-10s pps=%.2fM refs/s=%.1fM occ=%.2f ring=%d/%d delay=%d pred=%.1f%%%s\n",
+					cs.Time*1e3, w.Worker, w.Socket, w.App, w.PPS/1e6, w.RefsPerSec/1e6,
+					w.BatchOccupancy, w.RingDepth, w.RingCap, w.DelayCycles,
+					w.PredictedDrop*100, throttledMark(w.Throttled))
+			}
+		}
+	}
+}
+
+func throttledMark(t bool) string {
+	if t {
+		return " THROTTLED"
+	}
+	return ""
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dataplane: "+format+"\n", args...)
+	os.Exit(1)
+}

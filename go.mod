@@ -1,0 +1,3 @@
+module pktpredict
+
+go 1.24

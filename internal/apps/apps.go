@@ -52,6 +52,11 @@ const (
 // paper's order.
 var RealisticTypes = []FlowType{IP, MON, FW, RE, VPN}
 
+// Synthetic reports whether t is one of the synthetic profiling
+// workloads, which have no Click pipeline and drive themselves rather
+// than consuming NIC traffic.
+func (t FlowType) Synthetic() bool { return t == SYN || t == SYNMAX }
+
 // Params scales the workloads. Default() is the paper's configuration;
 // Small() shrinks tables for fast unit tests while preserving structure.
 type Params struct {

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pktpredict/internal/apps"
+)
+
+// TestCurveDropAt pins the interpolation's edge behaviour: empty curves,
+// non-positive competition, exact point hits, duplicate abscissae, and the
+// flat hold beyond the last measured point (the paper's "turning point"
+// observation).
+func TestCurveDropAt(t *testing.T) {
+	ramp := Curve{Target: apps.MON, Points: []CurvePoint{
+		{0, 0}, {100e6, 0.10}, {200e6, 0.30}, {400e6, 0.34},
+	}}
+	dup := Curve{Target: apps.FW, Points: []CurvePoint{
+		{0, 0}, {50e6, 0.05}, {50e6, 0.15}, {100e6, 0.20},
+	}}
+	cases := []struct {
+		name string
+		c    Curve
+		refs float64
+		want float64
+	}{
+		{"empty curve", Curve{}, 123e6, 0},
+		{"empty points slice", Curve{Points: []CurvePoint{}}, 1, 0},
+		{"zero competition", ramp, 0, 0},
+		{"negative competition", ramp, -5e6, 0},
+		{"exact interior point", ramp, 200e6, 0.30},
+		{"exact first point", ramp, 1e-9, 0.10 * (1e-9) / 100e6},
+		{"midpoint interpolation", ramp, 150e6, 0.20},
+		{"quarter interpolation", ramp, 125e6, 0.15},
+		{"exact last point", ramp, 400e6, 0.34},
+		{"beyond last point holds flat", ramp, 900e6, 0.34},
+		{"far beyond last point", ramp, math.Inf(1), 0.34},
+		{"duplicate abscissa takes first value", dup, 50e6, 0.05},
+		{"between duplicate and next", dup, 75e6, 0.175},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.c.DropAt(tc.refs)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("DropAt(%g) = %g, want %g", tc.refs, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCurveDropAtMonotone checks that a monotone curve interpolates
+// monotonically: predictions never decrease as competition grows.
+func TestCurveDropAtMonotone(t *testing.T) {
+	c := Curve{Points: []CurvePoint{{0, 0}, {10e6, 0.02}, {80e6, 0.25}, {300e6, 0.31}}}
+	prev := -1.0
+	for refs := 0.0; refs <= 400e6; refs += 1e6 {
+		d := c.DropAt(refs)
+		if d < prev {
+			t.Fatalf("DropAt not monotone: DropAt(%g)=%g < %g", refs, d, prev)
+		}
+		if d < 0 || d > 0.31 {
+			t.Fatalf("DropAt(%g)=%g outside [0, 0.31]", refs, d)
+		}
+		prev = d
+	}
+}

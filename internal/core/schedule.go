@@ -205,6 +205,93 @@ func GreedyPlacement(p *Predictor, flows []apps.FlowType) ([]apps.FlowType, []ap
 	return s0, s1, nil
 }
 
+// --- online re-placement -------------------------------------------------
+//
+// The exhaustive evaluation above is an offline tool; a running dataplane
+// cannot afford to co-run-measure every placement. The live API below
+// instead scores placements purely from the flows' *observed* refs/sec and
+// their offline drop-versus-competition curves — the paper's prediction
+// step 3 applied continuously — so a runtime can decide in microseconds
+// whether moving a flow to another socket is worth it.
+
+// LiveFlow describes one running flow for online placement decisions: its
+// type, the socket it currently executes on, and its memory-reference rate
+// observed over the last telemetry window.
+type LiveFlow struct {
+	Worker     int // opaque caller handle, returned in swap decisions
+	Type       apps.FlowType
+	Socket     int
+	RefsPerSec float64
+}
+
+// PredictLiveDrops returns each flow's predicted contention-induced drop
+// in the current placement: the flow's curve read at the sum of its
+// socket co-residents' observed refs/sec. Flows whose type has no curve
+// predict zero.
+func PredictLiveDrops(curves map[apps.FlowType]Curve, flows []LiveFlow) []float64 {
+	perSocket := map[int]float64{}
+	for _, f := range flows {
+		perSocket[f.Socket] += f.RefsPerSec
+	}
+	drops := make([]float64, len(flows))
+	for i, f := range flows {
+		competing := perSocket[f.Socket] - f.RefsPerSec
+		if c, ok := curves[f.Type]; ok {
+			drops[i] = c.DropAt(competing)
+		}
+	}
+	return drops
+}
+
+// worstAvg scores a placement: the maximum predicted drop, with the mean
+// as tiebreak.
+func worstAvg(curves map[apps.FlowType]Curve, flows []LiveFlow) (worst, avg float64) {
+	drops := PredictLiveDrops(curves, flows)
+	for _, d := range drops {
+		if d > worst {
+			worst = d
+		}
+		avg += d
+	}
+	if len(drops) > 0 {
+		avg /= float64(len(drops))
+	}
+	return worst, avg
+}
+
+// PlanRebalance searches for the single cross-socket swap of two flows
+// that most reduces the worst predicted drop. It returns the indices into
+// flows of the pair to exchange. No swap is proposed unless the current
+// worst predicted drop exceeds threshold and the best swap improves it by
+// more than margin (hysteresis against flapping).
+func PlanRebalance(curves map[apps.FlowType]Curve, flows []LiveFlow, threshold, margin float64) (i, j int, ok bool) {
+	curWorst, curAvg := worstAvg(curves, flows)
+	if curWorst <= threshold {
+		return 0, 0, false
+	}
+	bestWorst, bestAvg := curWorst, curAvg
+	bi, bj := -1, -1
+	trial := make([]LiveFlow, len(flows))
+	for a := 0; a < len(flows); a++ {
+		for b := a + 1; b < len(flows); b++ {
+			if flows[a].Socket == flows[b].Socket || flows[a].Type == flows[b].Type {
+				continue
+			}
+			copy(trial, flows)
+			trial[a].Socket, trial[b].Socket = flows[b].Socket, flows[a].Socket
+			w, v := worstAvg(curves, trial)
+			if w < bestWorst || (w == bestWorst && v < bestAvg) {
+				bestWorst, bestAvg = w, v
+				bi, bj = a, b
+			}
+		}
+	}
+	if bi < 0 || curWorst-bestWorst <= margin {
+		return 0, 0, false
+	}
+	return bi, bj, true
+}
+
 // EvaluateSplit measures one specific split's average drop, for callers
 // that want to score a heuristic placement against Best/Worst.
 func EvaluateSplit(p *Predictor, s0, s1 []apps.FlowType) (float64, error) {

@@ -23,6 +23,46 @@ type ThrottleSample struct {
 	Throttled   bool
 }
 
+// RateController is the pure control law of the containment loop,
+// decoupled from any engine so both the offline Containment loop and the
+// concurrent runtime's admission control can drive it: proportional
+// adjustment of a control element's per-packet delay so a flow's observed
+// memory-reference rate converges to its profiled limit.
+type RateController struct {
+	// Limit is the profiled L3 refs/sec the flow may not exceed.
+	Limit float64
+	// Slack tolerates measurement noise above the limit (e.g. 0.05).
+	Slack float64
+}
+
+// Step computes the next control-element delay from one interval's
+// telemetry: the flow's observed refs/sec and mean cycles per packet, and
+// the delay currently configured. throttled reports whether the flow was
+// over its limit (the delay was increased).
+//
+// To move the reference rate from r to the limit, per-packet time must
+// scale by r/limit, i.e. the delay must change by
+// cyclesPerPacket·(r/limit − 1). Under the limit, the equivalent slack is
+// handed back so a flow hovering near its limit oscillates tightly around
+// it and a reformed flow regains its throughput.
+func (rc RateController) Step(refsPerSec, cyclesPerPacket float64, delay uint32) (next uint32, throttled bool) {
+	if rc.Limit <= 0 || cyclesPerPacket <= 0 {
+		return delay, false
+	}
+	switch {
+	case refsPerSec > rc.Limit*(1+rc.Slack):
+		needed := cyclesPerPacket * (refsPerSec/rc.Limit - 1)
+		return delay + uint32(needed) + 1, true
+	case refsPerSec < rc.Limit && delay > 0:
+		give := cyclesPerPacket * (1 - refsPerSec/rc.Limit)
+		if give >= float64(delay) {
+			return 0, false
+		}
+		return delay - uint32(give) - 1, false
+	}
+	return delay, false
+}
+
 // Containment drives the monitor-and-throttle loop for one flow.
 type Containment struct {
 	// Limit is the profiled L3 refs/sec the flow may not exceed.
@@ -77,31 +117,13 @@ func (c *Containment) Run(interval float64, steps int) []ThrottleSample {
 			refsPerSec = float64(delta.L3Refs) / seconds
 		}
 
-		// Proportional control: to move the reference rate from r to the
-		// limit, per-packet time must scale by r/limit, i.e. the delay
-		// must change by cyclesPerPacket·(r/limit − 1).
 		cyclesPerPacket := 0.0
 		if delta.Packets > 0 {
 			cyclesPerPacket = float64(delta.Cycles) / float64(delta.Packets)
 		}
-		delay := c.Control.Delay()
-		throttled := false
-		switch {
-		case refsPerSec > c.Limit*(1+c.Slack) && cyclesPerPacket > 0:
-			needed := cyclesPerPacket * (refsPerSec/c.Limit - 1)
-			c.Control.SetDelay(delay + uint32(needed) + 1)
-			throttled = true
-		case refsPerSec < c.Limit && delay > 0 && cyclesPerPacket > 0:
-			// Under the profiled rate: hand back the equivalent slack so
-			// a flow hovering near its limit oscillates tightly around it
-			// and a reformed flow regains its throughput.
-			give := cyclesPerPacket * (1 - refsPerSec/c.Limit)
-			if give >= float64(delay) {
-				c.Control.SetDelay(0)
-			} else {
-				c.Control.SetDelay(delay - uint32(give) - 1)
-			}
-		}
+		rc := RateController{Limit: c.Limit, Slack: c.Slack}
+		next, throttled := rc.Step(refsPerSec, cyclesPerPacket, c.Control.Delay())
+		c.Control.SetDelay(next)
 		samples = append(samples, ThrottleSample{
 			Interval:    step,
 			RefsPerSec:  refsPerSec,

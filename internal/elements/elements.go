@@ -31,10 +31,13 @@ var (
 // Compute costs in cycles/instructions for the fixed per-packet work each
 // element does beyond its memory accesses. They approximate the
 // instruction counts of the corresponding Click elements on the paper's
-// platform and are deliberately centralised for calibration.
+// platform and are deliberately centralised for calibration. The receive
+// costs are exported because the runtime's ring-fed receive path must
+// charge exactly what FromDevice charges, or runtime profiles diverge
+// from the offline solo profiles predictions are built on.
 const (
-	rxCompute      = 60
-	rxInstrs       = 50
+	RxCompute      = 60
+	RxInstrs       = 50
 	checkIPCompute = 60
 	checkIPInstrs  = 50
 	decTTLCompute  = 25
@@ -118,7 +121,7 @@ func (fd *FromDevice) Pull(ctx *click.Ctx) *click.Packet {
 	n := fd.gen.Next(data)
 	ctx.DMABytes(addr, n) // NIC writes the packet into the cache (DCA)
 	fd.ring.Consume(ctx)  // core reads the RX descriptor
-	ctx.Compute(rxCompute, rxInstrs)
+	ctx.Compute(RxCompute, RxInstrs)
 	fd.Pulled++
 	return &click.Packet{
 		Data:      data[:n],

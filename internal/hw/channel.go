@@ -1,5 +1,7 @@
 package hw
 
+import "sync"
+
 // Channel models a bandwidth-limited, first-come-first-served shared
 // resource: a memory controller's command pipeline or a QPI link. Each
 // request occupies the channel for ServiceCycles; a request arriving while
@@ -7,10 +9,24 @@ package hw
 // therefore emergent, which is how the simulation reproduces the paper's
 // Figure 4(b) (contention for the memory controller) and the slow growth
 // of the effective miss penalty with competition noted in Section 3.3.
+//
+// A channel is a leaf lock: Occupy may be called concurrently by cores on
+// any socket (local misses, remote QPI traffic, posted write-backs), so it
+// guards its own state and never acquires another lock.
 type Channel struct {
 	Name          string
 	ServiceCycles uint64
 
+	// MaxWait, when positive, bounds the queueing delay any single
+	// request can suffer — a finite controller queue. The deterministic
+	// engine leaves it zero (unbounded FCFS); concurrent execution sets
+	// it (see Platform.BoundChannelWaits) because lax clock
+	// synchronisation lets one core replay its quantum after a
+	// neighbour's in host order, and unbounded FCFS would then charge it
+	// the neighbour's whole quantum as phantom queueing.
+	MaxWait uint64
+
+	mu       sync.Mutex
 	nextFree uint64
 
 	// Stats
@@ -29,15 +45,32 @@ func NewChannel(name string, serviceCycles uint64) *Channel {
 // service begins. The caller adds any fixed latency (e.g. DRAM access
 // time) itself.
 func (ch *Channel) Occupy(now uint64) (wait uint64) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
 	start := now
 	if ch.nextFree > start {
 		start = ch.nextFree
 	}
-	ch.nextFree = start + ch.ServiceCycles
+	wait = start - now
+	if ch.MaxWait > 0 && wait > ch.MaxWait {
+		wait = ch.MaxWait
+		start = now + wait
+	}
+	// Busy time only accrues for the part of this service window that
+	// extends the channel's busy horizon: a capped request overlaps time
+	// already reserved, and counting it twice would push Utilization
+	// past 1.
+	if nf := start + ch.ServiceCycles; nf > ch.nextFree {
+		if busy := nf - ch.nextFree; busy < ch.ServiceCycles {
+			ch.BusyCycles += busy
+		} else {
+			ch.BusyCycles += ch.ServiceCycles
+		}
+		ch.nextFree = nf
+	}
 	ch.Requests++
-	ch.QueueCycles += start - now
-	ch.BusyCycles += ch.ServiceCycles
-	return start - now
+	ch.QueueCycles += wait
+	return wait
 }
 
 // Utilization returns the fraction of [0, now] the channel spent busy.
@@ -58,6 +91,8 @@ func (ch *Channel) AvgQueueCycles() float64 {
 
 // Reset clears statistics and pending occupancy.
 func (ch *Channel) Reset() {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
 	ch.nextFree = 0
 	ch.Requests = 0
 	ch.QueueCycles = 0

@@ -25,7 +25,7 @@ func TestChannelBackToBackQueues(t *testing.T) {
 		t.Fatalf("third request wait = %d, want 20", w)
 	}
 	if ch.Requests != 3 || ch.QueueCycles != 30 || ch.BusyCycles != 30 {
-		t.Fatalf("stats = %+v", *ch)
+		t.Fatalf("stats = req %d queue %d busy %d", ch.Requests, ch.QueueCycles, ch.BusyCycles)
 	}
 }
 
@@ -56,7 +56,7 @@ func TestChannelReset(t *testing.T) {
 	ch.Occupy(0)
 	ch.Reset()
 	if ch.Requests != 0 || ch.BusyCycles != 0 {
-		t.Fatalf("stats not reset: %+v", *ch)
+		t.Fatalf("stats not reset: req %d busy %d", ch.Requests, ch.BusyCycles)
 	}
 	if w := ch.Occupy(0); w != 0 {
 		t.Fatalf("wait after reset = %d, want 0", w)
@@ -84,5 +84,23 @@ func TestChannelFCFSQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestChannelMaxWaitBoundsQueueing(t *testing.T) {
+	ch := NewChannel("mem", 10)
+	ch.MaxWait = 15
+	for i := 0; i < 10; i++ {
+		ch.Occupy(0)
+	}
+	// Unbounded FCFS would charge the 10th request 90 cycles; the finite
+	// queue caps every individual wait.
+	if w := ch.Occupy(0); w != 15 {
+		t.Fatalf("bounded wait = %d, want 15", w)
+	}
+	// A request arriving after the backlog clears waits nothing, and
+	// nextFree never regressed below its high-water mark.
+	if w := ch.Occupy(10_000); w != 0 {
+		t.Fatalf("wait after idle gap = %d, want 0", w)
 	}
 }

@@ -1,0 +1,81 @@
+package hw
+
+// Concurrent trace execution. The Engine interleaves flows in global
+// virtual-time order on one OS thread; the runtime (package runtime)
+// instead runs one goroutine per simulated core and keeps core clocks
+// loosely synchronised with a time quantum. ExecOps is the per-core
+// execution primitive for that mode: it replays a packet's trace against
+// the simulated hierarchy exactly as Engine.step does, but takes the
+// owning socket's lock around every cache-state mutation so that
+// same-socket workers may run concurrently.
+//
+// Lock order: Socket.mu → Channel.mu. Sockets never lock each other —
+// an access only ever touches its own socket's caches; remote-domain
+// traffic goes through the home socket's channels, which are leaf locks.
+
+// ExecOps replays one packet's micro-operation trace on c, advancing the
+// core's local clock and counters. It is safe to call concurrently from
+// one goroutine per core; two goroutines must never drive the same core.
+// A non-empty trace counts as one processed packet, mirroring Engine.step.
+func (c *Core) ExecOps(ops []Op) {
+	cfg := &c.Socket.platform.Cfg
+	cnt := &c.Counters
+	for _, op := range ops {
+		switch op.Kind {
+		case OpCompute:
+			c.clock += uint64(op.Cycles)
+			cnt.Cycles += uint64(op.Cycles)
+			cnt.Instructions += uint64(op.Instrs)
+			cnt.Func[op.Func].Cycles += uint64(op.Cycles)
+		case OpLoad, OpStore:
+			c.Socket.mu.Lock()
+			lat := c.Access(c.clock, op.Addr, op.Kind == OpStore, op.Func)
+			c.Socket.mu.Unlock()
+			c.clock += lat
+			cnt.Cycles += lat
+			cnt.Instructions++
+			cnt.Func[op.Func].Cycles += lat
+		case OpLoadStream:
+			c.Socket.mu.Lock()
+			lat := c.Access(c.clock, op.Addr, false, op.Func)
+			c.Socket.mu.Unlock()
+			if mlp := cfg.StreamMLP; mlp > 1 {
+				lat = (lat + mlp - 1) / mlp
+			}
+			c.clock += lat
+			cnt.Cycles += lat
+			cnt.Instructions++
+			cnt.Func[op.Func].Cycles += lat
+		case OpDMAWrite:
+			c.Socket.mu.Lock()
+			c.DMAWrite(c.clock, op.Addr)
+			c.Socket.mu.Unlock()
+		default:
+			panic("hw: unknown op kind in ExecOps")
+		}
+	}
+	if len(ops) > 0 {
+		cnt.Packets++
+	}
+}
+
+// BoundChannelWaits caps the queueing delay of every channel on the
+// platform at maxWait cycles — the finite-controller-queue model
+// concurrent execution needs (see Channel.MaxWait). Call it before any
+// flow executes.
+func (p *Platform) BoundChannelWaits(maxWait uint64) {
+	for _, s := range p.Sockets {
+		s.Mem.MaxWait = maxWait
+		s.QPI.MaxWait = maxWait
+	}
+}
+
+// AdvanceTo moves the core's local clock forward to t if it is behind:
+// the idle time of a run-to-completion worker polling an empty queue.
+// Idle cycles advance virtual time but are not charged to Counters.Cycles,
+// so per-packet costs remain work-based.
+func (c *Core) AdvanceTo(t uint64) {
+	if c.clock < t {
+		c.clock = t
+	}
+}

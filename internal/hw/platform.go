@@ -1,6 +1,9 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Core is one processing core: private L1D and L2, a pointer back to its
 // socket for the shared L3 and memory path, and its performance counters.
@@ -27,6 +30,13 @@ type Socket struct {
 	L3    *Cache
 	Mem   *Channel // integrated memory controller
 	QPI   *Channel // outgoing interconnect link
+
+	// mu serialises access to the socket's cache state (the shared L3
+	// and, because DMA delivery and inclusive-L3 back-invalidation cross
+	// core boundaries, every core-private cache on the socket) when flows
+	// execute concurrently (see Core.ExecOps). The single-threaded engine
+	// path never takes it.
+	mu sync.Mutex
 
 	platform *Platform
 }

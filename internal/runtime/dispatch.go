@@ -1,0 +1,89 @@
+package runtime
+
+import (
+	"pktpredict/internal/trafficgen"
+)
+
+// appState is the dispatcher's view of one flow group: its traffic
+// generator, the rings of the group's flow instances, and offered-load
+// accounting. The dispatcher plays the NIC's role — it shards the
+// group's single generated stream across the group's receive rings by
+// RSS flow hash, so all packets of one transport flow always reach the
+// same flow instance regardless of where that instance currently runs.
+type appState struct {
+	spec  AppSpec
+	index int
+
+	gen     trafficgen.Generator // nil for synthetic (self-driving) flows
+	scratch []byte
+	pktSize int
+	rate    float64 // offered packets per virtual second; 0 = saturate
+	flows   []*flow
+
+	offered  uint64
+	enqueued uint64
+	nicDrops uint64
+	carry    float64
+}
+
+// burstActive reports whether quantum q falls in the app's on-phase.
+func (a *appState) burstActive(q int) bool {
+	if a.spec.BurstOn <= 0 || a.spec.BurstOff <= 0 {
+		return true
+	}
+	return q%(a.spec.BurstOn+a.spec.BurstOff) < a.spec.BurstOn
+}
+
+// emitOne generates the next packet and offers it to its RSS ring.
+func (a *appState) emitOne() {
+	sz := a.gen.Next(a.scratch)
+	a.offered++
+	ring := a.flows[trafficgen.RSSQueue(trafficgen.RSSHash(a.scratch[:sz]), len(a.flows))].ring
+	if ring.Push(a.scratch[:sz]) {
+		a.enqueued++
+	} else {
+		a.nicDrops++
+	}
+}
+
+// resetAccounting zeroes offered-load counters at measurement start.
+func (a *appState) resetAccounting() {
+	a.offered, a.enqueued, a.nicDrops = 0, 0, 0
+}
+
+// dispatcher feeds every rate-driven flow group at barrier points. It
+// runs in the control goroutine while all workers are parked, so ring
+// pushes never race with pops; the SPSC discipline additionally keeps the
+// rings correct if dispatch ever moves off the barrier.
+type dispatcher struct {
+	apps       []*appState
+	quantumSec float64
+}
+
+// enqueue generates quantum q's worth of traffic for every app.
+func (d *dispatcher) enqueue(q int) {
+	for _, a := range d.apps {
+		if a.gen == nil || !a.burstActive(q) {
+			continue
+		}
+		if a.rate <= 0 {
+			// Saturating source: top the group's rings up. RSS decides the
+			// target ring per packet, so a skewed hash can tail-drop on one
+			// ring while another has room — as on real multi-queue NICs.
+			free := 0
+			for _, f := range a.flows {
+				free += f.ring.Cap() - f.ring.Len()
+			}
+			for i := 0; i < free; i++ {
+				a.emitOne()
+			}
+			continue
+		}
+		a.carry += a.rate * d.quantumSec
+		n := int(a.carry)
+		a.carry -= float64(n)
+		for i := 0; i < n; i++ {
+			a.emitOne()
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package runtime
+
+import (
+	"pktpredict/internal/apps"
+	"pktpredict/internal/core"
+	"pktpredict/internal/hw"
+)
+
+// ProfileFlows runs the paper's offline profiling for the given flow
+// types on the deterministic engine: a solo run per type (Table 1) and a
+// SYN competition sweep per type (the drop-versus-competition curve).
+// The result plugs straight into Config.Profiles, giving the runtime its
+// admission limits, drop baselines, and prediction curves — the exact
+// artefacts an operator would ship from a profiling testbed to
+// production.
+func ProfileFlows(cfg hw.Config, params apps.Params, warmup, window float64, grid []int, types []apps.FlowType) (map[apps.FlowType]FlowProfile, error) {
+	p := core.NewPredictor(cfg, params, warmup, window)
+	if len(grid) > 0 {
+		p.SweepGrid = grid
+	}
+	out := make(map[apps.FlowType]FlowProfile, len(types))
+	for _, t := range types {
+		if _, done := out[t]; done {
+			continue
+		}
+		solo, err := p.Solo(t)
+		if err != nil {
+			return nil, err
+		}
+		curve, err := p.Curve(t)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = FlowProfile{
+			SoloPPS:        solo.Throughput(),
+			SoloRefsPerSec: solo.L3RefsPerSec(),
+			Curve:          curve,
+		}
+	}
+	return out, nil
+}

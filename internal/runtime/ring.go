@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ring is a bounded single-producer single-consumer queue of packets,
+// the software analogue of a NIC receive queue: the dispatcher (the
+// "NIC") produces into it, exactly one worker consumes from it. Packet
+// bytes are copied into pre-allocated slots, so steady-state operation
+// performs no allocation; when the ring is full the producer drops the
+// packet, which is precisely how input overload surfaces on a real
+// dataplane (tail drop at the receive queue).
+//
+// head and tail are monotonically increasing; (tail − head) is the
+// occupancy. The producer only writes tail, the consumer only writes
+// head, and each slot is published by the tail store (release) and
+// consumed before the head store (acquire via atomic loads), the standard
+// SPSC discipline.
+type Ring struct {
+	slots [][]byte
+	lens  []int32
+	mask  uint64
+
+	_    [64]byte // keep producer and consumer cursors on separate lines
+	tail atomic.Uint64
+	_    [64]byte
+	head atomic.Uint64
+}
+
+// NewRing builds a ring of the given capacity (rounded up to a power of
+// two, minimum 2) whose slots hold packets of up to maxPacket bytes.
+func NewRing(capacity, maxPacket int) *Ring {
+	if capacity <= 0 || maxPacket <= 0 {
+		panic(fmt.Sprintf("runtime: invalid ring %d x %d", capacity, maxPacket))
+	}
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring{
+		slots: make([][]byte, n),
+		lens:  make([]int32, n),
+		mask:  uint64(n - 1),
+	}
+	for i := range r.slots {
+		r.slots[i] = make([]byte, maxPacket)
+	}
+	return r
+}
+
+// Cap returns the ring's capacity in packets.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns the current occupancy. It is safe to call from any
+// goroutine; the value is naturally racy while producer and consumer run.
+func (r *Ring) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Push copies p into the ring. It returns false — the packet is dropped —
+// when the ring is full or p exceeds the slot size. Only the single
+// producer may call Push.
+func (r *Ring) Push(p []byte) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.slots)) {
+		return false
+	}
+	slot := r.slots[t&r.mask]
+	if len(p) > len(slot) {
+		return false
+	}
+	copy(slot, p)
+	r.lens[t&r.mask] = int32(len(p))
+	r.tail.Store(t + 1) // publish
+	return true
+}
+
+// Pop copies the next packet into dst and returns its length. It returns
+// ok=false when the ring is empty. Only the single consumer may call Pop;
+// dst must hold at least the ring's maxPacket bytes.
+func (r *Ring) Pop(dst []byte) (n int, ok bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return 0, false
+	}
+	ln := int(r.lens[h&r.mask])
+	copy(dst[:ln], r.slots[h&r.mask])
+	r.head.Store(h + 1) // release the slot
+	return ln, true
+}

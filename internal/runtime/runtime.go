@@ -1,0 +1,657 @@
+// Package runtime is the concurrent multi-core dataplane: it executes
+// Click pipelines on one goroutine per simulated core, fed through
+// bounded SPSC rings by an RSS-sharding dispatcher, with live per-core
+// telemetry driving the paper's two online mechanisms — admission
+// control (containing flows that exceed their profiled memory-reference
+// rate) and contention-aware re-placement of flows across sockets.
+//
+// Where the hw.Engine interleaves flows deterministically on one OS
+// thread in exact global virtual-time order, the runtime lets workers
+// race through a time quantum concurrently and synchronises all core
+// clocks at quantum boundaries (lax conservative synchronisation, as
+// parallel architecture simulators use). Shared cache state is
+// serialised per socket inside hw.Core.ExecOps, so contention between
+// co-located flows remains emergent; only the fine-grained interleaving
+// within a quantum — and therefore the exact drop figures — varies
+// between runs. Dispatch and the control loop run at barrier points,
+// which is also when telemetry is sampled, throttle decisions applied,
+// and flows migrated.
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/core"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+	"pktpredict/internal/trafficgen"
+)
+
+// FlowProfile is what offline profiling knows about a flow type: its solo
+// throughput and memory-reference rate (Table 1) and its
+// drop-versus-competition curve (the paper's step 2). The runtime uses
+// the reference rate as the admission limit, the curve for live drop
+// prediction, and the solo throughput as the drop baseline.
+type FlowProfile struct {
+	SoloPPS        float64
+	SoloRefsPerSec float64
+	Curve          core.Curve
+}
+
+// AppSpec declares one flow group: a flow type served by Workers
+// replicas, with its offered traffic.
+type AppSpec struct {
+	Name    string
+	Type    apps.FlowType
+	Workers int
+
+	// Rate is the offered load in packets per virtual second, sharded
+	// across the group's replicas by RSS flow hash. Zero means saturate:
+	// the dispatcher keeps every replica's ring topped up.
+	Rate float64
+	// RateFraction expresses Rate as a multiple of the group's aggregate
+	// solo throughput (Workers × solo pps); it requires a profile and
+	// overrides Rate.
+	RateFraction float64
+
+	// BurstOn/BurstOff, when both positive, gate the source on for
+	// BurstOn quanta then off for BurstOff quanta (bursty traffic).
+	BurstOn, BurstOff int
+
+	// Control inserts a control element so admission control can slow
+	// the flow down. HiddenTrigger, when positive, builds the Section 4
+	// adversarial flow instead: FW behaviour until that many packets,
+	// then SYN_MAX-like accesses (it implies a control element).
+	Control       bool
+	HiddenTrigger uint64
+
+	// SynCompute sets a SYN flow's compute cycles between accesses.
+	SynCompute int
+	// PacketSize overrides the type's default packet size.
+	PacketSize int
+}
+
+// Config assembles a runtime.
+type Config struct {
+	Cfg    hw.Config
+	Params apps.Params
+	Apps   []AppSpec
+
+	// Cores lists the simulated core each worker is pinned to, in worker
+	// order; its length must equal the sum of app Workers. Empty means
+	// cores 0..n−1 (filling socket 0 first).
+	Cores []int
+
+	// RingSize is each flow's input-ring capacity in packets (default 512).
+	RingSize int
+	// Batch is the worker's maximum burst per ring poll (default 32).
+	Batch int
+	// QuantumCycles is the clock-synchronisation quantum (default 200000
+	// cycles, ~71 µs at 2.8 GHz).
+	QuantumCycles uint64
+	// ControlEvery is the control-loop period in quanta (default 5).
+	ControlEvery int
+	// MaxQueueWait bounds any single request's queueing delay at the
+	// memory controllers and QPI links, modelling their finite queues
+	// (default 64 cycles ≈ a dozen outstanding line transfers). Required
+	// under lax clock synchronisation — workers replay their quanta in
+	// arbitrary host order, and unbounded FCFS would tax a late replayer
+	// with its neighbours' entire quantum; see hw.Channel.MaxWait.
+	MaxQueueWait uint64
+	// Warmup is virtual seconds excluded from measurement (default 0).
+	Warmup float64
+
+	// Profiles supplies offline profiling results per flow type.
+	Profiles map[apps.FlowType]FlowProfile
+
+	// Admission enables the containment loop for flows carrying a
+	// control element; Slack is the tolerated overshoot (default 0.05).
+	Admission bool
+	Slack     float64
+
+	// DropThreshold enables live re-placement: when any flow's predicted
+	// drop exceeds it, the control loop searches for a cross-socket swap
+	// (requires curves in Profiles). Zero disables. RebalanceMargin is
+	// the minimum predicted improvement for a swap (default 0.02).
+	DropThreshold   float64
+	RebalanceMargin float64
+
+	// Scenario names the run in reports.
+	Scenario string
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingSize == 0 {
+		c.RingSize = 512
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.QuantumCycles == 0 {
+		c.QuantumCycles = 200_000
+	}
+	if c.ControlEvery == 0 {
+		c.ControlEvery = 5
+	}
+	if c.MaxQueueWait == 0 {
+		c.MaxQueueWait = 64
+	}
+	if c.Slack == 0 {
+		c.Slack = 0.05
+	}
+	if c.RebalanceMargin == 0 {
+		c.RebalanceMargin = 0.02
+	}
+	return c
+}
+
+// Runtime is a built dataplane, ready to run once.
+type Runtime struct {
+	cfg        Config
+	platform   *hw.Platform
+	workers    []*worker
+	flows      []*flow
+	disp       *dispatcher
+	stats      *Stats
+	curves     map[apps.FlowType]core.Curve
+	quantumSec float64
+
+	migrations     []Migration
+	throttleEvents int
+	finished       bool
+}
+
+// NewRuntime validates cfg and builds the platform, workers, flow
+// instances, and dispatcher. Nothing executes until Run.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("runtime: no apps configured")
+	}
+	total := 0
+	maxPkt := 0
+	for i, a := range cfg.Apps {
+		if a.Workers <= 0 {
+			return nil, fmt.Errorf("runtime: app %q needs at least one worker", a.Name)
+		}
+		if a.Name == "" {
+			return nil, fmt.Errorf("runtime: app %d has no name", i)
+		}
+		total += a.Workers
+		if s := cfg.appPacketSize(a); s > maxPkt {
+			maxPkt = s
+		}
+	}
+	cores := cfg.Cores
+	if len(cores) == 0 {
+		cores = make([]int, total)
+		for i := range cores {
+			cores[i] = i
+		}
+	}
+	if len(cores) != total {
+		return nil, fmt.Errorf("runtime: %d cores listed for %d workers", len(cores), total)
+	}
+	seen := map[int]bool{}
+	for _, c := range cores {
+		if c < 0 || c >= cfg.Cfg.TotalCores() {
+			return nil, fmt.Errorf("runtime: core %d outside the %d-core platform", c, cfg.Cfg.TotalCores())
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("runtime: core %d assigned twice", c)
+		}
+		seen[c] = true
+	}
+
+	r := &Runtime{
+		cfg:        cfg,
+		platform:   hw.NewPlatform(cfg.Cfg),
+		stats:      &Stats{},
+		curves:     map[apps.FlowType]core.Curve{},
+		quantumSec: cfg.Cfg.CyclesToSeconds(cfg.QuantumCycles),
+	}
+	r.platform.BoundChannelWaits(cfg.MaxQueueWait)
+	for t, p := range cfg.Profiles {
+		if len(p.Curve.Points) > 0 {
+			r.curves[t] = p.Curve
+		}
+	}
+
+	arenas := map[int]*mem.Arena{}
+	arena := func(d int) *mem.Arena {
+		if a, ok := arenas[d]; ok {
+			return a
+		}
+		a := mem.NewArena(d)
+		arenas[d] = a
+		return a
+	}
+
+	// Workers: one per listed core, receive path NUMA-local.
+	for i, coreID := range cores {
+		sock := coreID / cfg.Cfg.CoresPerSocket
+		w := &worker{
+			id:     i,
+			core:   r.platform.Cores[coreID],
+			socket: sock,
+			src:    newRingSource(arena(sock), cfg.Params.Buffers, maxPkt, 256),
+			batch:  cfg.Batch,
+			startC: make(chan uint64),
+			doneC:  make(chan struct{}),
+		}
+		r.workers = append(r.workers, w)
+	}
+
+	// Flow instances: replica k of an app starts on the next unbound
+	// worker; its state is allocated from that worker's NUMA domain.
+	var states []*appState
+	widx := 0
+	for ai := range cfg.Apps {
+		spec := cfg.Apps[ai]
+		pktSize := cfg.appPacketSize(spec)
+		st := &appState{
+			spec:    spec,
+			index:   ai,
+			pktSize: pktSize,
+			scratch: make([]byte, pktSize),
+		}
+		if rate, err := cfg.resolveRate(spec); err != nil {
+			return nil, err
+		} else {
+			st.rate = rate
+		}
+		if !spec.Type.Synthetic() {
+			// The flow population scales with the replica count so that
+			// RSS sharding delivers each replica roughly TrafficFlows
+			// distinct flows — the workload the solo profile was
+			// measured under. (With a fixed population, sharding would
+			// shrink each core's working set and every replica would
+			// beat its solo baseline.)
+			st.gen = trafficgen.New(trafficgen.Spec{
+				Seed:  core.SeedFor(spec.Type, 1000+ai),
+				Size:  pktSize,
+				Flows: cfg.Params.TrafficFlows * spec.Workers,
+			})
+		}
+		for k := 0; k < spec.Workers; k++ {
+			w := r.workers[widx]
+			f, err := r.buildFlow(st, k, arena(w.socket), w.socket)
+			if err != nil {
+				return nil, err
+			}
+			st.flows = append(st.flows, f)
+			r.flows = append(r.flows, f)
+			w.bind(f)
+			widx++
+		}
+		states = append(states, st)
+	}
+	r.disp = &dispatcher{apps: states, quantumSec: r.quantumSec}
+	return r, nil
+}
+
+// appPacketSize resolves an app's packet size from its spec or the
+// workload parameters.
+func (c Config) appPacketSize(a AppSpec) int {
+	if a.PacketSize > 0 {
+		return a.PacketSize
+	}
+	switch a.Type {
+	case apps.VPN:
+		return c.Params.PacketSizeVPN
+	case apps.RE:
+		return c.Params.PacketSizeRE
+	default:
+		if c.Params.PacketSizeIP > 0 {
+			return c.Params.PacketSizeIP
+		}
+		return trafficgen.MinPacketSize
+	}
+}
+
+func (c Config) resolveRate(a AppSpec) (float64, error) {
+	if a.RateFraction <= 0 {
+		return a.Rate, nil
+	}
+	p, ok := c.Profiles[a.Type]
+	if !ok || p.SoloPPS <= 0 {
+		return 0, fmt.Errorf("runtime: app %q sets RateFraction but no %s solo profile is available", a.Name, a.Type)
+	}
+	return a.RateFraction * p.SoloPPS * float64(a.Workers), nil
+}
+
+func (r *Runtime) buildFlow(st *appState, replica int, arena *mem.Arena, domain int) (*flow, error) {
+	spec := st.spec
+	seed := core.SeedFor(spec.Type, st.index*64+replica)
+	var inst *apps.Instance
+	var err error
+	switch {
+	case spec.HiddenTrigger > 0:
+		inst, err = r.cfg.Params.BuildHiddenAggressor(arena, seed, spec.HiddenTrigger)
+	case spec.Type == apps.SYN:
+		inst = r.cfg.Params.BuildSyn(arena, seed, spec.SynCompute)
+	case spec.Type == apps.SYNMAX:
+		inst = r.cfg.Params.BuildSyn(arena, seed, 0)
+	case spec.Control:
+		inst, err = r.cfg.Params.BuildWithControl(spec.Type, arena, seed)
+	default:
+		inst, err = r.cfg.Params.Build(spec.Type, arena, seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runtime: app %q replica %d: %w", spec.Name, replica, err)
+	}
+	f := &flow{
+		id:         len(r.flows),
+		app:        st,
+		replica:    replica,
+		pipe:       inst.Pipeline,
+		control:    inst.Control,
+		homeDomain: domain,
+	}
+	if f.pipe != nil {
+		f.ring = NewRing(r.cfg.RingSize, st.pktSize)
+	} else {
+		f.raw = inst.Source
+	}
+	return f, nil
+}
+
+// Stats exposes the live telemetry aggregator.
+func (r *Runtime) Stats() *Stats { return r.stats }
+
+// Run executes the dataplane for the given measured virtual duration
+// (plus the configured warmup) and reports.
+func (r *Runtime) Run(duration float64) (*Report, error) {
+	quanta := int(math.Ceil(duration / r.quantumSec))
+	if quanta < 1 {
+		quanta = 1
+	}
+	return r.run(func(done int, processed uint64) bool { return done >= quanta })
+}
+
+// RunPackets executes until at least count packets have been processed
+// after warmup.
+func (r *Runtime) RunPackets(count uint64) (*Report, error) {
+	return r.run(func(done int, processed uint64) bool { return processed >= count })
+}
+
+func (r *Runtime) run(stop func(doneQuanta int, processed uint64) bool) (*Report, error) {
+	if r.finished {
+		return nil, fmt.Errorf("runtime: already ran; build a new Runtime")
+	}
+	r.finished = true
+	for _, w := range r.workers {
+		go w.loop()
+	}
+	defer func() {
+		for _, w := range r.workers {
+			close(w.startC)
+		}
+	}()
+
+	warmQ := 0
+	if r.cfg.Warmup > 0 {
+		warmQ = int(math.Ceil(r.cfg.Warmup / r.quantumSec))
+	}
+	sinceControl := 0
+	measured := 0
+	for q := 0; ; q++ {
+		if q == warmQ {
+			r.resetMeasurement()
+		}
+		r.disp.enqueue(q)
+		limit := uint64(q+1) * r.cfg.QuantumCycles
+		// Rotate the release order so no worker systematically replays
+		// first (on few host CPUs a quantum's workers run near
+		// sequentially, and the first replayer sees the emptiest
+		// channel queues).
+		n := len(r.workers)
+		for k := 0; k < n; k++ {
+			r.workers[(q+k)%n].startC <- limit
+		}
+		for _, w := range r.workers {
+			<-w.doneC
+		}
+		if q < warmQ {
+			continue
+		}
+		measured++
+		sinceControl++
+		if sinceControl == r.cfg.ControlEvery {
+			r.controlStep(q)
+			sinceControl = 0
+		}
+		var processed uint64
+		for _, w := range r.workers {
+			processed += w.packets
+		}
+		if stop(measured, processed) {
+			if sinceControl > 0 {
+				r.controlStep(q)
+			}
+			return r.buildReport(measured), nil
+		}
+	}
+}
+
+// resetMeasurement zeroes every measurement baseline at the end of
+// warmup; all workers are parked when it runs.
+func (r *Runtime) resetMeasurement() {
+	for _, w := range r.workers {
+		w.prevCounters = w.core.Counters
+		w.baseCounters = w.core.Counters
+		w.prevClock = w.core.Clock()
+		w.packets = 0
+		w.winBatchSum, w.winBatchCnt = 0, 0
+		w.totBatchSum, w.totBatchCnt = 0, 0
+	}
+	for _, f := range r.flows {
+		f.packets = 0
+		if f.pipe != nil {
+			f.baseReceived, f.baseDropped, f.baseFinished = f.pipe.Totals()
+		}
+	}
+	for _, a := range r.disp.apps {
+		a.resetAccounting()
+		// Packets already sitting in rings at measurement start will be
+		// processed inside the window; credit them as offered and
+		// enqueued so the window's conservation and drop accounting hold.
+		for _, f := range a.flows {
+			if f.ring != nil {
+				backlog := uint64(f.ring.Len())
+				a.offered += backlog
+				a.enqueued += backlog
+			}
+		}
+	}
+}
+
+// controlStep is the operator's monitoring agent, run at a barrier: it
+// derives per-core telemetry from counter deltas, applies admission
+// control, and — when predicted drop crosses the threshold — re-places
+// flows across sockets.
+func (r *Runtime) controlStep(q int) {
+	clockHz := r.cfg.Cfg.ClockHz
+	sample := ControlSample{Quantum: q, Time: float64(q+1) * r.quantumSec}
+	live := make([]core.LiveFlow, 0, len(r.workers))
+	for i, w := range r.workers {
+		cur := w.core.Counters
+		delta := cur.Sub(w.prevCounters)
+		elapsed := w.core.Clock() - w.prevClock
+		w.prevCounters = cur
+		w.prevClock = w.core.Clock()
+		winSec := float64(elapsed) / clockHz
+
+		tele := WorkerTelemetry{
+			Worker: i, Core: w.core.ID, Socket: w.socket,
+			BatchOccupancy: occupancy(w.winBatchSum, w.winBatchCnt, w.batch),
+		}
+		w.winBatchSum, w.winBatchCnt = 0, 0
+		if winSec > 0 {
+			tele.PPS = float64(delta.Packets) / winSec
+			tele.RefsPerSec = float64(delta.L3Refs) / winSec
+			tele.HitsPerSec = float64(delta.L3Hits) / winSec
+		}
+		tele.CyclesPerPacket = delta.PerPacket(delta.Cycles)
+		if f := w.fl; f != nil {
+			tele.App = f.app.spec.Name
+			tele.Type = f.app.spec.Type
+			if f.ring != nil {
+				tele.RingDepth = f.ring.Len()
+				tele.RingCap = f.ring.Cap()
+			}
+			if f.control != nil {
+				tele.DelayCycles = f.control.Delay()
+			}
+			live = append(live, core.LiveFlow{
+				Worker: i, Type: f.app.spec.Type, Socket: w.socket,
+				RefsPerSec: tele.RefsPerSec,
+			})
+		}
+		sample.Workers = append(sample.Workers, tele)
+	}
+
+	// Predicted drop for the placement the window actually measured.
+	drops := core.PredictLiveDrops(r.curves, live)
+	for k, lf := range live {
+		sample.Workers[lf.Worker].PredictedDrop = drops[k]
+	}
+
+	// Admission control: clamp flows to their profiled reference rate.
+	if r.cfg.Admission {
+		for i, w := range r.workers {
+			f := w.fl
+			if f == nil || f.control == nil {
+				continue
+			}
+			prof, ok := r.cfg.Profiles[f.app.spec.Type]
+			if !ok || prof.SoloRefsPerSec <= 0 {
+				continue
+			}
+			rc := core.RateController{Limit: prof.SoloRefsPerSec, Slack: r.cfg.Slack}
+			tele := &sample.Workers[i]
+			next, throttled := rc.Step(tele.RefsPerSec, tele.CyclesPerPacket, f.control.Delay())
+			f.control.SetDelay(next)
+			tele.DelayCycles = next
+			tele.Throttled = throttled
+			if throttled {
+				r.throttleEvents++
+			}
+		}
+	}
+
+	// Live re-placement across sockets.
+	if r.cfg.DropThreshold > 0 && len(r.curves) > 0 {
+		if a, b, ok := core.PlanRebalance(r.curves, live, r.cfg.DropThreshold, r.cfg.RebalanceMargin); ok {
+			worst := 0.0
+			for _, d := range drops {
+				if d > worst {
+					worst = d
+				}
+			}
+			r.swap(live[a].Worker, live[b].Worker, q, worst)
+		}
+	}
+
+	r.stats.record(sample)
+}
+
+// swap exchanges the flows of two workers: live migration at a barrier.
+func (r *Runtime) swap(a, b, q int, worstBefore float64) {
+	wa, wb := r.workers[a], r.workers[b]
+	fa, fb := wa.fl, wb.fl
+	r.migrations = append(r.migrations, Migration{
+		Quantum: q, WorkerA: a, WorkerB: b,
+		FlowA: flowName(fa), FlowB: flowName(fb),
+		WorstBefore: worstBefore,
+	})
+	wa.bind(fb)
+	wb.bind(fa)
+}
+
+func flowName(f *flow) string {
+	if f == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%s/%d", f.app.spec.Name, f.replica)
+}
+
+func (r *Runtime) buildReport(measQ int) *Report {
+	duration := float64(measQ) * r.quantumSec
+	rep := &Report{
+		Scenario:       r.cfg.Scenario,
+		Duration:       duration,
+		Quanta:         measQ,
+		Migrations:     r.migrations,
+		ThrottleEvents: r.throttleEvents,
+	}
+
+	for i, w := range r.workers {
+		delta := w.core.Counters.Sub(w.baseCounters)
+		wr := WorkerReport{
+			Worker: i, Core: w.core.ID, Socket: w.socket,
+			Packets:        w.packets,
+			PPS:            float64(w.packets) / duration,
+			RefsPerSec:     float64(delta.L3Refs) / duration,
+			BatchOccupancy: occupancy(w.totBatchSum, w.totBatchCnt, w.batch),
+		}
+		if f := w.fl; f != nil {
+			wr.App = f.app.spec.Name
+			wr.Type = f.app.spec.Type
+			if f.control != nil {
+				wr.DelayCycles = f.control.Delay()
+			}
+		}
+		rep.Workers = append(rep.Workers, wr)
+	}
+
+	// Per-app prediction averages from the recorded control samples.
+	predSum := map[string]float64{}
+	predCnt := map[string]int{}
+	for _, cs := range r.stats.Samples() {
+		for _, t := range cs.Workers {
+			if t.App != "" {
+				predSum[t.App] += t.PredictedDrop
+				predCnt[t.App]++
+			}
+		}
+	}
+
+	for _, a := range r.disp.apps {
+		ar := AppReport{
+			Name: a.spec.Name, Type: a.spec.Type, Workers: len(a.flows),
+			Offered: a.offered, Enqueued: a.enqueued, NICDrops: a.nicDrops,
+		}
+		for _, f := range a.flows {
+			_, dropped, finished := f.totals()
+			ar.Processed += f.packets
+			ar.PipeDropped += dropped
+			ar.Finished += finished
+		}
+		ar.ObservedPPS = float64(ar.Processed) / duration
+		ar.PerWorkerPPS = ar.ObservedPPS / float64(len(a.flows))
+		if a.offered > 0 {
+			ar.LossRate = float64(a.nicDrops) / float64(a.offered)
+		}
+		if p, ok := r.cfg.Profiles[a.spec.Type]; ok && p.SoloPPS > 0 {
+			ar.SoloPPS = p.SoloPPS
+			expected := p.SoloPPS
+			if a.rate > 0 {
+				offPPS := float64(a.offered) / duration / float64(len(a.flows))
+				if offPPS < expected {
+					expected = offPPS
+				}
+			}
+			if expected > 0 {
+				ar.ObservedDrop = 1 - ar.PerWorkerPPS/expected
+			}
+		}
+		if n := predCnt[a.spec.Name]; n > 0 {
+			ar.PredictedDrop = predSum[a.spec.Name] / float64(n)
+		}
+		rep.Apps = append(rep.Apps, ar)
+	}
+	return rep
+}

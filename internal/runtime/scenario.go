@@ -1,0 +1,137 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/hw"
+)
+
+// Builtin scenarios: each exercises a different stress on the dataplane
+// and a different online mechanism.
+//
+//	mixed  — a realistic middlebox mix (IP forwarding, monitoring, VPN,
+//	         firewall) saturating one socket; the baseline
+//	         predicted-versus-observed comparison.
+//	bursty — steady monitoring plus an on/off VPN source whose bursts
+//	         overrun its rings, exercising queueing and tail drop.
+//	thrash — monitoring victims interleaved with SYN_MAX cache thrashers
+//	         across both sockets; live re-placement separates them.
+//	hidden — the Section 4 adversary: a flow that profiles like a
+//	         firewall, then turns into a cache thrasher; admission
+//	         control clamps it back to its profiled rate.
+const (
+	ScenarioMixed  = "mixed"
+	ScenarioBursty = "bursty"
+	ScenarioThrash = "thrash"
+	ScenarioHidden = "hidden"
+)
+
+// ScenarioNames lists the builtin scenarios.
+func ScenarioNames() []string {
+	return []string{ScenarioMixed, ScenarioBursty, ScenarioThrash, ScenarioHidden}
+}
+
+// ScenarioTypes returns the flow types a scenario runs, for callers that
+// profile before building (offline profiling is per type).
+func ScenarioTypes(name string, cfg hw.Config, params apps.Params) ([]apps.FlowType, error) {
+	c, err := ScenarioConfig(name, cfg, params)
+	if err != nil {
+		return nil, err
+	}
+	set := map[apps.FlowType]bool{}
+	for _, a := range c.Apps {
+		set[a.Type] = true
+	}
+	var out []apps.FlowType
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// ScenarioConfig assembles the runtime configuration of a builtin
+// scenario on the given platform and workload scale. Profiles are left
+// nil; callers attach them (see ProfileFlows) before NewRuntime when
+// prediction, admission, or re-placement is wanted.
+func ScenarioConfig(name string, cfg hw.Config, params apps.Params) (Config, error) {
+	cps := cfg.CoresPerSocket
+	base := Config{Cfg: cfg, Params: params, Scenario: name}
+	switch strings.ToLower(name) {
+	case ScenarioMixed:
+		if cps < 4 {
+			return Config{}, fmt.Errorf("runtime: scenario %s needs ≥4 cores per socket", name)
+		}
+		n := cps
+		if n > 6 {
+			n = 6
+		}
+		// Saturating mix filling one socket: 2×IP, then MON, VPN, FW, MON.
+		specs := []AppSpec{
+			{Name: "ipfwd", Type: apps.IP, Workers: 2},
+			{Name: "mon", Type: apps.MON, Workers: 1},
+			{Name: "vpn", Type: apps.VPN, Workers: 1},
+			{Name: "fw", Type: apps.FW, Workers: 1},
+			{Name: "mon2", Type: apps.MON, Workers: 1},
+		}
+		total := 0
+		var use []AppSpec
+		for _, s := range specs {
+			if total+s.Workers > n {
+				break
+			}
+			use = append(use, s)
+			total += s.Workers
+		}
+		base.Apps = use
+		return base, nil
+	case ScenarioBursty:
+		if cps < 4 {
+			return Config{}, fmt.Errorf("runtime: scenario %s needs ≥4 cores per socket", name)
+		}
+		base.Apps = []AppSpec{
+			{Name: "mon", Type: apps.MON, Workers: 2, RateFraction: 0.7},
+			// 1.8× solo rate during bursts, 6 quanta on / 6 off: the ring
+			// absorbs the front of each burst, then tail-drops.
+			{Name: "vpn", Type: apps.VPN, Workers: 2, RateFraction: 1.8, BurstOn: 6, BurstOff: 6},
+		}
+		base.RingSize = 256
+		return base, nil
+	case ScenarioThrash:
+		if cfg.Sockets < 2 || cps < 2 {
+			return Config{}, fmt.Errorf("runtime: scenario %s needs 2 sockets × ≥2 cores", name)
+		}
+		// Pathological initial placement: each socket pairs a victim with
+		// a thrasher. Re-placement should converge to victims together,
+		// thrashers together. The thrasher's region is held to half the
+		// L3 so it stays cache-resident next to a victim — the regime
+		// where its reference rate (and thus the damage it does) is
+		// highest, as with the paper's SYN_MAX.
+		base.Params.SynRegionBytes = cfg.L3.SizeBytes / 2
+		base.Apps = []AppSpec{
+			{Name: "mon-a", Type: apps.MON, Workers: 1},
+			{Name: "thrash-a", Type: apps.SYNMAX, Workers: 1},
+			{Name: "mon-b", Type: apps.MON, Workers: 1},
+			{Name: "thrash-b", Type: apps.SYNMAX, Workers: 1},
+		}
+		base.Cores = []int{0, 1, cps, cps + 1}
+		base.DropThreshold = 0.05
+		return base, nil
+	case ScenarioHidden:
+		if cps < 4 {
+			return Config{}, fmt.Errorf("runtime: scenario %s needs ≥4 cores per socket", name)
+		}
+		base.Apps = []AppSpec{
+			{Name: "mon", Type: apps.MON, Workers: 3},
+			// Profiles like FW, turns aggressive after 2000 packets.
+			{Name: "rogue", Type: apps.FW, Workers: 1, HiddenTrigger: 2000},
+		}
+		base.Admission = true
+		return base, nil
+	}
+	return Config{}, fmt.Errorf("runtime: unknown scenario %q (have %s)",
+		name, strings.Join(ScenarioNames(), ", "))
+}

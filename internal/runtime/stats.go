@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"pktpredict/internal/apps"
+)
+
+// WorkerTelemetry is one worker's live measurements over the last control
+// window: the per-core counters an operator's monitoring agent would read
+// from hardware counters, plus queue state only the dataplane knows.
+type WorkerTelemetry struct {
+	Worker int
+	Core   int
+	Socket int
+	App    string
+	Type   apps.FlowType
+
+	PPS             float64 // packets processed per virtual second
+	RefsPerSec      float64 // L3 references per virtual second (the aggressiveness proxy)
+	HitsPerSec      float64 // L3 hits per virtual second (the sensitivity proxy)
+	CyclesPerPacket float64
+	BatchOccupancy  float64 // mean batch fill fraction [0,1]
+	RingDepth       int     // input-ring occupancy at sample time
+	RingCap         int
+	DelayCycles     uint32 // admission-control delay currently applied
+	Throttled       bool   // admission control tightened the delay this window
+	PredictedDrop   float64
+}
+
+// ControlSample is one control interval's full telemetry snapshot.
+type ControlSample struct {
+	Quantum int     // quantum index at which the sample was taken
+	Time    float64 // virtual seconds since measurement start
+	Workers []WorkerTelemetry
+}
+
+// Stats aggregates per-core telemetry across control intervals. The
+// runtime's control loop records into it at barrier points; any goroutine
+// may concurrently read the latest snapshot, which is how a CLI progress
+// display or an external scraper observes a live dataplane.
+type Stats struct {
+	mu      sync.Mutex
+	samples []ControlSample
+}
+
+func (s *Stats) record(cs ControlSample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = append(s.samples, cs)
+}
+
+// Latest returns the most recent control sample (zero value when none).
+func (s *Stats) Latest() ControlSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return ControlSample{}
+	}
+	return s.samples[len(s.samples)-1]
+}
+
+// Samples returns a copy of all recorded control samples.
+func (s *Stats) Samples() []ControlSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ControlSample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Migration records one live re-placement: two workers exchanged their
+// flows across sockets because the predicted drop exceeded the threshold.
+type Migration struct {
+	Quantum     int
+	WorkerA     int
+	WorkerB     int
+	FlowA       string
+	FlowB       string
+	WorstBefore float64 // worst predicted drop before the swap
+}
+
+// WorkerReport summarises one worker over the whole measurement window,
+// under its final flow binding.
+type WorkerReport struct {
+	Worker int
+	Core   int
+	Socket int
+	App    string
+	Type   apps.FlowType
+
+	Packets        uint64
+	PPS            float64
+	RefsPerSec     float64
+	BatchOccupancy float64
+	DelayCycles    uint32
+}
+
+// AppReport summarises one flow group over the measurement window and
+// holds the scenario's headline comparison: observed throughput drop
+// against the drop the paper's method predicts from the live telemetry.
+type AppReport struct {
+	Name    string
+	Type    apps.FlowType
+	Workers int
+
+	Offered  uint64 // packets the traffic source generated
+	Enqueued uint64 // packets accepted into input rings
+	NICDrops uint64 // packets tail-dropped at full rings
+
+	Processed   uint64 // packets fully executed by workers
+	PipeDropped uint64 // packets dropped inside the pipeline (firewall etc.)
+	Finished    uint64 // packets that completed the pipeline
+
+	ObservedPPS  float64 // aggregate processed/sec across the group's workers
+	PerWorkerPPS float64
+	SoloPPS      float64 // offline solo baseline per worker (0 when unprofiled)
+
+	ObservedDrop  float64 // 1 − PerWorkerPPS/expected (expected caps at offered rate)
+	PredictedDrop float64 // time-averaged per-worker curve prediction
+	LossRate      float64 // NICDrops/Offered
+}
+
+// PredictionError returns observed minus predicted drop, the paper's
+// accuracy metric, meaningful only when a solo profile was supplied.
+func (a AppReport) PredictionError() float64 {
+	if a.SoloPPS == 0 {
+		return 0
+	}
+	return a.ObservedDrop - a.PredictedDrop
+}
+
+// Report is the outcome of one runtime execution.
+type Report struct {
+	Scenario string
+	Duration float64 // measured virtual seconds (warmup excluded)
+	Quanta   int
+	Workers  []WorkerReport
+	Apps     []AppReport
+
+	Migrations     []Migration
+	ThrottleEvents int // control windows in which admission tightened a delay
+}
+
+// TotalProcessed sums processed packets across all flow groups.
+func (r *Report) TotalProcessed() uint64 {
+	var n uint64
+	for _, a := range r.Apps {
+		n += a.Processed
+	}
+	return n
+}
+
+// String renders the report as aligned text tables.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %d workers, %.1f ms virtual, %d quanta, %d migrations, %d throttle events\n",
+		r.Scenario, len(r.Workers), r.Duration*1e3, r.Quanta, len(r.Migrations), r.ThrottleEvents)
+
+	fmt.Fprintf(&b, "\n%-3s %-4s %-6s %-10s %-8s %12s %12s %8s %8s\n",
+		"wkr", "core", "socket", "app", "type", "pkts", "pps", "occ", "delay")
+	for _, w := range r.Workers {
+		fmt.Fprintf(&b, "%-3d %-4d %-6d %-10s %-8s %12d %12.0f %8.2f %8d\n",
+			w.Worker, w.Core, w.Socket, w.App, w.Type, w.Packets, w.PPS,
+			w.BatchOccupancy, w.DelayCycles)
+	}
+
+	fmt.Fprintf(&b, "\n%-10s %-8s %3s %12s %10s %12s %10s %10s %10s %10s\n",
+		"app", "type", "n", "processed", "nicdrop", "pps/worker", "solo", "obs_drop", "pred_drop", "err")
+	for _, a := range r.Apps {
+		obs, pred, errs := "-", "-", "-"
+		if a.SoloPPS > 0 {
+			obs = fmt.Sprintf("%.1f%%", a.ObservedDrop*100)
+			pred = fmt.Sprintf("%.1f%%", a.PredictedDrop*100)
+			errs = fmt.Sprintf("%+.1f%%", a.PredictionError()*100)
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %3d %12d %10d %12.0f %10.0f %10s %10s %10s\n",
+			a.Name, a.Type, a.Workers, a.Processed, a.NICDrops,
+			a.PerWorkerPPS, a.SoloPPS, obs, pred, errs)
+	}
+
+	for _, m := range r.Migrations {
+		fmt.Fprintf(&b, "\nmigration @q%d: worker %d (%s) <-> worker %d (%s), worst predicted drop was %.1f%%",
+			m.Quantum, m.WorkerA, m.FlowA, m.WorkerB, m.FlowB, m.WorstBefore*100)
+	}
+	if len(r.Migrations) > 0 {
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package runtime
+
+import (
+	"pktpredict/internal/click"
+	"pktpredict/internal/elements"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+	"pktpredict/internal/nic"
+)
+
+// Receive-path attribution matches elements.FromDevice, so a runtime
+// worker's per-packet profile lines up with the offline solo profile the
+// predictor is built from; the compute costs come from the same
+// centralised constants.
+var fnRingRx = hw.RegisterFunc("from_device")
+
+// flow is one running flow instance: a pipeline replica (or a raw
+// synthetic source) plus its input ring and admission-control element.
+// A flow is bound to exactly one worker at a time; live re-placement
+// exchanges the bindings of two workers at a barrier. The flow's state
+// (tables, buffers) stays in the NUMA domain it was allocated from, so a
+// migrated flow pays remote-memory latency — exactly the cost a real
+// dataplane weighs before moving work across sockets.
+type flow struct {
+	id      int
+	app     *appState
+	replica int
+
+	pipe    *click.Pipeline  // nil for synthetic flows
+	raw     hw.PacketSource  // non-nil for synthetic flows
+	ring    *Ring            // nil for synthetic flows
+	control *elements.Control // non-nil when the app carries admission control
+
+	homeDomain int
+
+	// packets counts fully executed packets since measurement start. The
+	// owning worker increments it; the control loop reads it at barriers.
+	packets uint64
+
+	baseReceived, baseDropped, baseFinished uint64
+}
+
+// totals returns the flow's pipeline counters relative to the
+// measurement baseline.
+func (f *flow) totals() (received, dropped, finished uint64) {
+	if f.pipe == nil {
+		return f.packets, 0, f.packets
+	}
+	r, d, fin := f.pipe.Totals()
+	return r - f.baseReceived, d - f.baseDropped, fin - f.baseFinished
+}
+
+// ringSource adapts a flow's input ring to click.Source: the worker-side
+// receive path. Popping a packet takes a buffer from the worker's
+// NUMA-local pool, copies the bytes in (modelled as the NIC's DMA into
+// the socket's L3 via direct cache access), and consumes an RX
+// descriptor — the same trace FromDevice emits, with the ring replacing
+// the inline generator.
+type ringSource struct {
+	pool    *nic.BufferPool
+	rx      *nic.Ring
+	ring    *Ring
+	scratch []byte
+}
+
+func newRingSource(arena *mem.Arena, buffers, bufSize, ringSize int) *ringSource {
+	alloc := (bufSize + 511) &^ 511 // buffers never share cache lines
+	return &ringSource{
+		pool:    nic.NewBufferPool(arena, buffers, alloc),
+		rx:      nic.NewRing(arena, ringSize),
+		scratch: make([]byte, bufSize),
+	}
+}
+
+// Class implements click.Source.
+func (rs *ringSource) Class() string { return "RingSource" }
+
+// Pull implements click.Source.
+func (rs *ringSource) Pull(ctx *click.Ctx) *click.Packet {
+	if rs.ring == nil {
+		return nil
+	}
+	n, ok := rs.ring.Pop(rs.scratch)
+	if !ok {
+		return nil
+	}
+	old := ctx.SetFunc(fnRingRx)
+	defer ctx.SetFunc(old)
+	idx, data, addr := rs.pool.Get(ctx)
+	copy(data[:n], rs.scratch[:n])
+	ctx.DMABytes(addr, n)
+	rs.rx.Consume(ctx)
+	ctx.Compute(elements.RxCompute, elements.RxInstrs)
+	return &click.Packet{Data: data[:n], Addr: addr, Recycler: rs, PoolIndex: idx}
+}
+
+// Recycle implements click.Recycler.
+func (rs *ringSource) Recycle(ctx *click.Ctx, p *click.Packet) {
+	rs.pool.Put(ctx, p.PoolIndex)
+}
+
+// worker is one run-to-completion dataplane thread pinned to one
+// simulated core. It owns the core exclusively; all shared cache state it
+// touches is serialised inside hw (see Core.ExecOps).
+type worker struct {
+	id     int
+	core   *hw.Core
+	socket int
+	src    *ringSource
+	batch  int
+
+	fl    *flow
+	opbuf []hw.Op
+
+	// Owner-written telemetry, read by the control loop at barriers.
+	packets     uint64 // packets since measurement start
+	winBatchSum uint64 // packets processed, this control window
+	winBatchCnt uint64 // batch polls, this control window
+	totBatchSum uint64
+	totBatchCnt uint64
+
+	prevCounters hw.Counters // control-window baseline
+	prevClock    uint64
+	baseCounters hw.Counters // measurement-start baseline
+
+	startC chan uint64
+	doneC  chan struct{}
+}
+
+// bind attaches f to w: the flow's pipeline draws packets from this
+// worker's receive path from now on.
+func (w *worker) bind(f *flow) {
+	w.fl = f
+	if f == nil {
+		w.src.ring = nil
+		return
+	}
+	w.src.ring = f.ring
+	if f.pipe != nil {
+		f.pipe.Source = w.src
+	}
+}
+
+// loop is the worker goroutine: wait for a quantum, run to its boundary,
+// report back. The channel pair is the synchronisation barrier that keeps
+// core-local virtual clocks within one quantum of each other (lax
+// conservative synchronisation, as parallel architecture simulators use).
+func (w *worker) loop() {
+	for limit := range w.startC {
+		w.runQuantum(limit)
+		w.doneC <- struct{}{}
+	}
+}
+
+// runQuantum executes batches until the core's local clock reaches the
+// quantum boundary. When the input runs dry the worker idles to the
+// boundary: the dispatcher only refills rings at barriers, so within a
+// quantum an empty ring stays empty.
+func (w *worker) runQuantum(limit uint64) {
+	for w.core.Clock() < limit {
+		n := 0
+		for n < w.batch && w.core.Clock() < limit {
+			var ops []hw.Op
+			switch {
+			case w.fl == nil:
+			case w.fl.pipe != nil:
+				ops = w.fl.pipe.EmitPacket(w.opbuf[:0])
+			case w.fl.raw != nil:
+				ops = w.fl.raw.EmitPacket(w.opbuf[:0])
+			}
+			if len(ops) == 0 {
+				break
+			}
+			w.opbuf = ops
+			w.core.ExecOps(ops)
+			w.fl.packets++
+			w.packets++
+			n++
+		}
+		w.winBatchSum += uint64(n)
+		w.winBatchCnt++
+		w.totBatchSum += uint64(n)
+		w.totBatchCnt++
+		if n == 0 {
+			w.core.AdvanceTo(limit)
+			return
+		}
+	}
+}
+
+// occupancy converts a batch-fill sum/count pair to a mean fraction.
+func occupancy(sum, cnt uint64, batch int) float64 {
+	if cnt == 0 || batch == 0 {
+		return 0
+	}
+	return float64(sum) / float64(cnt) / float64(batch)
+}

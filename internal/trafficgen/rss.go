@@ -1,0 +1,41 @@
+package trafficgen
+
+import "pktpredict/internal/netpkt"
+
+// RSS-style receive-side scaling: a multi-queue NIC hashes each arriving
+// packet's 5-tuple and uses the hash to pick a receive queue, so that all
+// packets of one transport flow land on one core while distinct flows
+// spread across cores. The runtime's dispatcher uses this to shard one
+// generated stream across the workers serving a flow group.
+
+// RSSHash returns the receive-side-scaling hash of a packet beginning with
+// an IPv4 header. Packets that do not parse as IPv4 fall back to a byte
+// hash of the header area, as a NIC's non-IP fallback queue selection
+// does; in both cases equal flows always hash equally.
+func RSSHash(pkt []byte) uint32 {
+	if ft, err := netpkt.ExtractFiveTuple(pkt); err == nil {
+		h := ft.Hash()
+		return uint32(h ^ h>>32)
+	}
+	// FNV-1a over up to the first 20 bytes (the IPv4 header area).
+	n := len(pkt)
+	if n > 20 {
+		n = 20
+	}
+	h := uint32(2166136261)
+	for _, b := range pkt[:n] {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
+// RSSQueue maps a hash onto one of n receive queues. It panics when n is
+// not positive: queue fan-out is dataplane setup, where failing fast is
+// the right behaviour.
+func RSSQueue(hash uint32, n int) int {
+	if n <= 0 {
+		panic("trafficgen: RSSQueue requires a positive queue count")
+	}
+	return int(hash % uint32(n))
+}

@@ -1,0 +1,61 @@
+package trafficgen
+
+import "testing"
+
+func TestRSSHashStableAndFlowConsistent(t *testing.T) {
+	g := New(Spec{Seed: 7, Flows: 64})
+	buf := make([]byte, MinPacketSize)
+	hashes := map[uint32]bool{}
+	for i := 0; i < 1000; i++ {
+		n := g.Next(buf)
+		h1 := RSSHash(buf[:n])
+		h2 := RSSHash(buf[:n])
+		if h1 != h2 {
+			t.Fatalf("RSSHash not deterministic: %x vs %x", h1, h2)
+		}
+		hashes[h1] = true
+	}
+	// 64 distinct flows must yield at most 64 distinct hashes (equal
+	// tuples hash equally) and far more than one (tuples differ).
+	if len(hashes) > 64 {
+		t.Fatalf("more hash values (%d) than flows (64)", len(hashes))
+	}
+	if len(hashes) < 16 {
+		t.Fatalf("suspiciously few hash values: %d", len(hashes))
+	}
+}
+
+func TestRSSQueueSpreadsFlows(t *testing.T) {
+	g := New(Spec{Seed: 11})
+	buf := make([]byte, MinPacketSize)
+	const queues = 4
+	counts := make([]int, queues)
+	for i := 0; i < 4000; i++ {
+		n := g.Next(buf)
+		counts[RSSQueue(RSSHash(buf[:n]), queues)]++
+	}
+	for q, c := range counts {
+		// Uniform would be 1000 per queue; accept a wide band.
+		if c < 500 || c > 1500 {
+			t.Fatalf("queue %d received %d of 4000 packets; skewed sharding: %v", q, c, counts)
+		}
+	}
+}
+
+func TestRSSHashNonIPFallback(t *testing.T) {
+	junk := []byte{0x00, 0x01, 0x02}
+	if RSSHash(junk) != RSSHash(junk) {
+		t.Fatal("fallback hash not deterministic")
+	}
+	empty := RSSHash(nil)
+	_ = empty // must not panic
+}
+
+func TestRSSQueuePanicsOnZeroQueues(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RSSQueue(_, 0) did not panic")
+		}
+	}()
+	RSSQueue(1, 0)
+}
