@@ -1,4 +1,4 @@
-// Command dataplane runs the concurrent multi-core runtime on a builtin
+// Command dataplane runs the concurrent multi-core runtime on a
 // scenario: it profiles the scenario's flow types offline (solo runs and
 // drop-versus-competition sweeps on the deterministic engine), then
 // executes the scenario on worker goroutines — one per simulated core —
@@ -6,9 +6,16 @@
 // prediction, plus any admission throttling and live re-placement the
 // control loop performed.
 //
+// Scenarios come from Click-style files (-config, see
+// examples/scenarios/*.click) or from the builtin catalogue (-scenario).
+// The shipped files include the four former builtins and a branching
+// NAT/firewall service chain (nat_chain.click) whose pipeline graph is
+// declared inline in the file.
+//
 // Usage:
 //
-//	dataplane -scenario mixed|bursty|thrash|hidden
+//	dataplane [-config examples/scenarios/nat_chain.click]
+//	          [-scenario mixed|bursty|thrash|hidden]
 //	          [-scale quick|full] [-duration 0.05] [-packets N]
 //	          [-batch 32] [-ring 512] [-quantum 200000] [-noprofile]
 //	          [-telemetry]
@@ -25,11 +32,13 @@ import (
 
 	"pktpredict/internal/exp"
 	"pktpredict/internal/runtime"
+	"pktpredict/internal/scenario"
 )
 
 func main() {
-	scenario := flag.String("scenario", "mixed",
-		"scenario: "+strings.Join(runtime.ScenarioNames(), ", "))
+	configPath := flag.String("config", "", "scenario file (Click-style .click text)")
+	scenarioName := flag.String("scenario", "mixed",
+		"builtin scenario: "+strings.Join(runtime.ScenarioNames(), ", ")+" (ignored with -config)")
 	scaleName := flag.String("scale", "quick", "platform/workload scale: quick or full")
 	duration := flag.Float64("duration", 0.05, "measured virtual seconds")
 	packets := flag.Uint64("packets", 0, "stop after N processed packets instead of -duration")
@@ -51,7 +60,17 @@ func main() {
 		fatalf("unknown scale %q", *scaleName)
 	}
 
-	cfg, err := runtime.ScenarioConfig(*scenario, scale.Cfg, scale.Params)
+	var cfg runtime.Config
+	var err error
+	if *configPath != "" {
+		sc, lerr := scenario.Load(*configPath)
+		if lerr != nil {
+			fatalf("%v", lerr)
+		}
+		cfg, err = sc.Config(scale.Cfg, scale.Params)
+	} else {
+		cfg, err = runtime.ScenarioConfig(*scenarioName, scale.Cfg, scale.Params)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -69,14 +88,12 @@ func main() {
 	}
 
 	if !*noprofile {
-		types, err := runtime.ScenarioTypes(*scenario, scale.Cfg, scale.Params)
-		if err != nil {
-			fatalf("%v", err)
-		}
+		types := cfg.FlowTypes()
 		fmt.Fprintf(os.Stderr, "dataplane: profiling %v offline (%s scale)...\n", types, scale.Name)
 		start := time.Now()
 		// Profiling must use the scenario's workload parameters (thrash,
-		// for example, pins the SYN region), not the raw scale's.
+		// for example, pins the SYN region; file scenarios register their
+		// custom graph types), not the raw scale's.
 		profiles, err := runtime.ProfileFlows(scale.Cfg, cfg.Params, scale.Warmup, scale.Window,
 			scale.SweepGrid, types)
 		if err != nil {

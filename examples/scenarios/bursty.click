@@ -1,0 +1,8 @@
+// bursty — steady monitoring plus an on/off VPN source whose bursts
+// overrun its rings, exercising queueing and tail drop. The VPN offers
+// 1.8x its solo rate for 6 quanta, then goes quiet for 6: the ring
+// absorbs the front of each burst, then tail-drops.
+scenario :: Scenario(NAME bursty, MIN_CORES_PER_SOCKET 4, RING 256);
+
+mon :: Flow(TYPE MON, WORKERS 2, RATE_FRACTION 0.7);
+vpn :: Flow(TYPE VPN, WORKERS 2, RATE_FRACTION 1.8, BURST_ON 6, BURST_OFF 6);

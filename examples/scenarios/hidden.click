@@ -1,0 +1,8 @@
+// hidden — the Section 4 adversary: a flow that profiles like a
+// firewall, then (after 2000 packets) turns into a cache thrasher;
+// admission control clamps it back to its profiled rate through its
+// control element.
+scenario :: Scenario(NAME hidden, MIN_CORES_PER_SOCKET 4, ADMISSION true);
+
+mon   :: Flow(TYPE MON, WORKERS 3);
+rogue :: Flow(TYPE FW, WORKERS 1, HIDDEN_TRIGGER 2000);

@@ -1,0 +1,11 @@
+// mixed — a realistic middlebox mix (IP forwarding, monitoring, VPN,
+// firewall) saturating one socket; the baseline predicted-versus-observed
+// comparison. FIT admits flows in declaration order until one socket
+// (at most 6 cores) is full, so the same file works on any platform.
+scenario :: Scenario(NAME mixed, MIN_CORES_PER_SOCKET 4, FIT 6);
+
+ipfwd :: Flow(TYPE IP, WORKERS 2);
+mon   :: Flow(TYPE MON, WORKERS 1);
+vpn   :: Flow(TYPE VPN, WORKERS 1);
+fw    :: Flow(TYPE FW, WORKERS 1);
+mon2  :: Flow(TYPE MON, WORKERS 1);

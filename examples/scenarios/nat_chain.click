@@ -1,0 +1,28 @@
+// nat_chain — a branching NAT/firewall service chain next to monitoring
+// and VPN neighbours. Traffic is classified by transport protocol: TCP
+// and UDP both pass the stateful NAT (rewrite + port allocation + flow
+// table) and the firewall, anything else is discarded; a tee mirrors the
+// forwarded stream to a counter, exercising broadcast fan-out. The graph
+// becomes a custom flow type (NATFW) that is profiled offline and
+// predicted exactly like the builtin workloads.
+scenario :: Scenario(NAME nat_chain, MIN_CORES_PER_SOCKET 4);
+
+graph NATFW {
+    src    :: FromDevice(SIZE 64);
+    cls    :: IPClassifier(tcp, udp, -);
+    nat    :: IPRewriter(EXTIP 198.51.100.1, CAPACITY 65536);
+    fw     :: IPFilter(RULES 1000);
+    tee    :: Tee;
+    mirror :: Counter;
+    src -> CheckIPHeader -> cls;
+    cls[0] -> nat;
+    cls[1] -> nat;
+    cls[2] -> Discard;
+    nat -> fw -> tee;
+    tee[0] -> ToDevice;
+    tee[1] -> mirror -> Discard;
+}
+
+natfw :: Flow(GRAPH NATFW, WORKERS 2);
+mon   :: Flow(TYPE MON, WORKERS 1);
+vpn   :: Flow(TYPE VPN, WORKERS 1);

@@ -1,0 +1,15 @@
+// thrash — monitoring victims interleaved with SYN_MAX cache thrashers
+// across both sockets; live re-placement separates them. The pathological
+// initial placement pairs each victim with a thrasher (PLACE pins worker
+// k to the k-th listed core; s1:0 is core 0 of socket 1). The thrasher's
+// region is held to half the L3 so it stays cache-resident next to a
+// victim — the regime where its reference rate (and thus the damage it
+// does) is highest.
+scenario :: Scenario(NAME thrash, MIN_SOCKETS 2, MIN_CORES_PER_SOCKET 2,
+                     SYN_REGION_FRACTION 0.5, DROP_THRESHOLD 0.05,
+                     PLACE 0 1 s1:0 s1:1);
+
+mon-a    :: Flow(TYPE MON, WORKERS 1);
+thrash-a :: Flow(TYPE SYN_MAX, WORKERS 1);
+mon-b    :: Flow(TYPE MON, WORKERS 1);
+thrash-b :: Flow(TYPE SYN_MAX, WORKERS 1);

@@ -25,11 +25,13 @@ import (
 	"pktpredict/internal/hw"
 	"pktpredict/internal/mem"
 	"pktpredict/internal/synth"
+	"pktpredict/internal/trafficgen"
 
 	// Element providers register their classes with the click registry.
 	_ "pktpredict/internal/aes"
 	_ "pktpredict/internal/firewall"
 	_ "pktpredict/internal/iplookup"
+	_ "pktpredict/internal/nat"
 	_ "pktpredict/internal/netflow"
 	_ "pktpredict/internal/re"
 )
@@ -76,6 +78,22 @@ type Params struct {
 
 	SynRegionBytes int // SYN data-structure size (the L3 size)
 	SynAccesses    int // SYN memory reads per packet
+
+	// Custom declares user-defined flow types: scenario files register a
+	// named Click graph here and then use its name anywhere a builtin
+	// FlowType is accepted — building, offline profiling, and the
+	// concurrent runtime all work unchanged. The map is shared by value
+	// copies of Params; treat it as immutable after setup.
+	Custom map[FlowType]CustomFlow
+}
+
+// CustomFlow is one user-defined flow type: a Click configuration whose
+// head is a Source (replaced by the receive ring when run under the
+// concurrent runtime) and the packet profile its traffic is generated
+// with.
+type CustomFlow struct {
+	Config     string
+	PacketSize int // generated packet size (default PacketSizeIP)
 }
 
 // Default returns the paper-scale parameters.
@@ -126,11 +144,33 @@ type Instance struct {
 	Control  *elements.Control // non-nil when built with a control element
 }
 
+// PacketSize returns the wire size of the packets generated for flow
+// type t.
+func (p Params) PacketSize(t FlowType) int {
+	if cf, ok := p.Custom[t]; ok && cf.PacketSize > 0 {
+		return cf.PacketSize
+	}
+	switch t {
+	case VPN:
+		return p.PacketSizeVPN
+	case RE:
+		return p.PacketSizeRE
+	default:
+		if p.PacketSizeIP > 0 {
+			return p.PacketSizeIP
+		}
+		return trafficgen.MinPacketSize
+	}
+}
+
 // Config renders the Click configuration text for flow type t. SYN types
 // have no Click pipeline and return "".
 func (p Params) Config(t FlowType, seed uint64) string {
 	if t == SYN || t == SYNMAX {
 		return ""
+	}
+	if cf, ok := p.Custom[t]; ok {
+		return cf.Config
 	}
 	var b strings.Builder
 	size := p.PacketSizeIP
@@ -200,18 +240,20 @@ func (p Params) build(t FlowType, arena *mem.Arena, seed uint64, ctl *elements.C
 		})
 		return &Instance{Type: t, Source: src}, nil
 	case IP, MON, FW, RE, VPN:
-		env := &click.Env{Arena: arena, Seed: seed}
-		pl, err := click.ParseConfig(env, string(t), p.Config(t, seed))
-		if err != nil {
-			return nil, fmt.Errorf("apps: building %s: %w", t, err)
-		}
-		if ctl != nil {
-			pl.Elements = append([]click.Element{ctl}, pl.Elements...)
-		}
-		return &Instance{Type: t, Source: pl, Pipeline: pl, Control: ctl}, nil
 	default:
-		return nil, fmt.Errorf("apps: unknown flow type %q", t)
+		if _, ok := p.Custom[t]; !ok {
+			return nil, fmt.Errorf("apps: unknown flow type %q", t)
+		}
 	}
+	env := &click.Env{Arena: arena, Seed: seed}
+	pl, err := click.ParseConfig(env, string(t), p.Config(t, seed))
+	if err != nil {
+		return nil, fmt.Errorf("apps: building %s: %w", t, err)
+	}
+	if ctl != nil {
+		pl.PushFront(ctl)
+	}
+	return &Instance{Type: t, Source: pl, Pipeline: pl, Control: ctl}, nil
 }
 
 // BuildSyn constructs a synthetic flow with explicit knobs, used by the
@@ -244,10 +286,9 @@ func (p Params) BuildHiddenAggressor(arena *mem.Arena, seed uint64, triggerPacke
 		RegionBytes:       p.SynRegionBytes,
 		AccessesPerPacket: p.SynAccesses * 16,
 	}, triggerPackets)
-	// Insert before ToDevice.
-	n := len(inst.Pipeline.Elements)
-	inst.Pipeline.Elements = append(inst.Pipeline.Elements[:n-1],
-		aggr, inst.Pipeline.Elements[n-1])
+	if err := inst.Pipeline.InsertBefore("ToDevice", aggr); err != nil {
+		return nil, err
+	}
 	return inst, nil
 }
 

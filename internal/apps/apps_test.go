@@ -114,7 +114,7 @@ func TestBuildWithControl(t *testing.T) {
 	if inst.Control == nil {
 		t.Fatal("control element missing")
 	}
-	if inst.Pipeline.Elements[0] != inst.Control {
+	if inst.Pipeline.Elements()[0] != inst.Control {
 		t.Fatal("control element must be first in the chain")
 	}
 	if _, err := p.BuildWithControl(SYN, mem.NewArena(0), 9); err == nil {
@@ -218,4 +218,64 @@ func indexOf(s, sub string) int {
 		}
 	}
 	return -1
+}
+
+// Custom flow types: a scenario-registered Click graph behaves like a
+// builtin type through Config, PacketSize, and Build — including the
+// branching NAT service chain the nat_chain scenario ships.
+func TestCustomFlowTypeBuilds(t *testing.T) {
+	params := Small()
+	params.Custom = map[FlowType]CustomFlow{
+		"NATFW": {
+			PacketSize: 128,
+			Config: `
+				src :: FromDevice(SIZE 128, COUNT 50);
+				cls :: IPClassifier(tcp, udp, -);
+				nat :: IPRewriter(CAPACITY 256);
+				src -> CheckIPHeader -> cls;
+				cls[0] -> nat;
+				cls[1] -> nat;
+				cls[2] -> Discard;
+				nat -> IPFilter(RULES 64) -> ToDevice;
+			`,
+		},
+	}
+	if got := params.PacketSize("NATFW"); got != 128 {
+		t.Fatalf("PacketSize = %d, want 128", got)
+	}
+	if params.Config("NATFW", 1) == "" {
+		t.Fatal("custom config not returned")
+	}
+	inst, err := params.Build("NATFW", mem.NewArena(0), 7)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !inst.Pipeline.Branching() {
+		t.Fatal("NAT chain should be a branching pipeline")
+	}
+	var ops = inst.Pipeline.EmitPacket(nil)
+	for len(ops) > 0 {
+		ops = inst.Pipeline.EmitPacket(ops[:0])
+	}
+	if inst.Pipeline.Received != 50 {
+		t.Fatalf("received %d", inst.Pipeline.Received)
+	}
+	sent, _ := inst.Pipeline.Stat("ToDevice.sent")
+	rewritten, _ := inst.Pipeline.Stat("IPRewriter.rewritten")
+	if sent == 0 || rewritten != sent {
+		t.Fatalf("sent %d rewritten %d; NAT chain must rewrite everything it forwards", sent, rewritten)
+	}
+
+	// A control element still lands at the head of a custom pipeline.
+	withCtl, err := params.BuildWithControl("NATFW", mem.NewArena(0), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCtl.Pipeline.Elements()[0] != withCtl.Control {
+		t.Fatal("control element not at pipeline head")
+	}
+
+	if _, err := Small().Build("NATFW", mem.NewArena(0), 7); err == nil {
+		t.Fatal("unknown custom type must error without registration")
+	}
 }

@@ -67,6 +67,20 @@ func (a Args) Uint64(key string, def uint64) (uint64, error) {
 	return n, nil
 }
 
+// Float64 returns the keyword argument key as a float64, or def if
+// absent.
+func (a Args) Float64(key string, def float64) (float64, error) {
+	v, ok := a.Keyword[strings.ToUpper(key)]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("click: argument %s: %q is not a number", key, v)
+	}
+	return f, nil
+}
+
 // Bool returns the keyword argument key as a bool, or def if absent.
 func (a Args) Bool(key string, def bool) (bool, error) {
 	v, ok := a.Keyword[strings.ToUpper(key)]

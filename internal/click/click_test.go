@@ -222,8 +222,8 @@ func TestParseConfigDeclared(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParseConfig: %v", err)
 	}
-	if len(pl.Elements) != 2 {
-		t.Fatalf("elements = %d, want 2", len(pl.Elements))
+	if len(pl.Elements()) != 2 {
+		t.Fatalf("elements = %d, want 2", len(pl.Elements()))
 	}
 	n := 0
 	for len(pl.EmitPacket(nil)) > 0 {
@@ -239,8 +239,8 @@ func TestParseConfigInlineAnonymous(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParseConfig: %v", err)
 	}
-	if len(pl.Elements) != 2 {
-		t.Fatalf("elements = %d, want 2", len(pl.Elements))
+	if len(pl.Elements()) != 2 {
+		t.Fatalf("elements = %d, want 2", len(pl.Elements()))
 	}
 	pl.EmitPacket(nil)
 	if pl.Dropped != 1 {
@@ -259,8 +259,8 @@ func TestParseConfigMultiStatementChain(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParseConfig: %v", err)
 	}
-	if len(pl.Elements) != 2 {
-		t.Fatalf("elements = %d, want 2", len(pl.Elements))
+	if len(pl.Elements()) != 2 {
+		t.Fatalf("elements = %d, want 2", len(pl.Elements()))
 	}
 }
 
@@ -319,7 +319,13 @@ func TestVerdictString(t *testing.T) {
 	if Continue.String() != "continue" || Drop.String() != "drop" || Consume.String() != "consume" {
 		t.Fatal("verdict strings wrong")
 	}
-	if Verdict(9).String() != "invalid" {
+	if Output(9).String() != "output(9)" || Output(0) != Continue {
+		t.Fatal("output verdicts wrong")
+	}
+	if Broadcast.String() != "broadcast" {
+		t.Fatal("broadcast verdict renders wrong")
+	}
+	if Verdict(-9).String() != "invalid" {
 		t.Fatal("unknown verdict must render invalid")
 	}
 }

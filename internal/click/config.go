@@ -2,39 +2,44 @@ package click
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 )
+
+// maxPort bounds output port numbers in configurations; it exists to
+// reject absurd port vectors, not to constrain real fan-out.
+const maxPort = 255
 
 // ParseConfig builds a pipeline from a Click-style configuration:
 //
 //	// declarations
 //	src :: FromDevice(SIZE 64, SEED 7);
-//	chk :: CheckIPHeader;
-//	rt  :: RadixIPLookup(ROUTES 128000);
+//	cls :: IPClassifier(tcp, udp, -);
+//	nat :: IPRewriter(CAPACITY 65536);
 //
 //	// connections (inline anonymous elements are allowed)
-//	src -> chk -> rt -> DecIPTTL -> ToDevice;
+//	src -> CheckIPHeader -> cls;
+//	cls[0] -> nat -> ToDevice;
+//	cls[1] -> nat;
+//	cls[2] -> Discard;
 //
-// The element graph must form a single linear chain whose head is a
-// Source; branching configurations are rejected, matching the system's
-// one-flow-per-core model.
+// The element graph must be a DAG with a single Source at its head.
+// Output ports are written el[port] on the upstream side; Router
+// elements (classifiers, switches, tees) fan out across numbered ports,
+// and every port a Router declares must be connected. All elements have
+// a single input, so fan-in needs no port syntax ([0]el is accepted).
 func ParseConfig(env *Env, name, config string) (*Pipeline, error) {
 	stmts, err := lex(config)
 	if err != nil {
 		return nil, err
 	}
 
-	type node struct {
-		name     string
-		instance interface{}
-		out      *node
-		inDeg    int
-	}
-	nodes := make(map[string]*node)
-	order := []*node{} // declaration order, for deterministic errors
+	nodes := make(map[string]*graphNode)
+	order := []*graphNode{} // declaration order, for deterministic errors
 	anon := 0
 
-	declare := func(nm, class string, args Args) (*node, error) {
+	declare := func(nm, class string, args Args) (*graphNode, error) {
 		if _, dup := nodes[nm]; dup {
 			return nil, fmt.Errorf("click: element %q declared twice", nm)
 		}
@@ -42,7 +47,7 @@ func ParseConfig(env *Env, name, config string) (*Pipeline, error) {
 		if err != nil {
 			return nil, fmt.Errorf("click: %q: %w", nm, err)
 		}
-		n := &node{name: nm, instance: inst}
+		n := &graphNode{name: nm, instance: inst, outs: map[int]*graphNode{}}
 		nodes[nm] = n
 		order = append(order, n)
 		return n, nil
@@ -55,9 +60,10 @@ func ParseConfig(env *Env, name, config string) (*Pipeline, error) {
 				return nil, err
 			}
 		case stmtConn:
-			var prev *node
+			var prev *graphNode
+			prevPort := 0
 			for _, ref := range st.chain {
-				var n *node
+				var n *graphNode
 				if ref.class != "" {
 					// Inline anonymous element.
 					anon++
@@ -74,26 +80,39 @@ func ParseConfig(env *Env, name, config string) (*Pipeline, error) {
 						return nil, fmt.Errorf("click: connection references undeclared element %q", ref.name)
 					}
 				}
+				if ref.inPort != 0 {
+					return nil, fmt.Errorf("click: input port %d on %q: elements have a single input port 0", ref.inPort, n.name)
+				}
 				if prev != nil {
-					if prev.out != nil && prev.out != n {
-						return nil, fmt.Errorf("click: element %q has two downstream connections; only linear chains are supported", prev.name)
+					if _, isRouter := prev.instance.(Router); prevPort > 0 && !isRouter {
+						return nil, fmt.Errorf("click: %q (%s) is not a Router; only output port 0 exists", prev.name, classOf(prev.instance))
 					}
-					if prev.out == nil {
-						prev.out = n
-						n.inDeg++
+					if to, dup := prev.outs[prevPort]; dup {
+						if to == n {
+							return nil, fmt.Errorf("click: output port %d of %q connected twice", prevPort, prev.name)
+						}
+						return nil, fmt.Errorf("click: output port %d of %q has two downstream connections (%q and %q)",
+							prevPort, prev.name, to.name, n.name)
 					}
+					prev.outs[prevPort] = n
+					n.inDeg++
 				}
 				prev = n
+				prevPort = ref.outPort
+			}
+			if prevPort != 0 {
+				return nil, fmt.Errorf("click: dangling output port %d on %q at the end of a chain", prevPort, prev.name)
 			}
 		}
 	}
 
-	// Find the head: the unique node with in-degree 0 that is a Source.
-	var head *node
+	// Find the head: the unique node with in-degree 0, which must be a
+	// Source.
+	var head *graphNode
 	for _, n := range order {
 		if n.inDeg == 0 {
 			if head != nil {
-				return nil, fmt.Errorf("click: multiple chain heads (%q and %q); configuration must be one chain", head.name, n.name)
+				return nil, fmt.Errorf("click: multiple chain heads (%q and %q); configuration must have one source", head.name, n.name)
 			}
 			head = n
 		}
@@ -106,25 +125,150 @@ func ParseConfig(env *Env, name, config string) (*Pipeline, error) {
 		return nil, fmt.Errorf("click: chain head %q (%T) is not a packet source", head.name, head.instance)
 	}
 
-	var elements []Element
-	seen := map[*node]bool{head: true}
-	for n := head.out; n != nil; n = n.out {
-		if seen[n] {
-			return nil, fmt.Errorf("click: configuration contains a cycle through %q", n.name)
+	// Every declared element must be reachable from the head.
+	reach := map[*graphNode]bool{head: true}
+	frontier := []*graphNode{head}
+	for len(frontier) > 0 {
+		n := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, e := range sortedEdges(n.outs) {
+			if !reach[e.to] {
+				reach[e.to] = true
+				frontier = append(frontier, e.to)
+			}
 		}
-		seen[n] = true
-		el, ok := n.instance.(Element)
-		if !ok {
-			return nil, fmt.Errorf("click: %q (%T) is not a processing element", n.name, n.instance)
-		}
-		elements = append(elements, el)
 	}
 	for _, n := range order {
-		if !seen[n] {
+		if !reach[n] {
 			return nil, fmt.Errorf("click: element %q is declared but not connected", n.name)
 		}
 	}
-	return NewPipeline(name, src, elements...), nil
+
+	// Kahn's algorithm over declaration order: a deterministic topological
+	// order, and a deterministic cycle report when none exists.
+	indeg := map[*graphNode]int{}
+	for _, n := range order {
+		for _, e := range sortedEdges(n.outs) {
+			indeg[e.to]++
+		}
+	}
+	var topo []*graphNode
+	done := map[*graphNode]bool{}
+	for len(topo) < len(order) {
+		progressed := false
+		for _, n := range order {
+			if done[n] || indeg[n] != 0 {
+				continue
+			}
+			done[n] = true
+			topo = append(topo, n)
+			for _, e := range sortedEdges(n.outs) {
+				indeg[e.to]--
+			}
+			progressed = true
+		}
+		if !progressed {
+			for _, n := range order {
+				if !done[n] {
+					return nil, fmt.Errorf("click: configuration contains a cycle through %q", n.name)
+				}
+			}
+		}
+	}
+
+	// Validate elements and router port usage, and wire the final graph.
+	built := map[*graphNode]*Node{}
+	var finalNodes []*Node
+	for _, gn := range topo {
+		if gn == head {
+			continue
+		}
+		el, ok := gn.instance.(Element)
+		if !ok {
+			return nil, fmt.Errorf("click: %q (%T) is not a processing element", gn.name, gn.instance)
+		}
+		built[gn] = &Node{Name: gn.name, El: el}
+		finalNodes = append(finalNodes, built[gn])
+	}
+	for _, gn := range topo {
+		connected := len(gn.outs)
+		maxUsed := -1
+		for port := range gn.outs {
+			if port > maxUsed {
+				maxUsed = port
+			}
+		}
+		if r, isRouter := gn.instance.(Router); isRouter {
+			switch n := r.NumOutputs(); {
+			case n == AdaptiveOutputs:
+				if maxUsed+1 != connected {
+					return nil, fmt.Errorf("click: %q (%s) output ports must be contiguous from 0; %d ports connected but port %d used",
+						gn.name, classOf(gn.instance), connected, maxUsed)
+				}
+			default:
+				if maxUsed >= n {
+					return nil, fmt.Errorf("click: %q (%s) has %d output ports; port %d connected",
+						gn.name, classOf(gn.instance), n, maxUsed)
+				}
+				for port := 0; port < n; port++ {
+					if _, ok := gn.outs[port]; !ok {
+						return nil, fmt.Errorf("click: output port %d of %q (%s) is not connected",
+							port, gn.name, classOf(gn.instance))
+					}
+				}
+			}
+			if setter, ok := gn.instance.(OutputsSetter); ok {
+				setter.SetOutputs(connected)
+			}
+		}
+		if gn == head {
+			// The source's single port-0 edge makes its target the first
+			// processing node; Kahn necessarily placed that target first
+			// among the element nodes, since it is the only one whose sole
+			// predecessor is the head.
+			continue
+		}
+		from := built[gn]
+		for _, e := range sortedEdges(gn.outs) {
+			from.connect(e.port, built[e.to])
+		}
+	}
+	return newGraphPipeline(name, src, finalNodes), nil
+}
+
+// graphNode is the parser's intermediate representation of one element.
+type graphNode struct {
+	name     string
+	instance interface{}
+	outs     map[int]*graphNode
+	inDeg    int
+}
+
+type portEdge struct {
+	port int
+	to   *graphNode
+}
+
+// sortedEdges returns a node's outgoing edges in port order, so every
+// traversal of the parse graph is deterministic.
+func sortedEdges(outs map[int]*graphNode) []portEdge {
+	edges := make([]portEdge, 0, len(outs))
+	for p, t := range outs {
+		edges = append(edges, portEdge{p, t})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].port < edges[j].port })
+	return edges
+}
+
+func classOf(instance interface{}) string {
+	switch v := instance.(type) {
+	case Element:
+		return v.Class()
+	case Source:
+		return v.Class()
+	default:
+		return fmt.Sprintf("%T", instance)
+	}
 }
 
 type stmtKind int
@@ -135,9 +279,11 @@ const (
 )
 
 type elemRef struct {
-	name  string // reference to a declared element, or
-	class string // inline anonymous class
-	args  Args
+	name    string // reference to a declared element, or
+	class   string // inline anonymous class
+	args    Args
+	inPort  int // [port]el — must be 0, elements are single-input
+	outPort int // el[port] — output port towards the next chain item
 }
 
 type stmt struct {
@@ -151,7 +297,7 @@ type stmt struct {
 // lex splits a configuration into statements. The grammar is small enough
 // that a hand-rolled scanner is clearer than a table-driven one.
 func lex(config string) ([]stmt, error) {
-	stripped, err := stripComments(config)
+	stripped, err := StripComments(config)
 	if err != nil {
 		return nil, err
 	}
@@ -161,12 +307,12 @@ func lex(config string) ([]stmt, error) {
 		if s == "" {
 			continue
 		}
-		if name, rest, ok := cutTopLevel(s, "::"); ok {
+		if name, rest, ok := CutTopLevel(s, "::"); ok {
 			name = strings.TrimSpace(name)
 			if !isIdent(name) {
 				return nil, fmt.Errorf("click: statement %d: bad element name %q", lineNo+1, name)
 			}
-			class, args, err := parseClassRef(strings.TrimSpace(rest))
+			class, args, err := ParseClassRef(strings.TrimSpace(rest))
 			if err != nil {
 				return nil, fmt.Errorf("click: statement %d: %w", lineNo+1, err)
 			}
@@ -174,7 +320,7 @@ func lex(config string) ([]stmt, error) {
 			continue
 		}
 		if strings.Contains(s, "->") {
-			parts := splitTopLevel(s, "->")
+			parts := SplitTopLevel(s, "->")
 			if len(parts) < 2 {
 				return nil, fmt.Errorf("click: statement %d: dangling '->'", lineNo+1)
 			}
@@ -184,17 +330,11 @@ func lex(config string) ([]stmt, error) {
 				if part == "" {
 					return nil, fmt.Errorf("click: statement %d: empty element in chain", lineNo+1)
 				}
-				if isIdent(part) && !strings.Contains(part, "(") {
-					// Could be a declared name or a bare class; resolved at
-					// build time by checking declarations first.
-					chain = append(chain, elemRef{name: part})
-					continue
-				}
-				class, args, err := parseClassRef(part)
+				ref, err := parseChainItem(part)
 				if err != nil {
 					return nil, fmt.Errorf("click: statement %d: %w", lineNo+1, err)
 				}
-				chain = append(chain, elemRef{class: class, args: args})
+				chain = append(chain, ref)
 			}
 			stmts = append(stmts, stmt{kind: stmtConn, chain: chain})
 			continue
@@ -215,15 +355,78 @@ func lex(config string) ([]stmt, error) {
 		}
 		for j, ref := range stmts[i].chain {
 			if ref.name != "" && !declared[ref.name] {
-				stmts[i].chain[j] = elemRef{class: ref.name, args: ParseArgs(nil)}
+				stmts[i].chain[j] = elemRef{
+					class: ref.name, args: ParseArgs(nil),
+					inPort: ref.inPort, outPort: ref.outPort,
+				}
 			}
 		}
 	}
 	return stmts, nil
 }
 
-// parseClassRef parses "Class" or "Class(arg, arg, ...)".
-func parseClassRef(s string) (string, Args, error) {
+// parseChainItem parses one item of a connection chain:
+// "[in]name[out]", "name[out]", "Class(args)[out]", "[in]Class", ...
+// where the bracketed ports are optional.
+func parseChainItem(s string) (elemRef, error) {
+	var ref elemRef
+	// Leading input port: [n]rest
+	if strings.HasPrefix(s, "[") {
+		end := strings.IndexByte(s, ']')
+		if end < 0 {
+			return ref, fmt.Errorf("unbalanced input port bracket in %q", s)
+		}
+		port, err := parsePort(s[1:end])
+		if err != nil {
+			return ref, fmt.Errorf("input port in %q: %w", s, err)
+		}
+		ref.inPort = port
+		s = strings.TrimSpace(s[end+1:])
+	}
+	// Trailing output port: rest[n]. The bracket must follow the class
+	// arguments (if any), so it is sought after the last ')'.
+	if strings.HasSuffix(s, "]") {
+		open := strings.LastIndexByte(s, '[')
+		if open < 0 || open < strings.LastIndexByte(s, ')') {
+			return ref, fmt.Errorf("unbalanced output port bracket in %q", s)
+		}
+		port, err := parsePort(s[open+1 : len(s)-1])
+		if err != nil {
+			return ref, fmt.Errorf("output port in %q: %w", s, err)
+		}
+		ref.outPort = port
+		s = strings.TrimSpace(s[:open])
+	}
+	if s == "" {
+		return ref, fmt.Errorf("port brackets without an element")
+	}
+	if isIdent(s) && !strings.Contains(s, "(") {
+		// Could be a declared name or a bare class; resolved at build
+		// time by checking declarations first.
+		ref.name = s
+		return ref, nil
+	}
+	class, args, err := ParseClassRef(s)
+	if err != nil {
+		return ref, err
+	}
+	ref.class, ref.args = class, args
+	return ref, nil
+}
+
+func parsePort(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a port number", s)
+	}
+	if n < 0 || n > maxPort {
+		return 0, fmt.Errorf("port %d outside [0,%d]", n, maxPort)
+	}
+	return n, nil
+}
+
+// ParseClassRef parses "Class" or "Class(arg, arg, ...)".
+func ParseClassRef(s string) (string, Args, error) {
 	if i := strings.IndexByte(s, '('); i >= 0 {
 		if !strings.HasSuffix(s, ")") {
 			return "", Args{}, fmt.Errorf("unbalanced parentheses in %q", s)
@@ -235,7 +438,7 @@ func parseClassRef(s string) (string, Args, error) {
 		inner := s[i+1 : len(s)-1]
 		var items []string
 		if strings.TrimSpace(inner) != "" {
-			items = splitTopLevel(inner, ",")
+			items = SplitTopLevel(inner, ",")
 		}
 		return class, ParseArgs(items), nil
 	}
@@ -263,8 +466,10 @@ func isIdent(s string) bool {
 	return true
 }
 
-// stripComments removes // line comments and /* */ block comments.
-func stripComments(s string) (string, error) {
+// StripComments removes // line comments and /* */ block comments. It is
+// exported for the scenario-file loader, which shares the grammar's
+// lexical conventions.
+func StripComments(s string) (string, error) {
 	var b strings.Builder
 	for i := 0; i < len(s); {
 		if strings.HasPrefix(s[i:], "//") {
@@ -291,12 +496,12 @@ func stripComments(s string) (string, error) {
 
 // splitStatements splits on top-level semicolons.
 func splitStatements(s string) []string {
-	return splitTopLevel(s, ";")
+	return SplitTopLevel(s, ";")
 }
 
-// splitTopLevel splits s on sep occurrences that are not nested inside
+// SplitTopLevel splits s on sep occurrences that are not nested inside
 // parentheses.
-func splitTopLevel(s, sep string) []string {
+func SplitTopLevel(s, sep string) []string {
 	var parts []string
 	depth := 0
 	start := 0
@@ -320,9 +525,9 @@ func splitTopLevel(s, sep string) []string {
 	return parts
 }
 
-// cutTopLevel is strings.Cut restricted to top-level (unparenthesised)
+// CutTopLevel is strings.Cut restricted to top-level (unparenthesised)
 // occurrences of sep.
-func cutTopLevel(s, sep string) (before, after string, found bool) {
+func CutTopLevel(s, sep string) (before, after string, found bool) {
 	depth := 0
 	for i := 0; i+len(sep) <= len(s); i++ {
 		switch s[i] {

@@ -8,12 +8,44 @@ import (
 	"pktpredict/internal/rng"
 )
 
+// FuzzParseConfig feeds arbitrary text to the configuration parser,
+// which must reject or accept it without panicking — configurations are
+// user input. The seed corpus covers the grammar's corners: output
+// ports, input ports, routers, tees, fan-in, inline anonymous elements,
+// comments, and malformed port brackets.
+func FuzzParseConfig(f *testing.F) {
+	seeds := []string{
+		`src :: TSource(COUNT 2); src -> TElem -> TDrop;`,
+		"src :: SeqSource(COUNT 4);\ncls :: TCls;\nsrc -> cls;\ncls[0] -> TElem;\ncls[1] -> TDrop;",
+		"src :: SeqSource; rr :: TRR; src -> rr; rr[0] -> TElem; rr[1] -> TElem;",
+		"src :: SeqSource; tee :: TTee; src -> tee; tee[0] -> TElem; tee[1] -> TDrop;",
+		"src :: SeqSource; sink :: TElem; cls :: TCls; src -> cls; cls[0] -> sink; cls[1] -> sink;",
+		`src :: TSource; src -> [0]TElem;`,
+		`src :: TSource; a :: TElem; src -> a[1];`,
+		`src :: TSource; a :: TElem; src -> a[;`,
+		`src :: TSource; a :: TElem; src -> [x]a;`,
+		`src :: TSource; a :: TElem; src -> a[-1];`,
+		"/* comment */ src :: TSource; // tail\nsrc -> TElem;",
+		"a :: TElem; b :: TElem; a -> b; b -> a;",
+		"src :: TSource(COUNT 1, SEED 7); src -> TElem(X 1, Y 2);",
+		"cls[999999999999999999] -> TElem;",
+		"src :: TSource; src -> TCls;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, config string) {
+		ParseConfig(testEnv(), "fuzz", config) //nolint:errcheck
+	})
+}
+
 // Property: ParseConfig never panics, whatever text it is fed —
 // configurations are user input.
 func TestParseConfigNeverPanicsQuick(t *testing.T) {
 	pieces := []string{
 		"a", "::", "->", ";", "(", ")", ",", "TSource", "TElem", "\n",
 		"COUNT 1", "//x", "/*", "*/", " ", "a1", "_b",
+		"[0]", "[1]", "[", "]", "TCls", "TTee",
 	}
 	f := func(seed uint64, n uint8) (ok bool) {
 		defer func() {
@@ -46,7 +78,7 @@ func TestSplitTopLevelLosslessQuick(t *testing.T) {
 			raw[i] = alphabet[r.Intn(len(alphabet))]
 		}
 		s := string(raw)
-		parts := splitTopLevel(s, ",")
+		parts := SplitTopLevel(s, ",")
 		joined := strings.Join(parts, ",")
 		return joined == s
 	}
@@ -64,12 +96,12 @@ func TestStripCommentsEdgeCases(t *testing.T) {
 		{"no comments", "no comments"},
 	}
 	for _, c := range cases {
-		got, err := stripComments(c.in)
+		got, err := StripComments(c.in)
 		if err != nil {
-			t.Fatalf("stripComments(%q): %v", c.in, err)
+			t.Fatalf("StripComments(%q): %v", c.in, err)
 		}
 		if got != c.want {
-			t.Fatalf("stripComments(%q) = %q, want %q", c.in, got, c.want)
+			t.Fatalf("StripComments(%q) = %q, want %q", c.in, got, c.want)
 		}
 	}
 }

@@ -7,30 +7,192 @@ import (
 	"pktpredict/internal/hw"
 )
 
-// Pipeline is a linear chain of elements fed by a source: one
+// Node is one vertex of a pipeline graph: an element, its outgoing edges
+// indexed by output port (nil entries are unconnected), and per-branch
+// terminal counters. Packets whose walk ends at this node — dropped here,
+// consumed here, or run off the end of the chain here — are counted here,
+// which is what gives a branching pipeline per-branch drop/finish
+// accounting.
+type Node struct {
+	Name string
+	El   Element
+	Out  []*Node
+
+	Dropped  uint64 // packets whose walk terminated here with a drop
+	Finished uint64 // packets consumed here or past the last element
+}
+
+// out returns the node connected at port, or nil.
+func (n *Node) out(port int) *Node {
+	if port < 0 || port >= len(n.Out) {
+		return nil
+	}
+	return n.Out[port]
+}
+
+// connect attaches target to the node's output port, growing the port
+// vector as needed.
+func (n *Node) connect(port int, target *Node) {
+	for len(n.Out) <= port {
+		n.Out = append(n.Out, nil)
+	}
+	n.Out[port] = target
+}
+
+// Pipeline is a directed acyclic graph of elements fed by a source: one
 // packet-processing flow. It implements hw.PacketSource, so it can be
-// attached directly to a simulated core.
+// attached directly to a simulated core. The common case is still a
+// linear chain; Router elements (classifiers, switches, tees) fan the
+// graph out into branches.
 type Pipeline struct {
-	Name     string
-	Source   Source
-	Elements []Element
+	Name   string
+	Source Source
 
 	// Counters.
 	Received uint64 // packets pulled from the source
-	Dropped  uint64 // packets dropped by an element
-	Finished uint64 // packets that reached the end or were consumed
+	Dropped  uint64 // branch terminals that dropped the packet
+	Finished uint64 // branch terminals that completed (consumed or ran off the end)
 
-	ctx Ctx
+	head  *Node
+	nodes []*Node // topological order, head first
+
+	ctx   Ctx
+	stack []*Node
 }
 
-// NewPipeline assembles a pipeline. It is also the target of the
-// configuration parser.
+// NewPipeline assembles a linear pipeline from a source and an element
+// chain. Configurations with branches are built through ParseConfig.
 func NewPipeline(name string, src Source, elements ...Element) *Pipeline {
-	return &Pipeline{Name: name, Source: src, Elements: elements}
+	pl := &Pipeline{Name: name, Source: src}
+	var prev *Node
+	for i, el := range elements {
+		n := &Node{Name: fmt.Sprintf("%s@%d", el.Class(), i+1), El: el}
+		pl.nodes = append(pl.nodes, n)
+		if prev == nil {
+			pl.head = n
+		} else {
+			prev.connect(0, n)
+		}
+		prev = n
+	}
+	return pl
 }
 
-// EmitPacket implements hw.PacketSource: it pulls one packet, runs it
-// through the element chain, and returns the accumulated trace.
+// newGraphPipeline wraps an already-validated graph: nodes must be in
+// topological order with nodes[0] the head (empty for a bare source).
+func newGraphPipeline(name string, src Source, nodes []*Node) *Pipeline {
+	pl := &Pipeline{Name: name, Source: src, nodes: nodes}
+	if len(nodes) > 0 {
+		pl.head = nodes[0]
+	}
+	return pl
+}
+
+// Nodes returns the pipeline's nodes in topological order, head first.
+// Callers must not restructure the graph through them.
+func (pl *Pipeline) Nodes() []*Node { return pl.nodes }
+
+// Elements returns the pipeline's elements in topological order — for a
+// linear pipeline, exactly the chain order.
+func (pl *Pipeline) Elements() []Element {
+	out := make([]Element, len(pl.nodes))
+	for i, n := range pl.nodes {
+		out[i] = n.El
+	}
+	return out
+}
+
+// Branching reports whether the graph is anything other than a single
+// linear chain: an output port above 0, a node with several connected
+// outputs, or a fan-in.
+func (pl *Pipeline) Branching() bool {
+	indeg := make(map[*Node]int, len(pl.nodes))
+	for _, n := range pl.nodes {
+		connected := 0
+		for port, t := range n.Out {
+			if t == nil {
+				continue
+			}
+			connected++
+			indeg[t]++
+			if port > 0 {
+				return true
+			}
+		}
+		if connected > 1 {
+			return true
+		}
+	}
+	for _, d := range indeg {
+		if d > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// uniqueName derives a node name not yet used in the pipeline.
+func (pl *Pipeline) uniqueName(base string) string {
+	used := make(map[string]bool, len(pl.nodes))
+	for _, n := range pl.nodes {
+		used[n.Name] = true
+	}
+	if !used[base] {
+		return base
+	}
+	for i := 2; ; i++ {
+		name := fmt.Sprintf("%s@%d", base, i)
+		if !used[name] {
+			return name
+		}
+	}
+}
+
+// PushFront inserts el ahead of the current head: every packet traverses
+// it first. It is how the runtime attaches a Control element to an
+// already-parsed pipeline.
+func (pl *Pipeline) PushFront(el Element) {
+	n := &Node{Name: pl.uniqueName(el.Class()), El: el}
+	if pl.head != nil {
+		n.connect(0, pl.head)
+	}
+	pl.head = n
+	pl.nodes = append([]*Node{n}, pl.nodes...)
+}
+
+// InsertBefore splices el in front of the first node (in topological
+// order) whose element class is class: every edge into that node is
+// re-targeted through el. It returns an error when no such node exists.
+func (pl *Pipeline) InsertBefore(class string, el Element) error {
+	var target *Node
+	idx := -1
+	for i, n := range pl.nodes {
+		if n.El.Class() == class {
+			target, idx = n, i
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("click: pipeline %q has no %s element to insert before", pl.Name, class)
+	}
+	n := &Node{Name: pl.uniqueName(el.Class()), El: el}
+	n.connect(0, target)
+	for _, m := range pl.nodes {
+		for port, t := range m.Out {
+			if t == target {
+				m.Out[port] = n
+			}
+		}
+	}
+	if pl.head == target {
+		pl.head = n
+	}
+	pl.nodes = append(pl.nodes[:idx], append([]*Node{n}, pl.nodes[idx:]...)...)
+	return nil
+}
+
+// EmitPacket implements hw.PacketSource: it pulls one packet, walks it
+// through the element graph, and returns the accumulated trace.
 func (pl *Pipeline) EmitPacket(buf []hw.Op) []hw.Op {
 	pl.ctx.Ops = buf
 	p := pl.Source.Pull(&pl.ctx)
@@ -38,17 +200,10 @@ func (pl *Pipeline) EmitPacket(buf []hw.Op) []hw.Op {
 		return buf[:0]
 	}
 	pl.Received++
-	verdict := Continue
-	for _, el := range pl.Elements {
-		verdict = el.Process(&pl.ctx, p)
-		if verdict != Continue {
-			break
-		}
-	}
-	if verdict == Drop {
-		pl.Dropped++
-	} else {
+	if pl.head == nil {
 		pl.Finished++
+	} else {
+		pl.walk(p)
 	}
 	if p.Recycler != nil {
 		p.Recycler.Recycle(&pl.ctx, p)
@@ -56,12 +211,89 @@ func (pl *Pipeline) EmitPacket(buf []hw.Op) []hw.Op {
 	return pl.ctx.Ops
 }
 
-// String renders the pipeline in config-like syntax.
+// walk runs one packet through the graph. Branches created by Broadcast
+// process the same packet bytes sequentially in port order; the explicit
+// stack makes the traversal allocation-free in steady state.
+func (pl *Pipeline) walk(p *Packet) {
+	stack := append(pl.stack[:0], pl.head)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := n.El.Process(&pl.ctx, p)
+		switch {
+		case v == Drop:
+			n.Dropped++
+			pl.Dropped++
+		case v == Consume:
+			n.Finished++
+			pl.Finished++
+		case v == Broadcast:
+			sent := false
+			// Reverse push so port 0's branch walks first.
+			for i := len(n.Out) - 1; i >= 0; i-- {
+				if n.Out[i] != nil {
+					stack = append(stack, n.Out[i])
+					sent = true
+				}
+			}
+			if !sent {
+				n.Finished++
+				pl.Finished++
+			}
+		case v >= 0:
+			if next := n.out(int(v)); next != nil {
+				stack = append(stack, next)
+			} else if v == Continue {
+				// Ran off the end of a chain: the packet completed.
+				n.Finished++
+				pl.Finished++
+			} else {
+				// Routed to an unconnected port — a configuration gap the
+				// validator admits only for non-Router elements.
+				n.Dropped++
+				pl.Dropped++
+			}
+		default:
+			n.Dropped++
+			pl.Dropped++
+		}
+	}
+	pl.stack = stack[:0]
+}
+
+// String renders the pipeline in config-like syntax. A linear chain keeps
+// the compact one-line form; a branching graph is rendered one node per
+// line with explicit port syntax (el[1] -> ...).
 func (pl *Pipeline) String() string {
+	if !pl.Branching() {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s :: %s", pl.Name, pl.Source.Class())
+		for n := pl.head; n != nil; n = n.out(0) {
+			fmt.Fprintf(&b, " -> %s", n.El.Class())
+		}
+		return b.String()
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s :: %s", pl.Name, pl.Source.Class())
-	for _, el := range pl.Elements {
-		fmt.Fprintf(&b, " -> %s", el.Class())
+	fmt.Fprintf(&b, "%s :: %s -> %s;", pl.Name, pl.Source.Class(), pl.head.Name)
+	for _, n := range pl.nodes {
+		fmt.Fprintf(&b, "\n%s :: %s", n.Name, n.El.Class())
+		connected := 0
+		for _, t := range n.Out {
+			if t != nil {
+				connected++
+			}
+		}
+		for port, t := range n.Out {
+			if t == nil {
+				continue
+			}
+			if port == 0 && connected == 1 {
+				fmt.Fprintf(&b, "; %s -> %s", n.Name, t.Name)
+			} else {
+				fmt.Fprintf(&b, "; %s[%d] -> %s", n.Name, port, t.Name)
+			}
+		}
+		b.WriteString(";")
 	}
 	return b.String()
 }
@@ -73,8 +305,10 @@ func (pl *Pipeline) Totals() (received, dropped, finished uint64) {
 	return pl.Received, pl.Dropped, pl.Finished
 }
 
-// Stat aggregates pipeline counters and element counters: "received",
-// "dropped", "finished", or "<ElementClass>.<name>".
+// Stat aggregates pipeline counters, per-branch node counters, and
+// element counters: "received", "dropped", "finished",
+// "<node>.dropped"/"<node>.finished" for a node's terminal counts, or
+// "<ElementClass>.<name>" for an element's own counters.
 func (pl *Pipeline) Stat(name string) (uint64, bool) {
 	switch name {
 	case "received":
@@ -84,12 +318,23 @@ func (pl *Pipeline) Stat(name string) (uint64, bool) {
 	case "finished":
 		return pl.Finished, true
 	}
-	if class, rest, ok := strings.Cut(name, "."); ok {
-		for _, el := range pl.Elements {
-			if el.Class() != class {
+	if prefix, rest, ok := strings.Cut(name, "."); ok {
+		for _, n := range pl.nodes {
+			if n.Name != prefix {
 				continue
 			}
-			if s, isStats := el.(Stats); isStats {
+			switch rest {
+			case "dropped":
+				return n.Dropped, true
+			case "finished":
+				return n.Finished, true
+			}
+		}
+		for _, n := range pl.nodes {
+			if n.El.Class() != prefix {
+				continue
+			}
+			if s, isStats := n.El.(Stats); isStats {
 				if v, found := s.Stat(rest); found {
 					return v, true
 				}

@@ -208,7 +208,7 @@ func pipelineVsParallelMON(s Scale) (PipelineRow, error) {
 	if err != nil {
 		return row, err
 	}
-	elems := inst.Pipeline.Elements
+	elems := inst.Pipeline.Elements()
 	if len(elems) < 3 {
 		return row, fmt.Errorf("exp: MON pipeline too short to split (%d elements)", len(elems))
 	}

@@ -1,0 +1,254 @@
+// Package nat implements a stateful source NAT (Click's IPRewriter
+// role): each packet's inner 5-tuple is looked up in a flow table; on a
+// miss an external port is allocated and a mapping inserted; the packet
+// then has its source address and port rewritten in place with an
+// incremental checksum update. The flow table is the NAT's contended
+// structure — like NetFlow's it is memory-intensive but cacheable, and
+// the per-packet probe-allocate-rewrite trace is what the workload
+// contributes to the shared cache.
+package nat
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pktpredict/internal/click"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+	"pktpredict/internal/netpkt"
+)
+
+// fnNAT attributes NAT work in profiles.
+var fnNAT = hw.RegisterFunc("nat_rewrite")
+
+// mapping is one NAT binding: inner flow → external source port.
+type mapping struct {
+	key      netpkt.FiveTuple
+	extPort  uint16
+	used     bool
+	lastSeen uint64
+}
+
+// maxProbes bounds a linear probe chain; a full chain evicts its
+// least-recently-used binding, as a production NAT expires mappings
+// under port pressure.
+const maxProbes = 8
+
+// firstPort is the lowest external port the allocator hands out.
+const firstPort = 1024
+
+// Table is the NAT flow table: open addressing with linear probing over
+// line-sized mapping entries, plus a port-allocator cursor on its own
+// bookkeeping line.
+type Table struct {
+	slots    []mapping
+	region   mem.Region // mapping entries, one line each
+	portLine hw.Addr    // port-allocator cursor line
+	mask     uint64
+	extIP    uint32
+	nextPort uint32
+	clock    uint64
+
+	// Statistics.
+	Lookups   uint64
+	Hits      uint64
+	Inserts   uint64
+	Evictions uint64
+}
+
+// NewTable builds a table with capacity slots (rounded up to a power of
+// two) allocated from arena, translating to external address extIP.
+func NewTable(arena *mem.Arena, capacity int, extIP uint32) *Table {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("nat: capacity %d must be positive", capacity))
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &Table{
+		slots:    make([]mapping, size),
+		region:   mem.NewRegion(arena, size, hw.LineSize, true),
+		portLine: arena.Alloc(hw.LineSize, hw.LineSize),
+		mask:     uint64(size - 1),
+		extIP:    extIP,
+		nextPort: firstPort,
+	}
+}
+
+// Size returns the slot count.
+func (t *Table) Size() int { return len(t.slots) }
+
+// ExtIP returns the external address mappings translate to.
+func (t *Table) ExtIP() uint32 { return t.extIP }
+
+// SimBytes returns the table's simulated footprint.
+func (t *Table) SimBytes() uint64 { return t.region.Size() }
+
+// Occupied returns the number of active mappings.
+func (t *Table) Occupied() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].used {
+			n++
+		}
+	}
+	return n
+}
+
+// allocPort hands out the next external port, cycling through the
+// dynamic range; the cursor lives on its own line, so every allocation
+// is a load-modify-store of NAT bookkeeping state.
+func (t *Table) allocPort(ctx *click.Ctx) uint16 {
+	ctx.Load(t.portLine)
+	ctx.Store(t.portLine)
+	port := uint16(t.nextPort)
+	t.nextPort++
+	if t.nextPort > 65535 {
+		t.nextPort = firstPort
+	}
+	return port
+}
+
+// Translate returns the external source port bound to key, creating the
+// binding on first sight. It emits the probe trace (one load per probed
+// entry), the allocator trace on a miss, and the entry store for the
+// touched mapping. created reports whether a new binding was made.
+func (t *Table) Translate(ctx *click.Ctx, key netpkt.FiveTuple) (port uint16, created bool) {
+	old := ctx.SetFunc(fnNAT)
+	defer ctx.SetFunc(old)
+
+	t.clock++
+	t.Lookups++
+	h := key.Hash()
+	ctx.Compute(30, 28) // tuple hash
+	idx := h & t.mask
+	victim := idx
+	victimSeen := ^uint64(0)
+	for probe := 0; probe < maxProbes; probe++ {
+		slot := &t.slots[idx]
+		ctx.Load(t.region.Addr(int(idx)))
+		ctx.Compute(4, 5)
+		if slot.used && slot.key == key {
+			t.Hits++
+			slot.lastSeen = t.clock
+			ctx.Store(t.region.Addr(int(idx)))
+			return slot.extPort, false
+		}
+		if !slot.used {
+			t.Inserts++
+			*slot = mapping{key: key, extPort: t.allocPort(ctx), used: true, lastSeen: t.clock}
+			ctx.Store(t.region.Addr(int(idx)))
+			return slot.extPort, true
+		}
+		if slot.lastSeen < victimSeen {
+			victim, victimSeen = idx, slot.lastSeen
+		}
+		idx = (idx + 1) & t.mask
+	}
+	// Chain full: expire the least-recently-used probed binding.
+	t.Evictions++
+	t.Inserts++
+	slot := &t.slots[victim]
+	*slot = mapping{key: key, extPort: t.allocPort(ctx), used: true, lastSeen: t.clock}
+	ctx.Store(t.region.Addr(int(victim)))
+	return slot.extPort, true
+}
+
+// rewrite costs beyond the table work: field stores and the incremental
+// checksum arithmetic.
+const (
+	rewriteCompute = 24
+	rewriteInstrs  = 22
+)
+
+// Element is the IPRewriter click element: stateful source NAT.
+type Element struct {
+	Table *Table
+
+	Rewritten uint64
+	Dropped   uint64
+}
+
+// Class implements click.Element.
+func (e *Element) Class() string { return "IPRewriter" }
+
+// Process implements click.Element: look up (or create) the packet's
+// binding and rewrite its source address and port in place.
+func (e *Element) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
+	ft, err := netpkt.ExtractFiveTuple(p.Data)
+	if err != nil {
+		e.Dropped++
+		return click.Drop
+	}
+	port, _ := e.Table.Translate(ctx, ft)
+	old := ctx.SetFunc(fnNAT)
+	if err := netpkt.RewriteSrc(p.Data, e.Table.extIP, port); err != nil {
+		ctx.SetFunc(old)
+		e.Dropped++
+		return click.Drop
+	}
+	// The rewrite dirties the header's cache line(s).
+	ctx.LoadBytes(p.Addr, netpkt.IPv4HeaderLen+2)
+	ctx.StoreBytes(p.Addr, netpkt.IPv4HeaderLen+2)
+	ctx.Compute(rewriteCompute, rewriteInstrs)
+	ctx.SetFunc(old)
+	e.Rewritten++
+	return click.Continue
+}
+
+// Stat implements click.Stats.
+func (e *Element) Stat(name string) (uint64, bool) {
+	switch name {
+	case "rewritten":
+		return e.Rewritten, true
+	case "dropped":
+		return e.Dropped, true
+	case "entries":
+		return uint64(e.Table.Occupied()), true
+	case "lookups":
+		return e.Table.Lookups, true
+	case "hits":
+		return e.Table.Hits, true
+	case "inserts":
+		return e.Table.Inserts, true
+	case "evictions":
+		return e.Table.Evictions, true
+	}
+	return 0, false
+}
+
+// ParseAddr converts a dotted-quad IPv4 address to its uint32 form.
+func ParseAddr(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("nat: %q is not a dotted-quad IPv4 address", s)
+	}
+	var addr uint32
+	for _, part := range parts {
+		n, err := strconv.ParseUint(part, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("nat: %q is not a dotted-quad IPv4 address", s)
+		}
+		addr = addr<<8 | uint32(n)
+	}
+	return addr, nil
+}
+
+func init() {
+	click.Register("IPRewriter", func(env *click.Env, args click.Args) (interface{}, error) {
+		capacity, err := args.Int("CAPACITY", 65536)
+		if err != nil {
+			return nil, err
+		}
+		if capacity <= 0 {
+			return nil, fmt.Errorf("nat: CAPACITY must be positive")
+		}
+		extIP, err := ParseAddr(args.String("EXTIP", "198.51.100.1"))
+		if err != nil {
+			return nil, err
+		}
+		return &Element{Table: NewTable(env.Arena, capacity, extIP)}, nil
+	})
+}

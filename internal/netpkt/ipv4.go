@@ -143,6 +143,35 @@ func DecTTL(b []byte) error {
 	return nil
 }
 
+// RewriteSrc rewrites the packet's IPv4 source address in place —
+// the NAT data-path operation — updating the header checksum
+// incrementally per RFC 1624 rather than recomputing it. For TCP/UDP
+// packets long enough to carry ports, the source port is rewritten too.
+// (Transport checksums are not maintained: generated traffic carries
+// zero L4 checksums, as the paper's crafted traffic does.)
+func RewriteSrc(b []byte, src uint32, srcPort uint16) error {
+	if len(b) < IPv4HeaderLen {
+		return ErrTooShort
+	}
+	// RFC 1624: HC' = ~(~HC + Σ(~m + m')) over the changed 16-bit words;
+	// the source address occupies words 6 and 7 (bytes 12-15).
+	old1 := binary.BigEndian.Uint16(b[12:])
+	old2 := binary.BigEndian.Uint16(b[14:])
+	binary.BigEndian.PutUint32(b[12:], src)
+	new1 := binary.BigEndian.Uint16(b[12:])
+	new2 := binary.BigEndian.Uint16(b[14:])
+	hc := binary.BigEndian.Uint16(b[10:])
+	sum := uint32(^hc) + uint32(^old1) + uint32(new1) + uint32(^old2) + uint32(new2)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	binary.BigEndian.PutUint16(b[10:], ^uint16(sum))
+	if proto := b[9]; (proto == ProtoTCP || proto == ProtoUDP) && len(b) >= IPv4HeaderLen+2 {
+		binary.BigEndian.PutUint16(b[IPv4HeaderLen:], srcPort)
+	}
+	return nil
+}
+
 // FiveTuple identifies a transport-layer flow.
 type FiveTuple struct {
 	Src, Dst         uint32

@@ -166,3 +166,33 @@ func TestAddrString(t *testing.T) {
 		t.Fatalf("AddrString = %q", s)
 	}
 }
+
+func TestRewriteSrcKeepsChecksumValid(t *testing.T) {
+	for _, proto := range []uint8{ProtoTCP, ProtoUDP, 47} {
+		b := make([]byte, 64)
+		WriteIPv4(b, IPv4Header{TotalLen: 64, ID: 7, TTL: 64, Proto: proto,
+			Src: 0x0a000001, Dst: 0x0a000002})
+		binary.BigEndian.PutUint16(b[IPv4HeaderLen:], 1234)
+		if err := RewriteSrc(b, 0xc6336401, 4242); err != nil {
+			t.Fatalf("RewriteSrc: %v", err)
+		}
+		h, err := ParseIPv4(b)
+		if err != nil {
+			t.Fatalf("proto %d: rewritten header invalid: %v", proto, err)
+		}
+		if h.Src != 0xc6336401 {
+			t.Fatalf("src = %08x", h.Src)
+		}
+		port := binary.BigEndian.Uint16(b[IPv4HeaderLen:])
+		if proto == 47 {
+			if port != 1234 {
+				t.Fatal("non-TCP/UDP payload must not be rewritten")
+			}
+		} else if port != 4242 {
+			t.Fatalf("src port = %d, want 4242", port)
+		}
+	}
+	if err := RewriteSrc(make([]byte, 10), 1, 2); err == nil {
+		t.Fatal("short packet accepted")
+	}
+}

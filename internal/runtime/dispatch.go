@@ -24,6 +24,7 @@ type appState struct {
 	enqueued uint64
 	nicDrops uint64
 	carry    float64
+	primed   bool
 }
 
 // burstActive reports whether quantum q falls in the app's on-phase.
@@ -67,14 +68,26 @@ func (d *dispatcher) enqueue(q int) {
 			continue
 		}
 		if a.rate <= 0 {
-			// Saturating source: top the group's rings up. RSS decides the
-			// target ring per packet, so a skewed hash can tail-drop on one
-			// ring while another has room — as on real multi-queue NICs.
-			free := 0
+			// Saturating source with credit-based backpressure: after an
+			// initial fill, each barrier replenishes exactly the packets
+			// the workers consumed since the last one. Offered load then
+			// tracks what the flow group can actually absorb instead of
+			// re-offering (and re-dropping) the same overload every
+			// quantum, so offered-versus-processed accounting stays
+			// meaningful under saturation. RSS still decides the target
+			// ring per packet, so a skewed hash can tail-drop on one ring
+			// while another has room — as on real multi-queue NICs.
+			budget := 0
 			for _, f := range a.flows {
-				free += f.ring.Cap() - f.ring.Len()
+				consumed := f.ring.Consumed()
+				budget += int(consumed - f.lastConsumed)
+				f.lastConsumed = consumed
+				if !a.primed {
+					budget += f.ring.Cap() - f.ring.Len()
+				}
 			}
-			for i := 0; i < free; i++ {
+			a.primed = true
+			for i := 0; i < budget; i++ {
 				a.emitOne()
 			}
 			continue

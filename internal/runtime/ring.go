@@ -59,6 +59,11 @@ func (r *Ring) Len() int {
 	return int(r.tail.Load() - r.head.Load())
 }
 
+// Consumed returns the cumulative number of packets popped from the
+// ring — the credit counter the dispatcher's backpressure accounting
+// differences across barriers.
+func (r *Ring) Consumed() uint64 { return r.head.Load() }
+
 // Push copies p into the ring. It returns false — the packet is dropped —
 // when the ring is full or p exceeds the slot size. Only the single
 // producer may call Push.

@@ -21,6 +21,7 @@ package runtime
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"pktpredict/internal/apps"
 	"pktpredict/internal/core"
@@ -293,22 +294,27 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 }
 
 // appPacketSize resolves an app's packet size from its spec or the
-// workload parameters.
+// workload parameters (which cover custom flow types too).
 func (c Config) appPacketSize(a AppSpec) int {
 	if a.PacketSize > 0 {
 		return a.PacketSize
 	}
-	switch a.Type {
-	case apps.VPN:
-		return c.Params.PacketSizeVPN
-	case apps.RE:
-		return c.Params.PacketSizeRE
-	default:
-		if c.Params.PacketSizeIP > 0 {
-			return c.Params.PacketSizeIP
-		}
-		return trafficgen.MinPacketSize
+	return c.Params.PacketSize(a.Type)
+}
+
+// FlowTypes returns the distinct flow types the configuration runs,
+// sorted — the list offline profiling needs.
+func (c Config) FlowTypes() []apps.FlowType {
+	set := map[apps.FlowType]bool{}
+	for _, a := range c.Apps {
+		set[a.Type] = true
 	}
+	out := make([]apps.FlowType, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func (c Config) resolveRate(a AppSpec) (float64, error) {
@@ -451,6 +457,11 @@ func (r *Runtime) resetMeasurement() {
 		f.packets = 0
 		if f.pipe != nil {
 			f.baseReceived, f.baseDropped, f.baseFinished = f.pipe.Totals()
+			nodes := f.pipe.Nodes()
+			f.baseBranch = make([]branchCounters, len(nodes))
+			for i, n := range nodes {
+				f.baseBranch[i] = branchCounters{dropped: n.Dropped, finished: n.Finished}
+			}
 		}
 	}
 	for _, a := range r.disp.apps {
@@ -624,11 +635,27 @@ func (r *Runtime) buildReport(measQ int) *Report {
 			Name: a.spec.Name, Type: a.spec.Type, Workers: len(a.flows),
 			Offered: a.offered, Enqueued: a.enqueued, NICDrops: a.nicDrops,
 		}
+		branchIdx := map[string]int{}
 		for _, f := range a.flows {
 			_, dropped, finished := f.totals()
 			ar.Processed += f.packets
 			ar.PipeDropped += dropped
 			ar.Finished += finished
+			// Per-branch terminal counters, aggregated across replicas by
+			// node name (replicas share the graph shape).
+			if f.pipe != nil && f.pipe.Branching() {
+				for i, bc := range f.branchTotals() {
+					name := f.pipe.Nodes()[i].Name
+					j, ok := branchIdx[name]
+					if !ok {
+						j = len(ar.Branches)
+						branchIdx[name] = j
+						ar.Branches = append(ar.Branches, BranchReport{Node: name})
+					}
+					ar.Branches[j].Dropped += bc.dropped
+					ar.Branches[j].Finished += bc.finished
+				}
+			}
 		}
 		ar.ObservedPPS = float64(ar.Processed) / duration
 		ar.PerWorkerPPS = ar.ObservedPPS / float64(len(a.flows))

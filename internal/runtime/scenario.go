@@ -2,7 +2,6 @@ package runtime
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"pktpredict/internal/apps"
@@ -41,16 +40,7 @@ func ScenarioTypes(name string, cfg hw.Config, params apps.Params) ([]apps.FlowT
 	if err != nil {
 		return nil, err
 	}
-	set := map[apps.FlowType]bool{}
-	for _, a := range c.Apps {
-		set[a.Type] = true
-	}
-	var out []apps.FlowType
-	for t := range set {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	return c.FlowTypes(), nil
 }
 
 // ScenarioConfig assembles the runtime configuration of a builtin

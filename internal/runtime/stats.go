@@ -121,6 +121,18 @@ type AppReport struct {
 	ObservedDrop  float64 // 1 − PerWorkerPPS/expected (expected caps at offered rate)
 	PredictedDrop float64 // time-averaged per-worker curve prediction
 	LossRate      float64 // NICDrops/Offered
+
+	// Branches holds per-node terminal counters for branching pipelines
+	// (empty for linear chains): where the group's packets ended their
+	// walk, aggregated across replicas in graph order.
+	Branches []BranchReport
+}
+
+// BranchReport is one graph node's terminal accounting over the window.
+type BranchReport struct {
+	Node     string
+	Dropped  uint64
+	Finished uint64
 }
 
 // PredictionError returns observed minus predicted drop, the paper's
@@ -179,6 +191,20 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "%-10s %-8s %3d %12d %10d %12.0f %10.0f %10s %10s %10s\n",
 			a.Name, a.Type, a.Workers, a.Processed, a.NICDrops,
 			a.PerWorkerPPS, a.SoloPPS, obs, pred, errs)
+	}
+
+	for _, a := range r.Apps {
+		if len(a.Branches) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s branches:", a.Name)
+		for _, br := range a.Branches {
+			if br.Dropped == 0 && br.Finished == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "\n  %-16s finished %10d  dropped %10d", br.Node, br.Finished, br.Dropped)
+		}
+		b.WriteString("\n")
 	}
 
 	for _, m := range r.Migrations {

@@ -26,9 +26,9 @@ type flow struct {
 	app     *appState
 	replica int
 
-	pipe    *click.Pipeline  // nil for synthetic flows
-	raw     hw.PacketSource  // non-nil for synthetic flows
-	ring    *Ring            // nil for synthetic flows
+	pipe    *click.Pipeline   // nil for synthetic flows
+	raw     hw.PacketSource   // non-nil for synthetic flows
+	ring    *Ring             // nil for synthetic flows
 	control *elements.Control // non-nil when the app carries admission control
 
 	homeDomain int
@@ -37,7 +37,41 @@ type flow struct {
 	// owning worker increments it; the control loop reads it at barriers.
 	packets uint64
 
+	// lastConsumed is the dispatcher's credit cursor: the ring's consumed
+	// count at the last barrier (see dispatcher.enqueue).
+	lastConsumed uint64
+
 	baseReceived, baseDropped, baseFinished uint64
+	// baseBranch holds each pipeline node's terminal counters at
+	// measurement start, aligned with pipe.Nodes().
+	baseBranch []branchCounters
+}
+
+// branchCounters is one node's terminal counter snapshot.
+type branchCounters struct {
+	dropped, finished uint64
+}
+
+// branchTotals returns the flow's per-node terminal counters relative to
+// the measurement baseline, aligned with pipe.Nodes(). It returns nil
+// for synthetic flows.
+func (f *flow) branchTotals() []branchCounters {
+	if f.pipe == nil {
+		return nil
+	}
+	nodes := f.pipe.Nodes()
+	out := make([]branchCounters, len(nodes))
+	for i, n := range nodes {
+		var base branchCounters
+		if i < len(f.baseBranch) {
+			base = f.baseBranch[i]
+		}
+		out[i] = branchCounters{
+			dropped:  n.Dropped - base.dropped,
+			finished: n.Finished - base.finished,
+		}
+	}
+	return out
 }
 
 // totals returns the flow's pipeline counters relative to the

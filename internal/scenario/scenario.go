@@ -1,0 +1,572 @@
+// Package scenario loads dataplane scenarios from Click-style text
+// files, replacing hard-coded Go builtins with configuration an operator
+// edits and ships. A scenario file declares flow groups (builtin types
+// or Click graphs defined inline), their offered rates and pacing,
+// replica counts, core placement, and the runtime knobs a scenario
+// needs, e.g.:
+//
+//	scenario :: Scenario(NAME nat_chain, MIN_CORES_PER_SOCKET 4);
+//
+//	graph NATFW {
+//	    src :: FromDevice(SIZE 64);
+//	    cls :: IPClassifier(tcp, udp, -);
+//	    src -> CheckIPHeader -> cls;
+//	    cls[0] -> IPRewriter(CAPACITY 65536) -> ToDevice;
+//	    cls[1] -> ToDevice;
+//	    cls[2] -> Discard;
+//	}
+//
+//	natfw :: Flow(GRAPH NATFW, WORKERS 2);
+//	mon   :: Flow(TYPE MON, RATE_FRACTION 0.7);
+//
+// Config turns a parsed scenario into a runtime.Config on a concrete
+// platform; inline graphs become custom flow types (apps.Params.Custom),
+// so offline profiling and the concurrent runtime treat them exactly
+// like builtin workloads.
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/click"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/runtime"
+)
+
+// Placement pins one worker to a core: either an absolute core index
+// (Socket < 0) or core Core of socket Socket.
+type Placement struct {
+	Socket int // -1 for an absolute core index
+	Core   int
+}
+
+// Flow declares one flow group.
+type Flow struct {
+	Name  string
+	Type  string // builtin flow type name, or the name of a Graph
+	Graph string // inline graph reference (sets the custom type)
+
+	Workers       int
+	Rate          float64
+	RateFraction  float64
+	BurstOn       int
+	BurstOff      int
+	Control       bool
+	HiddenTrigger uint64
+	SynCompute    int
+	PacketSize    int
+}
+
+// Graph is one inline pipeline definition; Config is the Click graph
+// text, kept verbatim.
+type Graph struct {
+	Name   string
+	Config string
+}
+
+// Scenario is a parsed scenario file.
+type Scenario struct {
+	Name string
+
+	RingSize          int
+	Admission         bool
+	DropThreshold     float64
+	MinCoresPerSocket int
+	MinSockets        int
+	// Fit caps the total worker count at min(cores per socket, Fit),
+	// admitting declared flows in order until the cap is hit — how the
+	// mixed scenario fills exactly one socket on any platform.
+	Fit               int
+	SynRegionFraction float64
+	Place             []Placement
+
+	Flows  []Flow
+	Graphs []Graph
+}
+
+// Load reads and parses a scenario file. A missing NAME defaults to the
+// file's base name without extension.
+func Load(path string) (*Scenario, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	if s.Name == "" {
+		s.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return s, nil
+}
+
+// Parse parses scenario text.
+func Parse(text string) (*Scenario, error) {
+	stripped, err := click.StripComments(text)
+	if err != nil {
+		return nil, err
+	}
+	rest, graphs, err := extractGraphs(stripped)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scenario{Graphs: graphs}
+	seenScenario := false
+	names := map[string]bool{}
+	for _, g := range graphs {
+		if names[g.Name] {
+			return nil, fmt.Errorf("graph %q declared twice", g.Name)
+		}
+		names[g.Name] = true
+	}
+
+	for stmtNo, raw := range click.SplitTopLevel(rest, ";") {
+		st := strings.TrimSpace(raw)
+		if st == "" {
+			continue
+		}
+		name, classRef, ok := click.CutTopLevel(st, "::")
+		if !ok {
+			return nil, fmt.Errorf("statement %d: cannot parse %q (want name :: Scenario(...) or name :: Flow(...))", stmtNo+1, st)
+		}
+		name = strings.TrimSpace(name)
+		if !isFlowName(name) {
+			return nil, fmt.Errorf("statement %d: bad name %q", stmtNo+1, name)
+		}
+		class, args, err := click.ParseClassRef(strings.TrimSpace(classRef))
+		if err != nil {
+			return nil, fmt.Errorf("statement %d: %w", stmtNo+1, err)
+		}
+		switch class {
+		case "Scenario":
+			if seenScenario {
+				return nil, fmt.Errorf("statement %d: second Scenario declaration", stmtNo+1)
+			}
+			seenScenario = true
+			if err := s.applyScenarioArgs(args); err != nil {
+				return nil, fmt.Errorf("statement %d: %w", stmtNo+1, err)
+			}
+		case "Flow":
+			if names[name] {
+				return nil, fmt.Errorf("statement %d: flow %q declared twice", stmtNo+1, name)
+			}
+			names[name] = true
+			f, err := parseFlow(name, args)
+			if err != nil {
+				return nil, fmt.Errorf("statement %d: %w", stmtNo+1, err)
+			}
+			s.Flows = append(s.Flows, f)
+		default:
+			return nil, fmt.Errorf("statement %d: unknown declaration class %q (want Scenario or Flow)", stmtNo+1, class)
+		}
+	}
+	if !seenScenario {
+		return nil, fmt.Errorf("missing scenario :: Scenario(...) declaration")
+	}
+	if len(s.Flows) == 0 {
+		return nil, fmt.Errorf("scenario declares no flows")
+	}
+	// Every referenced graph must exist; every declared graph must be used.
+	declared := map[string]bool{}
+	for _, g := range s.Graphs {
+		declared[g.Name] = true
+	}
+	used := map[string]bool{}
+	for _, f := range s.Flows {
+		if f.Graph != "" {
+			if !declared[f.Graph] {
+				return nil, fmt.Errorf("flow %q references undeclared graph %q", f.Name, f.Graph)
+			}
+			used[f.Graph] = true
+		}
+	}
+	for _, g := range s.Graphs {
+		if !used[g.Name] {
+			return nil, fmt.Errorf("graph %q is declared but no flow uses it", g.Name)
+		}
+	}
+	return s, nil
+}
+
+func (s *Scenario) applyScenarioArgs(args click.Args) error {
+	var err error
+	get := func(key string, dst *int) {
+		if err != nil {
+			return
+		}
+		*dst, err = args.Int(key, *dst)
+	}
+	getF := func(key string, dst *float64) {
+		if err != nil {
+			return
+		}
+		*dst, err = args.Float64(key, *dst)
+	}
+	s.Name = args.String("NAME", s.Name)
+	get("RING", &s.RingSize)
+	get("MIN_CORES_PER_SOCKET", &s.MinCoresPerSocket)
+	get("MIN_SOCKETS", &s.MinSockets)
+	get("FIT", &s.Fit)
+	getF("DROP_THRESHOLD", &s.DropThreshold)
+	getF("SYN_REGION_FRACTION", &s.SynRegionFraction)
+	if err != nil {
+		return err
+	}
+	if s.Admission, err = args.Bool("ADMISSION", false); err != nil {
+		return err
+	}
+	if place := args.String("PLACE", ""); place != "" {
+		for _, tok := range strings.Fields(place) {
+			p, perr := parsePlacement(tok)
+			if perr != nil {
+				return perr
+			}
+			s.Place = append(s.Place, p)
+		}
+	}
+	if s.SynRegionFraction < 0 || s.SynRegionFraction > 1 {
+		return fmt.Errorf("SYN_REGION_FRACTION %v outside [0,1]", s.SynRegionFraction)
+	}
+	return nil
+}
+
+func parsePlacement(tok string) (Placement, error) {
+	if sock, core, ok := strings.Cut(tok, ":"); ok {
+		if !strings.HasPrefix(sock, "s") {
+			return Placement{}, fmt.Errorf("placement %q: want <core> or s<socket>:<core>", tok)
+		}
+		si, err1 := strconv.Atoi(sock[1:])
+		ci, err2 := strconv.Atoi(core)
+		if err1 != nil || err2 != nil || si < 0 || ci < 0 {
+			return Placement{}, fmt.Errorf("placement %q: want <core> or s<socket>:<core>", tok)
+		}
+		return Placement{Socket: si, Core: ci}, nil
+	}
+	ci, err := strconv.Atoi(tok)
+	if err != nil || ci < 0 {
+		return Placement{}, fmt.Errorf("placement %q: want <core> or s<socket>:<core>", tok)
+	}
+	return Placement{Socket: -1, Core: ci}, nil
+}
+
+func parseFlow(name string, args click.Args) (Flow, error) {
+	f := Flow{Name: name, Workers: 1}
+	f.Type = args.String("TYPE", "")
+	f.Graph = args.String("GRAPH", "")
+	switch {
+	case f.Type == "" && f.Graph == "":
+		return f, fmt.Errorf("flow %q needs TYPE or GRAPH", name)
+	case f.Type != "" && f.Graph != "":
+		return f, fmt.Errorf("flow %q sets both TYPE and GRAPH", name)
+	case f.Graph != "":
+		f.Type = f.Graph
+	}
+	var err error
+	geti := func(key string, dst *int) {
+		if err != nil {
+			return
+		}
+		*dst, err = args.Int(key, *dst)
+	}
+	geti("WORKERS", &f.Workers)
+	geti("BURST_ON", &f.BurstOn)
+	geti("BURST_OFF", &f.BurstOff)
+	geti("SYN_COMPUTE", &f.SynCompute)
+	geti("PACKET_SIZE", &f.PacketSize)
+	if err != nil {
+		return f, err
+	}
+	if f.Rate, err = args.Float64("RATE", 0); err != nil {
+		return f, err
+	}
+	if f.RateFraction, err = args.Float64("RATE_FRACTION", 0); err != nil {
+		return f, err
+	}
+	if f.Control, err = args.Bool("CONTROL", false); err != nil {
+		return f, err
+	}
+	if f.HiddenTrigger, err = args.Uint64("HIDDEN_TRIGGER", 0); err != nil {
+		return f, err
+	}
+	if f.Workers <= 0 {
+		return f, fmt.Errorf("flow %q needs at least one worker", name)
+	}
+	return f, nil
+}
+
+// flowType resolves a flow's type string: a declared graph name wins,
+// otherwise it must be a builtin flow type.
+func (s *Scenario) flowType(f Flow) (apps.FlowType, error) {
+	for _, g := range s.Graphs {
+		if g.Name == f.Type {
+			return apps.FlowType(g.Name), nil
+		}
+	}
+	return apps.ParseFlowType(f.Type)
+}
+
+// Config assembles the runtime configuration of the scenario on the
+// given platform and workload scale — the file-based counterpart of
+// runtime.ScenarioConfig.
+func (s *Scenario) Config(cfg hw.Config, params apps.Params) (runtime.Config, error) {
+	if cfg.CoresPerSocket < s.MinCoresPerSocket {
+		return runtime.Config{}, fmt.Errorf("scenario %s needs ≥%d cores per socket", s.Name, s.MinCoresPerSocket)
+	}
+	if cfg.Sockets < s.MinSockets {
+		return runtime.Config{}, fmt.Errorf("scenario %s needs ≥%d sockets", s.Name, s.MinSockets)
+	}
+	if s.SynRegionFraction > 0 {
+		params.SynRegionBytes = int(s.SynRegionFraction * float64(cfg.L3.SizeBytes))
+	}
+	if len(s.Graphs) > 0 {
+		custom := make(map[apps.FlowType]apps.CustomFlow, len(s.Graphs))
+		for t, cf := range params.Custom {
+			custom[t] = cf
+		}
+		for _, g := range s.Graphs {
+			t := apps.FlowType(g.Name)
+			// A graph must not shadow (or be shadowed by) a builtin flow
+			// type: SYN/SYN_MAX would silently win over the graph, and a
+			// graph named MON would silently replace the builtin for every
+			// Flow(TYPE MON) including offline profiling.
+			if _, builtin := apps.ParseFlowType(g.Name); builtin == nil {
+				return runtime.Config{}, fmt.Errorf("scenario %s: graph %q collides with a builtin flow type", s.Name, g.Name)
+			}
+			if _, clash := custom[t]; clash {
+				return runtime.Config{}, fmt.Errorf("scenario %s: graph %q collides with an existing flow type", s.Name, g.Name)
+			}
+			pktSize := params.PacketSizeIP
+			for _, f := range s.Flows {
+				if f.Graph == g.Name && f.PacketSize > 0 {
+					pktSize = f.PacketSize
+				}
+			}
+			custom[t] = apps.CustomFlow{Config: g.Config, PacketSize: pktSize}
+		}
+		params.Custom = custom
+	}
+
+	out := runtime.Config{Cfg: cfg, Params: params, Scenario: s.Name}
+	fit := 0
+	if s.Fit > 0 {
+		fit = cfg.CoresPerSocket
+		if fit > s.Fit {
+			fit = s.Fit
+		}
+	}
+	total := 0
+	for _, f := range s.Flows {
+		t, err := s.flowType(f)
+		if err != nil {
+			return runtime.Config{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		if fit > 0 && total+f.Workers > fit {
+			break
+		}
+		total += f.Workers
+		out.Apps = append(out.Apps, runtime.AppSpec{
+			Name: f.Name, Type: t, Workers: f.Workers,
+			Rate: f.Rate, RateFraction: f.RateFraction,
+			BurstOn: f.BurstOn, BurstOff: f.BurstOff,
+			Control: f.Control, HiddenTrigger: f.HiddenTrigger,
+			SynCompute: f.SynCompute, PacketSize: f.PacketSize,
+		})
+	}
+	if len(out.Apps) == 0 {
+		return runtime.Config{}, fmt.Errorf("scenario %s: no flows fit the platform", s.Name)
+	}
+	for _, p := range s.Place {
+		core := p.Core
+		if p.Socket >= 0 {
+			if p.Socket >= cfg.Sockets || p.Core >= cfg.CoresPerSocket {
+				return runtime.Config{}, fmt.Errorf("scenario %s: placement s%d:%d outside the platform", s.Name, p.Socket, p.Core)
+			}
+			core = p.Socket*cfg.CoresPerSocket + p.Core
+		}
+		out.Cores = append(out.Cores, core)
+	}
+	out.RingSize = s.RingSize
+	out.Admission = s.Admission
+	out.DropThreshold = s.DropThreshold
+	return out, nil
+}
+
+// Render writes the scenario back as canonical text; Parse(Render(s)) is
+// structurally identical to s (graph bodies are preserved verbatim).
+func (s *Scenario) Render() string {
+	var b strings.Builder
+	b.WriteString("scenario :: Scenario(")
+	var attrs []string
+	add := func(format string, a ...interface{}) {
+		attrs = append(attrs, fmt.Sprintf(format, a...))
+	}
+	if s.Name != "" {
+		add("NAME %s", s.Name)
+	}
+	if s.RingSize != 0 {
+		add("RING %d", s.RingSize)
+	}
+	if s.Admission {
+		add("ADMISSION true")
+	}
+	if s.DropThreshold != 0 {
+		add("DROP_THRESHOLD %v", s.DropThreshold)
+	}
+	if s.MinCoresPerSocket != 0 {
+		add("MIN_CORES_PER_SOCKET %d", s.MinCoresPerSocket)
+	}
+	if s.MinSockets != 0 {
+		add("MIN_SOCKETS %d", s.MinSockets)
+	}
+	if s.Fit != 0 {
+		add("FIT %d", s.Fit)
+	}
+	if s.SynRegionFraction != 0 {
+		add("SYN_REGION_FRACTION %v", s.SynRegionFraction)
+	}
+	if len(s.Place) > 0 {
+		toks := make([]string, len(s.Place))
+		for i, p := range s.Place {
+			if p.Socket < 0 {
+				toks[i] = strconv.Itoa(p.Core)
+			} else {
+				toks[i] = fmt.Sprintf("s%d:%d", p.Socket, p.Core)
+			}
+		}
+		add("PLACE %s", strings.Join(toks, " "))
+	}
+	b.WriteString(strings.Join(attrs, ", "))
+	b.WriteString(");\n")
+
+	for _, g := range s.Graphs {
+		fmt.Fprintf(&b, "\ngraph %s {%s}\n", g.Name, g.Config)
+	}
+
+	for _, f := range s.Flows {
+		attrs = attrs[:0]
+		if f.Graph != "" {
+			add("GRAPH %s", f.Graph)
+		} else {
+			add("TYPE %s", f.Type)
+		}
+		if f.Workers != 1 {
+			add("WORKERS %d", f.Workers)
+		}
+		if f.Rate != 0 {
+			add("RATE %v", f.Rate)
+		}
+		if f.RateFraction != 0 {
+			add("RATE_FRACTION %v", f.RateFraction)
+		}
+		if f.BurstOn != 0 {
+			add("BURST_ON %d", f.BurstOn)
+		}
+		if f.BurstOff != 0 {
+			add("BURST_OFF %d", f.BurstOff)
+		}
+		if f.Control {
+			add("CONTROL true")
+		}
+		if f.HiddenTrigger != 0 {
+			add("HIDDEN_TRIGGER %d", f.HiddenTrigger)
+		}
+		if f.SynCompute != 0 {
+			add("SYN_COMPUTE %d", f.SynCompute)
+		}
+		if f.PacketSize != 0 {
+			add("PACKET_SIZE %d", f.PacketSize)
+		}
+		fmt.Fprintf(&b, "\n%s :: Flow(%s);", f.Name, strings.Join(attrs, ", "))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// extractGraphs pulls `graph NAME { ... }` blocks out of
+// comment-stripped text, returning the remaining statement stream and
+// the blocks in declaration order. Graph bodies must not contain braces.
+func extractGraphs(s string) (string, []Graph, error) {
+	var out strings.Builder
+	var graphs []Graph
+	i := 0
+	for i < len(s) {
+		if !wordAt(s, i, "graph") {
+			out.WriteByte(s[i])
+			i++
+			continue
+		}
+		j := i + len("graph")
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		nameStart := j
+		for j < len(s) && isIdentByte(s[j]) {
+			j++
+		}
+		name := s[nameStart:j]
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		if name == "" || j >= len(s) || s[j] != '{' {
+			return "", nil, fmt.Errorf("malformed graph block near %q (want graph NAME { ... })", snippet(s[i:]))
+		}
+		closing := strings.IndexByte(s[j:], '}')
+		if closing < 0 {
+			return "", nil, fmt.Errorf("graph %q: missing closing brace", name)
+		}
+		graphs = append(graphs, Graph{Name: name, Config: s[j+1 : j+closing]})
+		i = j + closing + 1
+	}
+	return out.String(), graphs, nil
+}
+
+func wordAt(s string, i int, word string) bool {
+	if !strings.HasPrefix(s[i:], word) {
+		return false
+	}
+	if i > 0 && isIdentByte(s[i-1]) {
+		return false
+	}
+	after := i + len(word)
+	return after >= len(s) || !isIdentByte(s[after])
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// isFlowName accepts identifiers with interior dashes ("mon-a"), the
+// naming style scenario flows use.
+func isFlowName(s string) bool {
+	if s == "" || s[0] == '-' || s[len(s)-1] == '-' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !isIdentByte(c) && c != '-' {
+			return false
+		}
+		if c >= '0' && c <= '9' && i == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func snippet(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 40 {
+		s = s[:40] + "..."
+	}
+	return s
+}

@@ -1,0 +1,298 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+	"pktpredict/internal/runtime"
+)
+
+func memArena() *mem.Arena { return mem.NewArena(0) }
+
+const shippedDir = "../../examples/scenarios"
+
+func testCfg() hw.Config {
+	cfg := hw.DefaultConfig()
+	cfg.L1D = hw.CacheGeom{SizeBytes: 4 << 10, Ways: 4}
+	cfg.L2 = hw.CacheGeom{SizeBytes: 32 << 10, Ways: 8}
+	cfg.L3 = hw.CacheGeom{SizeBytes: 1 << 20, Ways: 16}
+	return cfg
+}
+
+func loadShipped(t *testing.T, name string) *Scenario {
+	t.Helper()
+	s, err := Load(filepath.Join(shippedDir, name+".click"))
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	return s
+}
+
+// TestShippedFilesMatchBuiltins is the parity contract: each former
+// builtin scenario, loaded from its shipped .click file, assembles a
+// runtime.Config deep-equal to the Go builtin's — same apps, same rates,
+// same placement, same knobs — and therefore reports the same figures.
+func TestShippedFilesMatchBuiltins(t *testing.T) {
+	cfg := testCfg()
+	params := apps.Small()
+	for _, name := range runtime.ScenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			want, err := runtime.ScenarioConfig(name, cfg, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loadShipped(t, name).Config(cfg, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("file-based config diverges from builtin:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestShippedFilesRoundTrip re-renders every shipped scenario and parses
+// the result: the canonical form must reproduce the identical structure,
+// graph bodies byte-for-byte.
+func TestShippedFilesRoundTrip(t *testing.T) {
+	entries, err := os.ReadDir(shippedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".click") {
+			continue
+		}
+		n++
+		t.Run(e.Name(), func(t *testing.T) {
+			s1, err := Load(filepath.Join(shippedDir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := Parse(s1.Render())
+			if err != nil {
+				t.Fatalf("re-parse of rendered scenario failed: %v\n--- rendered ---\n%s", err, s1.Render())
+			}
+			if s2.Name == "" {
+				s2.Name = s1.Name
+			}
+			if !reflect.DeepEqual(s1, s2) {
+				t.Fatalf("round trip diverges:\n got %+v\nwant %+v\n--- rendered ---\n%s", s2, s1, s1.Render())
+			}
+		})
+	}
+	if n < 5 {
+		t.Fatalf("only %d shipped scenario files found, want ≥5", n)
+	}
+}
+
+// TestShippedGraphsParse builds every inline graph of every shipped file
+// through the click parser — the parser-level round trip on the shipped
+// corpus.
+func TestShippedGraphsParse(t *testing.T) {
+	entries, err := os.ReadDir(shippedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".click") {
+			continue
+		}
+		s, err := Load(filepath.Join(shippedDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := apps.Small()
+		cfgr, err := s.Config(testCfg(), params)
+		if err != nil {
+			t.Fatalf("%s: Config: %v", e.Name(), err)
+		}
+		for _, g := range s.Graphs {
+			cf, ok := cfgr.Params.Custom[apps.FlowType(g.Name)]
+			if !ok {
+				t.Fatalf("%s: graph %s not registered as a custom type", e.Name(), g.Name)
+			}
+			inst, err := cfgr.Params.Build(apps.FlowType(g.Name), memArena(), 1)
+			if err != nil {
+				t.Fatalf("%s: graph %s does not build: %v", e.Name(), g.Name, err)
+			}
+			if inst.Pipeline == nil {
+				t.Fatalf("%s: graph %s built no pipeline", e.Name(), g.Name)
+			}
+			if cf.Config != g.Config {
+				t.Fatalf("%s: graph %s text not preserved", e.Name(), g.Name)
+			}
+		}
+	}
+}
+
+func TestNatChainRunsEndToEnd(t *testing.T) {
+	s := loadShipped(t, "nat_chain")
+	cfg, err := s.Config(testCfg(), apps.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.QuantumCycles = 100_000
+	cfg.ControlEvery = 4
+	cfg.Warmup = 0.0003
+	r, err := runtime.NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var natApp *runtime.AppReport
+	for i := range rep.Apps {
+		if rep.Apps[i].Name == "natfw" {
+			natApp = &rep.Apps[i]
+		}
+	}
+	if natApp == nil {
+		t.Fatal("no natfw app in report")
+	}
+	if natApp.Processed == 0 {
+		t.Fatal("NAT chain processed nothing")
+	}
+	if len(natApp.Branches) == 0 {
+		t.Fatal("branching NAT chain reported no per-branch counters")
+	}
+	branches := map[string]runtime.BranchReport{}
+	for _, br := range natApp.Branches {
+		branches[br.Node] = br
+	}
+	// TCP+UDP forwarded packets finish at ToDevice and drop at the
+	// mirror's Discard; non-TCP/UDP traffic would drop at the classifier
+	// Discard (generated traffic is all TCP/UDP, so that stays zero).
+	var wire, mirror uint64
+	for name, br := range branches {
+		if strings.HasPrefix(name, "ToDevice") {
+			wire = br.Finished
+		}
+		if strings.HasPrefix(name, "Discard") && br.Dropped > 0 {
+			mirror += br.Dropped
+		}
+	}
+	if wire == 0 || mirror != wire {
+		t.Fatalf("branch accounting: wire %d, mirrored drops %d (branches %+v)", wire, mirror, natApp.Branches)
+	}
+	if rep.String() == "" || !strings.Contains(rep.String(), "branches:") {
+		t.Fatal("report does not render branch telemetry")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text, wantSub string }{
+		{"no scenario decl", `mon :: Flow(TYPE MON);`, "missing scenario"},
+		{"no flows", `scenario :: Scenario(NAME x);`, "no flows"},
+		{"double scenario", `scenario :: Scenario(NAME x); s2 :: Scenario(NAME y); m :: Flow(TYPE MON);`, "second Scenario"},
+		{"unknown class", `scenario :: Scenario(NAME x); m :: Widget(TYPE MON);`, "unknown declaration class"},
+		{"flow without type", `scenario :: Scenario(NAME x); m :: Flow(WORKERS 2);`, "needs TYPE or GRAPH"},
+		{"both type and graph", `scenario :: Scenario(NAME x); m :: Flow(TYPE MON, GRAPH G); graph G { }`, "both TYPE and GRAPH"},
+		{"undeclared graph", `scenario :: Scenario(NAME x); m :: Flow(GRAPH NOPE);`, "undeclared graph"},
+		{"unused graph", "scenario :: Scenario(NAME x); m :: Flow(TYPE MON);\ngraph G { src :: FromDevice; src -> ToDevice; }", "no flow uses it"},
+		{"dup flow", `scenario :: Scenario(NAME x); m :: Flow(TYPE MON); m :: Flow(TYPE MON);`, "declared twice"},
+		{"zero workers", `scenario :: Scenario(NAME x); m :: Flow(TYPE MON, WORKERS 0);`, "at least one worker"},
+		{"bad placement", `scenario :: Scenario(NAME x, PLACE q1); m :: Flow(TYPE MON);`, "placement"},
+		{"bad fraction", `scenario :: Scenario(NAME x, SYN_REGION_FRACTION 1.5); m :: Flow(TYPE MON);`, "SYN_REGION_FRACTION"},
+		{"unterminated graph", `scenario :: Scenario(NAME x); graph G { src :: FromDevice;`, "missing closing brace"},
+		{"malformed graph", `scenario :: Scenario(NAME x); graph { }; m :: Flow(TYPE MON);`, "malformed graph"},
+		{"bad statement", `scenario :: Scenario(NAME x); what is this; m :: Flow(TYPE MON);`, "cannot parse"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.text)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	cfg := testCfg()
+	params := apps.Small()
+
+	s, err := Parse(`scenario :: Scenario(NAME x, MIN_CORES_PER_SOCKET 99); m :: Flow(TYPE MON);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Config(cfg, params); err == nil || !strings.Contains(err.Error(), "cores per socket") {
+		t.Fatalf("requirement not enforced: %v", err)
+	}
+
+	s, err = Parse(`scenario :: Scenario(NAME x, MIN_SOCKETS 9); m :: Flow(TYPE MON);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Config(cfg, params); err == nil || !strings.Contains(err.Error(), "sockets") {
+		t.Fatalf("socket requirement not enforced: %v", err)
+	}
+
+	s, err = Parse(`scenario :: Scenario(NAME x); m :: Flow(TYPE NOPE);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Config(cfg, params); err == nil {
+		t.Fatal("unknown flow type accepted")
+	}
+
+	s, err = Parse(`scenario :: Scenario(NAME x, PLACE s9:0); m :: Flow(TYPE MON);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Config(cfg, params); err == nil || !strings.Contains(err.Error(), "outside the platform") {
+		t.Fatalf("bad placement accepted: %v", err)
+	}
+
+	// A graph name colliding with a builtin type must be rejected even
+	// with pristine params: SYN would silently win over the graph, MON
+	// would be silently replaced by it.
+	for _, name := range []string{"MON", "SYN", "syn_max"} {
+		text := `scenario :: Scenario(NAME x); m :: Flow(GRAPH ` + name + `); graph ` + name + ` { src :: FromDevice; src -> ToDevice; }`
+		s, err = Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Config(cfg, params); err == nil || !strings.Contains(err.Error(), "collides with a builtin") {
+			t.Fatalf("graph %s: builtin collision accepted: %v", name, err)
+		}
+	}
+	// ...and colliding with an already-registered custom type too.
+	s, err = Parse(`scenario :: Scenario(NAME x); m :: Flow(GRAPH CHAIN); graph CHAIN { src :: FromDevice; src -> ToDevice; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params2 := params
+	params2.Custom = map[apps.FlowType]apps.CustomFlow{"CHAIN": {Config: "x"}}
+	if _, err := s.Config(cfg, params2); err == nil || !strings.Contains(err.Error(), "collides") {
+		t.Fatalf("custom type collision accepted: %v", err)
+	}
+}
+
+// TestFlowTypesIncludesCustom: profiling discovers custom types through
+// runtime.Config.FlowTypes.
+func TestFlowTypesIncludesCustom(t *testing.T) {
+	s := loadShipped(t, "nat_chain")
+	cfg, err := s.Config(testCfg(), apps.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := cfg.FlowTypes()
+	want := []apps.FlowType{"MON", "NATFW", "VPN"}
+	if !reflect.DeepEqual(types, want) {
+		t.Fatalf("FlowTypes = %v, want %v", types, want)
+	}
+}
