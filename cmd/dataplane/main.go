@@ -8,9 +8,12 @@
 //
 // Scenarios come from Click-style files (-config, see
 // examples/scenarios/*.click) or from the builtin catalogue (-scenario).
-// The shipped files include the four former builtins and a branching
+// The shipped files include the four former builtins, a branching
 // NAT/firewall service chain (nat_chain.click) whose pipeline graph is
-// declared inline in the file.
+// declared inline in the file, and the same chain cut across workers
+// (nat_chain_staged.click): its `stage 1: fw;` declaration runs the
+// firewall tail on a second core connected by a hand-off ring, and the
+// report carries one row per stage worker.
 //
 // Usage:
 //
@@ -130,8 +133,14 @@ func main() {
 		fmt.Println("telemetry samples:")
 		for _, cs := range r.Stats().Samples() {
 			for _, w := range cs.Workers {
+				app := w.App
+				if w.Stages > 1 {
+					// A chain worker's ring columns describe its hand-off
+					// ring (stage 0 keeps the receive ring).
+					app = fmt.Sprintf("%s#%d", w.App, w.Stage)
+				}
 				fmt.Printf("  t=%.2fms wkr=%d sock=%d %-10s pps=%.2fM refs/s=%.1fM occ=%.2f ring=%d/%d delay=%d pred=%.1f%%%s\n",
-					cs.Time*1e3, w.Worker, w.Socket, w.App, w.PPS/1e6, w.RefsPerSec/1e6,
+					cs.Time*1e3, w.Worker, w.Socket, app, w.PPS/1e6, w.RefsPerSec/1e6,
 					w.BatchOccupancy, w.RingDepth, w.RingCap, w.DelayCycles,
 					w.PredictedDrop*100, throttledMark(w.Throttled))
 			}

@@ -1,0 +1,30 @@
+// nat_chain_staged — the NAT/firewall service chain of nat_chain.click
+// deployed as a cross-worker pipeline: classification and the stateful
+// NAT run on one worker, the firewall tail (firewall, tee, mirror) on a
+// second worker on the other socket, connected by a hand-off ring. The
+// `stage 1: fw;` declaration cuts the graph at the firewall; everything
+// downstream of fw inherits stage 1. PLACE pins stage 0 to socket 0 and
+// stage 1 to socket 1, so the hand-off's descriptor and header lines
+// cross the interconnect — the Section 2.2 pipelining costs, live in the
+// runtime. A run-to-completion MON neighbour shares socket 0.
+scenario :: Scenario(NAME nat_chain_staged, MIN_CORES_PER_SOCKET 2, MIN_SOCKETS 2, PLACE s0:0 s1:0 s0:1);
+
+graph NATFW {
+    src    :: FromDevice(SIZE 64);
+    cls    :: IPClassifier(tcp, udp, -);
+    nat    :: IPRewriter(EXTIP 198.51.100.1, CAPACITY 65536);
+    fw     :: IPFilter(RULES 1000);
+    tee    :: Tee;
+    mirror :: Counter;
+    src -> CheckIPHeader -> cls;
+    cls[0] -> nat;
+    cls[1] -> nat;
+    cls[2] -> Discard;
+    nat -> fw -> tee;
+    tee[0] -> ToDevice;
+    tee[1] -> mirror -> Discard;
+    stage 1: fw;
+}
+
+natfw :: Flow(GRAPH NATFW, WORKERS 1);
+mon   :: Flow(TYPE MON, WORKERS 1);

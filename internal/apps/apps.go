@@ -94,6 +94,14 @@ type Params struct {
 type CustomFlow struct {
 	Config     string
 	PacketSize int // generated packet size (default PacketSizeIP)
+
+	// Stages, when non-empty, cuts the graph into a cross-worker service
+	// chain: it maps element names to stage indices (unlisted elements
+	// inherit their predecessors' stage; see click.Pipeline.AssignStages).
+	// Offline profiling still runs the whole graph on one core; the
+	// concurrent runtime places each stage on its own worker connected by
+	// hand-off rings.
+	Stages map[string]int
 }
 
 // Default returns the paper-scale parameters.
@@ -253,7 +261,31 @@ func (p Params) build(t FlowType, arena *mem.Arena, seed uint64, ctl *elements.C
 	if ctl != nil {
 		pl.PushFront(ctl)
 	}
+	// Stage cuts are assigned after all structural edits (a Control at
+	// the head lands in stage 0 with the rest of the receive path).
+	if cf, ok := p.Custom[t]; ok && len(cf.Stages) > 0 {
+		if err := pl.AssignStages(cf.Stages); err != nil {
+			return nil, fmt.Errorf("apps: staging %s: %w", t, err)
+		}
+	}
 	return &Instance{Type: t, Source: pl, Pipeline: pl, Control: ctl}, nil
+}
+
+// Stages returns how many pipeline stages flow type t is cut into — the
+// number of workers one replica occupies under the concurrent runtime.
+// Builtins and unstaged custom flows run as a single stage.
+func (p Params) Stages(t FlowType) int {
+	cf, ok := p.Custom[t]
+	if !ok || len(cf.Stages) == 0 {
+		return 1
+	}
+	max := 0
+	for _, s := range cf.Stages {
+		if s > max {
+			max = s
+		}
+	}
+	return max + 1
 }
 
 // BuildSyn constructs a synthetic flow with explicit knobs, used by the

@@ -18,8 +18,12 @@ type Node struct {
 	El   Element
 	Out  []*Node
 
-	Dropped  uint64 // packets whose walk terminated here with a drop
-	Finished uint64 // packets consumed here or past the last element
+	// Stage is the pipeline stage the node executes in when the graph is
+	// cut across cores (see AssignStages); 0 for run-to-completion graphs.
+	Stage int
+
+	Dropped  uint64 // packet branches whose walk terminated here with a drop
+	Finished uint64 // packet branches consumed here or past the last element
 }
 
 // out returns the node connected at port, or nil.
@@ -48,13 +52,20 @@ type Pipeline struct {
 	Name   string
 	Source Source
 
-	// Counters.
+	// Counters, all per packet so that Received == Finished + Dropped
+	// holds exactly: a packet whose walk completes on at least one branch
+	// (a Tee may fan it out to several) counts as finished, a packet no
+	// branch of which completed counts as dropped. Per-branch terminal
+	// counts live on the nodes.
 	Received uint64 // packets pulled from the source
-	Dropped  uint64 // branch terminals that dropped the packet
-	Finished uint64 // branch terminals that completed (consumed or ran off the end)
+	Dropped  uint64 // packets that completed on no branch
+	Finished uint64 // packets that completed on at least one branch
 
 	head  *Node
 	nodes []*Node // topological order, head first
+
+	numStages int           // 0 until AssignStages cuts the graph
+	idx       map[*Node]int // node → index, for cross-stage resume points
 
 	ctx   Ctx
 	stack []*Node
@@ -158,6 +169,7 @@ func (pl *Pipeline) PushFront(el Element) {
 	}
 	pl.head = n
 	pl.nodes = append([]*Node{n}, pl.nodes...)
+	pl.idx = nil // indices shifted; AssignStages/StageRunner rebuild
 }
 
 // InsertBefore splices el in front of the first node (in topological
@@ -188,6 +200,7 @@ func (pl *Pipeline) InsertBefore(class string, el Element) error {
 		pl.head = n
 	}
 	pl.nodes = append(pl.nodes[:idx], append([]*Node{n}, pl.nodes[idx:]...)...)
+	pl.idx = nil // indices shifted; AssignStages/StageRunner rebuild
 	return nil
 }
 
@@ -211,22 +224,58 @@ func (pl *Pipeline) EmitPacket(buf []hw.Op) []hw.Op {
 	return pl.ctx.Ops
 }
 
-// walk runs one packet through the graph. Branches created by Broadcast
-// process the same packet bytes sequentially in port order; the explicit
-// stack makes the traversal allocation-free in steady state.
+// walk runs one packet through the whole graph and records its
+// packet-level outcome: finished when at least one branch completed.
 func (pl *Pipeline) walk(p *Packet) {
-	stack := append(pl.stack[:0], pl.head)
+	res, stack := walkNodes(&pl.ctx, pl.stack, pl.head, p, -1)
+	pl.stack = stack[:0]
+	if res.finished > 0 {
+		pl.Finished++
+	} else {
+		pl.Dropped++
+	}
+}
+
+// walkResult summarises one packet's (sub-)walk.
+type walkResult struct {
+	finished   int   // branches that completed (consumed or ran off the end)
+	handoff    *Node // first node reached outside the walk's stage, if any
+	extraCross int   // further branches that reached the cut after the hand-off
+}
+
+// walkNodes runs one packet from entry through the graph. Branches
+// created by Broadcast process the same packet bytes sequentially in port
+// order; the explicit stack makes the traversal allocation-free in steady
+// state. When stage is non-negative, only nodes assigned that stage are
+// processed: the first edge leading elsewhere becomes the hand-off target
+// and the branch stops there (the pipeline hands each packet across a cut
+// at most once — a later branch reaching the cut is lost and counted in
+// extraCross, since the packet's buffer has already been promised to the
+// next core).
+func walkNodes(ctx *Ctx, stack []*Node, entry *Node, p *Packet, stage int) (walkResult, []*Node) {
+	var res walkResult
+	stack = append(stack[:0], entry)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		v := n.El.Process(&pl.ctx, p)
+		if stage >= 0 && n.Stage != stage {
+			if res.handoff == nil {
+				res.handoff = n
+			} else {
+				// The node across the cut belongs to another core's stage;
+				// its counters are not ours to touch. The lost branch is
+				// accounted on the runner.
+				res.extraCross++
+			}
+			continue
+		}
+		v := n.El.Process(ctx, p)
 		switch {
 		case v == Drop:
 			n.Dropped++
-			pl.Dropped++
 		case v == Consume:
 			n.Finished++
-			pl.Finished++
+			res.finished++
 		case v == Broadcast:
 			sent := false
 			// Reverse push so port 0's branch walks first.
@@ -238,7 +287,7 @@ func (pl *Pipeline) walk(p *Packet) {
 			}
 			if !sent {
 				n.Finished++
-				pl.Finished++
+				res.finished++
 			}
 		case v >= 0:
 			if next := n.out(int(v)); next != nil {
@@ -246,19 +295,17 @@ func (pl *Pipeline) walk(p *Packet) {
 			} else if v == Continue {
 				// Ran off the end of a chain: the packet completed.
 				n.Finished++
-				pl.Finished++
+				res.finished++
 			} else {
 				// Routed to an unconnected port — a configuration gap the
 				// validator admits only for non-Router elements.
 				n.Dropped++
-				pl.Dropped++
 			}
 		default:
 			n.Dropped++
-			pl.Dropped++
 		}
 	}
-	pl.stack = stack[:0]
+	return res, stack
 }
 
 // String renders the pipeline in config-like syntax. A linear chain keeps

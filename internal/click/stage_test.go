@@ -1,0 +1,264 @@
+package click
+
+import (
+	"strings"
+	"testing"
+)
+
+// stagePipeline builds src -> a -> cls; cls[0] -> b -> tail; cls[1] -> drop
+// with a branching middle, for stage-cut tests.
+func stagePipeline(t *testing.T, count int) *Pipeline {
+	t.Helper()
+	cfg := `
+		src :: SeqSource(COUNT ` + itoa(count) + `);
+		a :: TElem;
+		cls :: TCls;
+		b :: TElem;
+		tail :: TElem;
+		drop :: TDrop;
+		src -> a -> cls;
+		cls[0] -> b -> tail;
+		cls[1] -> drop;
+	`
+	pl, err := ParseConfig(testEnv(), "staged", cfg)
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	return pl
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestAssignStagesInheritsDownstream(t *testing.T) {
+	pl := stagePipeline(t, 1)
+	if err := pl.AssignStages(map[string]int{"b": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumStages() != 2 {
+		t.Fatalf("NumStages = %d, want 2", pl.NumStages())
+	}
+	want := map[string]int{"a": 0, "cls": 0, "drop": 0, "b": 1, "tail": 1}
+	for _, n := range pl.Nodes() {
+		if n.Stage != want[n.Name] {
+			t.Fatalf("node %s in stage %d, want %d", n.Name, n.Stage, want[n.Name])
+		}
+	}
+}
+
+func TestAssignStagesValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		stages  map[string]int
+		wantSub string
+	}{
+		{"unknown element", map[string]int{"nope": 1}, "unknown element"},
+		{"negative stage", map[string]int{"b": -1}, "negative stage"},
+		{"head not stage 0", map[string]int{"a": 1}, "stage 0"},
+		{"gap in stages", map[string]int{"b": 2}, "contiguous"},
+		{"backward edge", map[string]int{"cls": 1, "b": 0, "tail": 1}, "crosses"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pl := stagePipeline(t, 1)
+			err := pl.AssignStages(tc.stages)
+			if err == nil {
+				t.Fatal("invalid stage assignment accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestUnstagedPipelineHasOneStage(t *testing.T) {
+	pl := stagePipeline(t, 1)
+	if pl.NumStages() != 1 {
+		t.Fatalf("NumStages = %d, want 1", pl.NumStages())
+	}
+	if _, err := pl.StageRunner(1); err == nil {
+		t.Fatal("StageRunner(1) on an unstaged pipeline succeeded")
+	}
+}
+
+// TestStageRunnersHandAcrossCut drives the two runners by hand (the
+// runtime drives them through a handoff ring): stage-0 walks either end
+// at the local drop branch or report the stage-1 resume node; stage-1
+// walks terminate.
+func TestStageRunnersHandAcrossCut(t *testing.T) {
+	const count = 6
+	pl := stagePipeline(t, count)
+	if err := pl.AssignStages(map[string]int{"b": 1}); err != nil {
+		t.Fatal(err)
+	}
+	sr0, err := pl.StageRunner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr1, err := pl.StageRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := pl.HeadIndex()
+	handed, terminal := 0, 0
+	for {
+		sr0.Ctx().Ops = nil
+		p := pl.Source.Pull(sr0.Ctx())
+		if p == nil {
+			break
+		}
+		next, _ := sr0.Walk(p, head, false)
+		if next < 0 {
+			terminal++
+			continue
+		}
+		if pl.Nodes()[next].Name != "b" {
+			t.Fatalf("hand-off resumes at %s, want b", pl.Nodes()[next].Name)
+		}
+		handed++
+		sr1.Ctx().Ops = nil
+		if got, _ := sr1.Walk(p, next, false); got != -1 {
+			t.Fatalf("stage-1 walk handed off again (node %d)", got)
+		}
+	}
+	if handed == 0 || terminal == 0 {
+		t.Fatalf("classifier split degenerate: handed %d, local terminals %d", handed, terminal)
+	}
+	if sr0.Received != count || sr0.Handed != uint64(handed) || sr0.Dropped != uint64(terminal) {
+		t.Fatalf("stage-0 counters: %+v (handed %d, terminal %d)", *sr0, handed, terminal)
+	}
+	if sr1.Received != uint64(handed) || sr1.Finished != uint64(handed) || sr1.Dropped != 0 {
+		t.Fatalf("stage-1 counters: received %d finished %d dropped %d, want %d/%d/0",
+			sr1.Received, sr1.Finished, sr1.Dropped, handed, handed)
+	}
+	// Chain-level conservation: every packet reached exactly one terminal.
+	entered := sr0.Received
+	terminals := sr0.Finished + sr0.Dropped + sr1.Finished + sr1.Dropped
+	if entered != terminals {
+		t.Fatalf("conservation: %d entered, %d terminals", entered, terminals)
+	}
+}
+
+// TestStageWalkHandsOffAtMostOnce: a Tee broadcasting across the cut may
+// hand the packet over only once; the lost branch lands in CutDropped and
+// the packet still reaches exactly one terminal.
+func TestStageWalkHandsOffAtMostOnce(t *testing.T) {
+	cfg := `
+		src :: SeqSource(COUNT 3);
+		tee :: TTee;
+		x :: TElem;
+		y :: TElem;
+		src -> tee;
+		tee[0] -> x;
+		tee[1] -> y;
+	`
+	pl, err := ParseConfig(testEnv(), "teecut", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.AssignStages(map[string]int{"x": 1, "y": 1}); err != nil {
+		t.Fatal(err)
+	}
+	sr0, _ := pl.StageRunner(0)
+	sr1, _ := pl.StageRunner(1)
+	for i := 0; i < 3; i++ {
+		sr0.Ctx().Ops = nil
+		p := pl.Source.Pull(sr0.Ctx())
+		next, _ := sr0.Walk(p, pl.HeadIndex(), false)
+		if next < 0 {
+			t.Fatal("tee walk did not hand off")
+		}
+		if pl.Nodes()[next].Name != "x" {
+			t.Fatalf("hand-off resumes at %s, want x (port-0 branch wins)", pl.Nodes()[next].Name)
+		}
+		if got, _ := sr1.Walk(p, next, false); got != -1 {
+			t.Fatal("stage-1 walk did not terminate")
+		}
+	}
+	if sr0.CutDropped != 3 {
+		t.Fatalf("CutDropped = %d, want 3 (one lost branch per packet)", sr0.CutDropped)
+	}
+	if sr0.Handed != 3 || sr1.Finished != 3 {
+		t.Fatalf("handed %d finished %d, want 3/3", sr0.Handed, sr1.Finished)
+	}
+}
+
+// TestStageWalkCarriesFinishedAcrossCut: a branch that completes before
+// the cut decides the packet's outcome even when the post-cut remainder
+// drops — matching what Pipeline.walk would count run-to-completion on
+// the identical graph.
+func TestStageWalkCarriesFinishedAcrossCut(t *testing.T) {
+	const count = 4
+	cfg := `
+		src :: SeqSource(COUNT ` + itoa(count) + `);
+		tee :: TTee;
+		wire :: TElem;
+		fw :: TDrop;
+		src -> tee;
+		tee[0] -> wire;
+		tee[1] -> fw;
+	`
+	pl, err := ParseConfig(testEnv(), "fincut", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.AssignStages(map[string]int{"fw": 1}); err != nil {
+		t.Fatal(err)
+	}
+	sr0, _ := pl.StageRunner(0)
+	sr1, _ := pl.StageRunner(1)
+	for i := 0; i < count; i++ {
+		sr0.Ctx().Ops = nil
+		p := pl.Source.Pull(sr0.Ctx())
+		next, fin := sr0.Walk(p, pl.HeadIndex(), false)
+		if next < 0 {
+			t.Fatal("walk did not hand off")
+		}
+		if !fin {
+			t.Fatal("finished flag lost at the cut: the wire branch completed before it")
+		}
+		if got, _ := sr1.Walk(p, next, fin); got != -1 {
+			t.Fatal("stage-1 walk did not terminate")
+		}
+	}
+	// Every packet completed its wire branch upstream, so despite the
+	// stage-1 drop the packets count finished — exactly the
+	// run-to-completion outcome.
+	if sr1.Finished != count || sr1.Dropped != 0 {
+		t.Fatalf("stage-1 outcome: finished %d dropped %d, want %d/0", sr1.Finished, sr1.Dropped, count)
+	}
+}
+
+func TestBroadcastPacketLevelOutcome(t *testing.T) {
+	// One branch finishes, one drops: the packet finished. Both branches
+	// dropping: the packet dropped.
+	cfg := `
+		src :: SeqSource(COUNT 2);
+		tee :: TTee;
+		a :: TDrop;
+		b :: TDrop;
+		src -> tee;
+		tee[0] -> a;
+		tee[1] -> b;
+	`
+	pl, err := ParseConfig(testEnv(), "alldrop", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(pl)
+	if pl.Received != 2 || pl.Dropped != 2 || pl.Finished != 0 {
+		t.Fatalf("all-drop tee: recv %d fin %d drop %d, want 2/0/2", pl.Received, pl.Finished, pl.Dropped)
+	}
+}

@@ -138,3 +138,30 @@ func maxOf(xs []float64) float64 {
 	}
 	return m
 }
+
+func TestPlanRebalanceSkipsPinnedFlows(t *testing.T) {
+	curves := liveCurves()
+	// Same pathological placement as above, but the socket-0 pair belongs
+	// to a service chain and is pinned: the only swaps that would help
+	// involve a pinned flow, so no proposal may come out — while the
+	// pinned flows' refs must still drive the prediction.
+	flows := []LiveFlow{
+		{Worker: 0, Type: apps.MON, Socket: 0, RefsPerSec: 20e6, Pinned: true},
+		{Worker: 1, Type: apps.SYNMAX, Socket: 0, RefsPerSec: 300e6, Pinned: true},
+		{Worker: 2, Type: apps.MON, Socket: 1, RefsPerSec: 20e6},
+		{Worker: 3, Type: apps.SYNMAX, Socket: 1, RefsPerSec: 300e6},
+	}
+	drops := PredictLiveDrops(curves, flows)
+	if drops[0] == 0 {
+		t.Fatal("pinned thrasher no longer weighs on its victim's prediction")
+	}
+	if _, _, ok := PlanRebalance(curves, flows, 0.10, 0.02); ok {
+		t.Fatal("rebalance proposed a swap involving pinned flows")
+	}
+	// Unpin one side: the cross-socket victim/thrasher exchange is legal
+	// again.
+	flows[0].Pinned, flows[1].Pinned = false, false
+	if _, _, ok := PlanRebalance(curves, flows, 0.10, 0.02); !ok {
+		t.Fatal("no proposal after unpinning")
+	}
+}

@@ -222,6 +222,11 @@ type LiveFlow struct {
 	Type       apps.FlowType
 	Socket     int
 	RefsPerSec float64
+	// Pinned excludes the flow from swap candidates while keeping its
+	// reference rate in every placement score — one stage of a
+	// cross-worker service chain must not migrate away from its peers,
+	// but it still contends for its socket's cache.
+	Pinned bool
 }
 
 // PredictLiveDrops returns each flow's predicted contention-induced drop
@@ -263,7 +268,8 @@ func worstAvg(curves map[apps.FlowType]Curve, flows []LiveFlow) (worst, avg floa
 // that most reduces the worst predicted drop. It returns the indices into
 // flows of the pair to exchange. No swap is proposed unless the current
 // worst predicted drop exceeds threshold and the best swap improves it by
-// more than margin (hysteresis against flapping).
+// more than margin (hysteresis against flapping). Pinned flows are never
+// swapped but still weigh on every placement's score.
 func PlanRebalance(curves map[apps.FlowType]Curve, flows []LiveFlow, threshold, margin float64) (i, j int, ok bool) {
 	curWorst, curAvg := worstAvg(curves, flows)
 	if curWorst <= threshold {
@@ -274,6 +280,9 @@ func PlanRebalance(curves map[apps.FlowType]Curve, flows []LiveFlow, threshold, 
 	trial := make([]LiveFlow, len(flows))
 	for a := 0; a < len(flows); a++ {
 		for b := a + 1; b < len(flows); b++ {
+			if flows[a].Pinned || flows[b].Pinned {
+				continue
+			}
 			if flows[a].Socket == flows[b].Socket || flows[a].Type == flows[b].Type {
 				continue
 			}

@@ -176,9 +176,10 @@ func TestRoutersViaConfig(t *testing.T) {
 	if sent != 200 || mirrored != 200 {
 		t.Fatalf("tee delivered %d to wire, %d to mirror; want 200/200", sent, mirrored)
 	}
-	// Every packet finished on the wire branch and dropped on the mirror
-	// branch (Discard): per-branch accounting keeps the two apart.
-	if pl.Finished != 200 || pl.Dropped != 200 {
-		t.Fatalf("finished %d dropped %d, want 200/200", pl.Finished, pl.Dropped)
+	// Every packet finished on the wire branch; the mirror branch's
+	// Discard shows up in per-branch node counters, not in the
+	// packet-level outcome, so Received == Finished + Dropped holds.
+	if pl.Finished != 200 || pl.Dropped != 0 {
+		t.Fatalf("finished %d dropped %d, want 200/0", pl.Finished, pl.Dropped)
 	}
 }

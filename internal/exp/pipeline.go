@@ -7,6 +7,7 @@ import (
 	"pktpredict/internal/apps"
 	"pktpredict/internal/click"
 	"pktpredict/internal/core"
+	"pktpredict/internal/handoff"
 	"pktpredict/internal/hw"
 	"pktpredict/internal/mem"
 	"pktpredict/internal/synth"
@@ -14,86 +15,35 @@ import (
 
 // Section 2.2: the "parallel" approach (each packet fully processed by
 // one core) versus the "pipeline" approach (processing steps split across
-// cores, packets handed over through a shared ring). The pipeline's
-// hand-off costs — descriptor and header lines crossing cores, buffer
-// recycling into another core's pool — emerge from the simulation, as
-// does the one crafted workload where pipelining wins: per-stage
-// cacheable structures that, replicated per core, overflow the shared
-// cache.
-
-var fnHandoff = hw.RegisterFunc("pipeline_handoff")
-
-// handoff is the inter-stage packet ring: a Go-side queue carrying the
-// packets plus a simulated descriptor ring whose lines both stages touch.
-type handoff struct {
-	queue []*click.Packet
-	head  int
-	count int
-	ring  mem.Region
-	prod  int
-	cons  int
-}
-
-func newHandoff(arena *mem.Arena, depth int) *handoff {
-	return &handoff{
-		queue: make([]*click.Packet, depth),
-		ring:  mem.NewRegion(arena, depth, 16, false),
-	}
-}
-
-func (h *handoff) full() bool  { return h.count == len(h.queue) }
-func (h *handoff) empty() bool { return h.count == 0 }
-
-func (h *handoff) push(ctx *click.Ctx, p *click.Packet) {
-	old := ctx.SetFunc(fnHandoff)
-	ctx.Store(h.ring.Addr(h.prod))
-	ctx.Compute(12, 10)
-	ctx.SetFunc(old)
-	h.queue[(h.head+h.count)%len(h.queue)] = p
-	h.count++
-	h.prod = (h.prod + 1) % h.ring.Count
-}
-
-func (h *handoff) pop(ctx *click.Ctx) *click.Packet {
-	old := ctx.SetFunc(fnHandoff)
-	ctx.Load(h.ring.Addr(h.cons))
-	ctx.Compute(12, 10)
-	ctx.SetFunc(old)
-	p := h.queue[h.head]
-	h.queue[h.head] = nil
-	h.head = (h.head + 1) % len(h.queue)
-	h.count--
-	h.cons = (h.cons + 1) % h.ring.Count
-	return p
-}
-
-// poll models a spin-wait check of the ring's state line.
-func (h *handoff) poll(ctx *click.Ctx, idx int) {
-	old := ctx.SetFunc(fnHandoff)
-	ctx.Load(h.ring.Addr(idx))
-	ctx.Compute(40, 30)
-	ctx.SetFunc(old)
-}
+// cores, packets handed over through a shared ring). The hand-off ring —
+// descriptor and header lines crossing cores, spin-wait polls, buffer
+// recycling into another core's pool — lives in internal/handoff, shared
+// with the concurrent runtime's cross-worker service chains so both
+// charge identical hand-off costs. Pipelining wins only for the crafted
+// workload: per-stage cacheable structures that, replicated per core,
+// overflow the shared cache.
 
 // stage1 pulls packets from the source, runs the first processing steps,
 // and hands packets to stage 2.
 type stage1 struct {
 	src      click.Source
 	elements []click.Element
-	h        *handoff
+	h        *handoff.Ring
 	ctx      click.Ctx
 }
 
 // EmitPacket implements hw.PacketSource.
 func (s *stage1) EmitPacket(buf []hw.Op) []hw.Op {
 	s.ctx.Ops = buf
-	if s.h.full() {
-		s.h.poll(&s.ctx, s.h.cons) // back-pressure: wait for the consumer
+	if s.h.Full() {
+		s.h.PollFull(&s.ctx) // back-pressure: wait for the consumer
 		return s.ctx.Ops
 	}
 	p := s.src.Pull(&s.ctx)
 	if p == nil {
-		return buf[:0]
+		// Return whatever the failed Pull charged; cycles already spent
+		// must not vanish from the trace.
+		return s.ctx.Ops
 	}
 	for _, el := range s.elements {
 		if el.Process(&s.ctx, p) != click.Continue {
@@ -103,14 +53,14 @@ func (s *stage1) EmitPacket(buf []hw.Op) []hw.Op {
 			return s.ctx.Ops
 		}
 	}
-	s.h.push(&s.ctx, p)
+	s.h.Push(&s.ctx, p, 0, false)
 	return s.ctx.Ops
 }
 
 // stage2 consumes handed-over packets and runs the remaining steps.
 type stage2 struct {
 	elements  []click.Element
-	h         *handoff
+	h         *handoff.Ring
 	ctx       click.Ctx
 	Completed uint64
 }
@@ -118,14 +68,14 @@ type stage2 struct {
 // EmitPacket implements hw.PacketSource.
 func (s *stage2) EmitPacket(buf []hw.Op) []hw.Op {
 	s.ctx.Ops = buf
-	if s.h.empty() {
-		s.h.poll(&s.ctx, s.h.prod)
+	if s.h.Empty() {
+		s.h.PollEmpty(&s.ctx)
 		return s.ctx.Ops
 	}
-	p := s.h.pop(&s.ctx)
+	p, _, _, _ := s.h.Pop(&s.ctx)
 	// The packet's header lines were last written by the other core; this
 	// read is the compulsory hand-off miss the paper describes.
-	s.ctx.LoadBytes(p.Addr, 64)
+	s.h.ChargeHeaderMiss(&s.ctx, p)
 	for _, el := range s.elements {
 		if el.Process(&s.ctx, p) != click.Continue {
 			break
@@ -212,7 +162,7 @@ func pipelineVsParallelMON(s Scale) (PipelineRow, error) {
 	if len(elems) < 3 {
 		return row, fmt.Errorf("exp: MON pipeline too short to split (%d elements)", len(elems))
 	}
-	h := newHandoff(arena, 128)
+	h := handoff.New(arena, 128)
 	st1 := &stage1{src: inst.Pipeline.Source, elements: elems[:2], h: h}
 	st2 := &stage2{elements: elems[2:], h: h}
 	row.PipelinePktsPerSec, err = runStages(s, st1, st2, 0, 1)
@@ -279,7 +229,7 @@ func pipelineVsParallelCrafted(s Scale) (PipelineRow, error) {
 		Seed: env.Seed, RegionBytes: half, AccessesPerPacket: accesses}, 0)
 	b := synth.NewElement(arena1, synth.Config{
 		Seed: env.Seed ^ 0xb, RegionBytes: half, AccessesPerPacket: accesses}, 0)
-	h := newHandoff(arena0, 128)
+	h := handoff.New(arena0, 128)
 	st1 := &stage1{src: src, elements: []click.Element{a}, h: h}
 	st2 := &stage2{elements: []click.Element{b}, h: h}
 	row.PipelinePktsPerSec, err = runStages(s, st1, st2, 0, s.Cfg.CoresPerSocket)
@@ -302,7 +252,8 @@ func (c *craftedParallel) EmitPacket(buf []hw.Op) []hw.Op {
 	c.ctx.Ops = buf
 	p := c.src.Pull(&c.ctx)
 	if p == nil {
-		return buf[:0]
+		// Keep whatever the failed Pull charged in the trace.
+		return c.ctx.Ops
 	}
 	for _, el := range c.elements {
 		if el.Process(&c.ctx, p) != click.Continue {

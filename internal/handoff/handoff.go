@@ -1,0 +1,169 @@
+// Package handoff is the inter-stage packet ring used when one flow's
+// processing is split across cores — the Section 2.2 "pipeline" approach.
+// A Ring pairs a Go-side SPSC queue carrying the packets with a simulated
+// descriptor ring whose cache lines both stages touch, so the costs the
+// paper attributes to pipelining emerge from the simulation:
+//
+//   - descriptor-line stores (producer) and loads (consumer) that bounce
+//     between the two cores' caches,
+//   - spin-wait polls of the ring state when a stage runs ahead of its
+//     peer,
+//   - the compulsory cross-core miss on the packet header lines, last
+//     written by the producing core,
+//   - buffer recycling back into the producing core's pool (callers run
+//     the pool's free-list trace on the consuming core, or route buffers
+//     home through a second Ring).
+//
+// The same Ring serves the deterministic engine's Section 2.2 experiment
+// (exp.RunPipeline) and the concurrent runtime's cross-worker service
+// chains, so both charge identical hand-off costs. Concurrent use obeys
+// the SPSC discipline of runtime.Ring: exactly one producer goroutine
+// calls Push/PollFull, exactly one consumer calls Pop/PollEmpty; slots
+// are published by the tail store and released by the head store.
+package handoff
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pktpredict/internal/click"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+)
+
+// fnHandoff attributes the ring manipulation in per-function profiles.
+var fnHandoff = hw.RegisterFunc("pipeline_handoff")
+
+// Simulated costs of the ring operations, shared by the engine experiment
+// and the runtime so the two charge identical hand-off prices.
+const (
+	ringCycles  = 12 // push or pop: cursor update + descriptor write/read
+	ringInstrs  = 10
+	pollCycles  = 40 // one spin-wait iteration on the ring state
+	pollInstrs  = 30
+	descBytes   = 16 // descriptor size; four descriptors share a line
+	HeaderBytes = 64 // packet header bytes the consumer must re-read
+)
+
+// slot carries one handed-over packet, the graph node the consuming
+// stage resumes the walk at (consumers that run a fixed element list
+// ignore it), and whether a branch of the packet's walk already
+// completed before the cut — the upstream share of the packet-level
+// finished/dropped outcome.
+type slot struct {
+	p        *click.Packet
+	node     int32
+	finished bool
+}
+
+// Ring is a bounded SPSC hand-off ring between two pipeline stages.
+type Ring struct {
+	slots []slot
+	mask  uint64
+	desc  mem.Region
+
+	_    [64]byte // keep the cursors on separate cache lines
+	tail atomic.Uint64
+	_    [64]byte
+	head atomic.Uint64
+}
+
+// New builds a ring of the given depth (rounded up to a power of two,
+// minimum 2) whose simulated descriptor ring is allocated from arena —
+// conventionally the producing stage's NUMA domain, as a real driver
+// allocates its rings locally.
+func New(arena *mem.Arena, depth int) *Ring {
+	if depth <= 0 {
+		panic(fmt.Sprintf("handoff: invalid ring depth %d", depth))
+	}
+	n := 2
+	for n < depth {
+		n <<= 1
+	}
+	return &Ring{
+		slots: make([]slot, n),
+		mask:  uint64(n - 1),
+		desc:  mem.NewRegion(arena, n, descBytes, false),
+	}
+}
+
+// Cap returns the ring's capacity in packets.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns the current occupancy; naturally racy while both stages run.
+func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Full reports whether a Push would fail. Only the producer should act on
+// it (the consumer can only make it stale in the permissive direction).
+func (r *Ring) Full() bool { return r.Len() >= len(r.slots) }
+
+// Empty reports whether a Pop would fail. Only the consumer should act on
+// it.
+func (r *Ring) Empty() bool { return r.Len() == 0 }
+
+// Consumed returns the cumulative number of packets popped, for credit
+// accounting across barriers.
+func (r *Ring) Consumed() uint64 { return r.head.Load() }
+
+// Push hands p (with its resume node and upstream finished flag) to the
+// consuming stage, emitting the descriptor-line store. It returns false,
+// charging nothing, when the ring is full; the producer then typically
+// PollFulls and retries later.
+func (r *Ring) Push(ctx *click.Ctx, p *click.Packet, node int, finished bool) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.slots)) {
+		return false
+	}
+	old := ctx.SetFunc(fnHandoff)
+	ctx.Store(r.desc.Addr(int(t & r.mask)))
+	ctx.Compute(ringCycles, ringInstrs)
+	ctx.SetFunc(old)
+	r.slots[t&r.mask] = slot{p: p, node: int32(node), finished: finished}
+	r.tail.Store(t + 1) // publish
+	return true
+}
+
+// Pop takes the next packet, emitting the descriptor-line load. It
+// returns ok=false, charging nothing, when the ring is empty.
+func (r *Ring) Pop(ctx *click.Ctx) (p *click.Packet, node int, finished bool, ok bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil, 0, false, false
+	}
+	old := ctx.SetFunc(fnHandoff)
+	ctx.Load(r.desc.Addr(int(h & r.mask)))
+	ctx.Compute(ringCycles, ringInstrs)
+	ctx.SetFunc(old)
+	s := r.slots[h&r.mask]
+	r.slots[h&r.mask] = slot{}
+	r.head.Store(h + 1) // release the slot
+	return s.p, int(s.node), s.finished, true
+}
+
+// PollFull models one producer spin-wait iteration: re-reading the line
+// the consumer's progress is published on.
+func (r *Ring) PollFull(ctx *click.Ctx) {
+	r.poll(ctx, r.head.Load())
+}
+
+// PollEmpty models one consumer spin-wait iteration: re-reading the line
+// the producer's progress is published on.
+func (r *Ring) PollEmpty(ctx *click.Ctx) {
+	r.poll(ctx, r.tail.Load())
+}
+
+func (r *Ring) poll(ctx *click.Ctx, cursor uint64) {
+	old := ctx.SetFunc(fnHandoff)
+	ctx.Load(r.desc.Addr(int(cursor & r.mask)))
+	ctx.Compute(pollCycles, pollInstrs)
+	ctx.SetFunc(old)
+}
+
+// ChargeHeaderMiss emits the consumer-side read of the packet's header
+// lines — the compulsory cross-core miss the paper describes: the lines
+// were last written by the producing core, so they must travel.
+func (r *Ring) ChargeHeaderMiss(ctx *click.Ctx, p *click.Packet) {
+	old := ctx.SetFunc(fnHandoff)
+	ctx.LoadBytes(p.Addr, HeaderBytes)
+	ctx.SetFunc(old)
+}

@@ -1,0 +1,159 @@
+package handoff
+
+import (
+	stdruntime "runtime"
+	"testing"
+
+	"pktpredict/internal/click"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+)
+
+func opKinds(ops []hw.Op) (loads, stores, computes int) {
+	for _, op := range ops {
+		switch op.Kind {
+		case hw.OpLoad:
+			loads++
+		case hw.OpStore:
+			stores++
+		case hw.OpCompute:
+			computes++
+		}
+	}
+	return
+}
+
+func TestRingPushPopCharges(t *testing.T) {
+	r := New(mem.NewArena(0), 4)
+	var prodCtx, consCtx click.Ctx
+	p := &click.Packet{Addr: 0x10000}
+
+	prodCtx.Ops = nil
+	if !r.Push(&prodCtx, p, 7, true) {
+		t.Fatal("push into empty ring failed")
+	}
+	loads, stores, computes := opKinds(prodCtx.Ops)
+	if stores != 1 || computes != 1 || loads != 0 {
+		t.Fatalf("push trace: %d loads %d stores %d computes, want 0/1/1", loads, stores, computes)
+	}
+
+	consCtx.Ops = nil
+	got, node, fin, ok := r.Pop(&consCtx)
+	if !ok || got != p || node != 7 || !fin {
+		t.Fatalf("pop = (%v, %d, %v, %v), want (p, 7, true, true)", got, node, fin, ok)
+	}
+	loads, stores, computes = opKinds(consCtx.Ops)
+	if loads != 1 || computes != 1 || stores != 0 {
+		t.Fatalf("pop trace: %d loads %d stores %d computes, want 1/0/1", loads, stores, computes)
+	}
+
+	// The consumer-side compulsory header miss touches each header line.
+	consCtx.Ops = nil
+	r.ChargeHeaderMiss(&consCtx, p)
+	loads, _, _ = opKinds(consCtx.Ops)
+	if want := hw.LinesSpanned(p.Addr, HeaderBytes); loads != want {
+		t.Fatalf("header miss loads %d lines, want %d", loads, want)
+	}
+}
+
+func TestRingFullEmptyAndPolls(t *testing.T) {
+	r := New(mem.NewArena(0), 2)
+	var ctx click.Ctx
+	if !r.Empty() || r.Full() {
+		t.Fatalf("fresh ring: empty=%v full=%v", r.Empty(), r.Full())
+	}
+	p := &click.Packet{Addr: 0x20000}
+	for i := 0; i < r.Cap(); i++ {
+		ctx.Ops = nil
+		if !r.Push(&ctx, p, i, false) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if !r.Full() {
+		t.Fatal("ring not full at capacity")
+	}
+	ctx.Ops = nil
+	if r.Push(&ctx, p, 9, false) {
+		t.Fatal("push into full ring succeeded")
+	}
+	if len(ctx.Ops) != 0 {
+		t.Fatal("failed push charged ops")
+	}
+	// Polls charge a spin-wait trace without moving packets.
+	ctx.Ops = nil
+	r.PollFull(&ctx)
+	if len(ctx.Ops) == 0 {
+		t.Fatal("PollFull charged nothing")
+	}
+	before := r.Len()
+	ctx.Ops = nil
+	r.PollEmpty(&ctx)
+	if len(ctx.Ops) == 0 || r.Len() != before {
+		t.Fatal("PollEmpty charged nothing or moved packets")
+	}
+	for i := 0; i < before; i++ {
+		ctx.Ops = nil
+		if _, node, _, ok := r.Pop(&ctx); !ok || node != i {
+			t.Fatalf("pop %d: ok=%v node=%d", i, ok, node)
+		}
+	}
+	if _, _, _, ok := r.Pop(&ctx); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	if r.Consumed() != uint64(before) {
+		t.Fatalf("consumed = %d, want %d", r.Consumed(), before)
+	}
+}
+
+// TestRingConcurrentStages drives a live producer/consumer pair — the
+// runtime's deployment — under the race detector: packet identity and
+// resume-node order must survive, and each side only touches its own Ctx.
+func TestRingConcurrentStages(t *testing.T) {
+	const total = 40000
+	r := New(mem.NewArena(0), 64)
+	packets := make([]*click.Packet, 256)
+	for i := range packets {
+		packets[i] = &click.Packet{Addr: hw.Addr(0x30000 + i*512)}
+	}
+	done := make(chan error, 1)
+	go func() {
+		var ctx click.Ctx
+		next := 0
+		for next < total {
+			ctx.Ops = ctx.Ops[:0]
+			p, node, fin, ok := r.Pop(&ctx)
+			if !ok {
+				r.PollEmpty(&ctx)
+				stdruntime.Gosched()
+				continue
+			}
+			if node != next%1024 || p != packets[next%len(packets)] || fin != (next%3 == 0) {
+				done <- errMismatch{at: next}
+				return
+			}
+			r.ChargeHeaderMiss(&ctx, p)
+			next++
+		}
+		done <- nil
+	}()
+	var ctx click.Ctx
+	for i := 0; i < total; {
+		ctx.Ops = ctx.Ops[:0]
+		if r.Push(&ctx, packets[i%len(packets)], i%1024, i%3 == 0) {
+			i++
+		} else {
+			r.PollFull(&ctx)
+			stdruntime.Gosched()
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 || r.Consumed() != total {
+		t.Fatalf("after drain: len=%d consumed=%d", r.Len(), r.Consumed())
+	}
+}
+
+type errMismatch struct{ at int }
+
+func (e errMismatch) Error() string { return "handoff slot mismatch" }

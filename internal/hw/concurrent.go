@@ -18,6 +18,21 @@ package hw
 // one goroutine per core; two goroutines must never drive the same core.
 // A non-empty trace counts as one processed packet, mirroring Engine.step.
 func (c *Core) ExecOps(ops []Op) {
+	c.execTrace(ops)
+	if len(ops) > 0 {
+		c.Counters.Packets++
+	}
+}
+
+// ExecStall replays busy-work that processed no packet — a spin-wait
+// poll of an empty hand-off ring, a batch of buffer returns — advancing
+// the clock and cycle counters without touching the packet counter, so
+// counter-derived packet rates stay honest.
+func (c *Core) ExecStall(ops []Op) {
+	c.execTrace(ops)
+}
+
+func (c *Core) execTrace(ops []Op) {
 	cfg := &c.Socket.platform.Cfg
 	cnt := &c.Counters
 	for _, op := range ops {
@@ -53,9 +68,6 @@ func (c *Core) ExecOps(ops []Op) {
 		default:
 			panic("hw: unknown op kind in ExecOps")
 		}
-	}
-	if len(ops) > 0 {
-		cnt.Packets++
 	}
 }
 

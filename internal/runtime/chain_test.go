@@ -1,0 +1,251 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/core"
+	"pktpredict/internal/exp"
+)
+
+// monStyleGraph is a MON-shaped service chain (header check + route
+// lookup, then flow statistics) whose tail can be cut onto a second
+// worker.
+func monStyleGraph(params apps.Params) string {
+	return fmt.Sprintf(`
+		src :: FromDevice(SIZE 64, FLOWS %d, BUFFERS %d);
+		chk :: CheckIPHeader;
+		rt  :: RadixIPLookup(ROUTES %d);
+		ttl :: DecIPTTL;
+		nf  :: NetFlow(ENTRIES %d);
+		src -> chk -> rt -> ttl -> nf -> ToDevice;
+	`, params.TrafficFlows, params.Buffers, params.Routes, params.NetFlowEntries)
+}
+
+// craftedGraph is the Section 2.2 adversarial workload: two cacheable
+// structures, each the size of the shared cache, touched many times per
+// packet. Run whole on one core the working set is twice the L3; cut at
+// the second structure each stage's half fits its socket's cache.
+func craftedGraph(halfBytes int) string {
+	return fmt.Sprintf(`
+		src :: FromDevice(SIZE 64, FLOWS 1024);
+		a :: Syn(REGION %d, ACCESSES 110);
+		b :: Syn(REGION %d, ACCESSES 110);
+		src -> a -> b -> ToDevice;
+	`, halfBytes, halfBytes)
+}
+
+// withCustom returns params with one custom flow type registered.
+func withCustom(params apps.Params, name, config string, stages map[string]int) apps.Params {
+	custom := map[apps.FlowType]apps.CustomFlow{}
+	for t, cf := range params.Custom {
+		custom[t] = cf
+	}
+	custom[apps.FlowType(name)] = apps.CustomFlow{Config: config, PacketSize: 64, Stages: stages}
+	params.Custom = custom
+	return params
+}
+
+func checkConservation(t *testing.T, rep *Report) {
+	t.Helper()
+	for _, a := range rep.Apps {
+		if err := a.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runGoodput executes one configuration and returns the named app's
+// finished-packets-per-second plus the report.
+func runGoodput(t *testing.T, cfg Config, app string, dur float64) (float64, *Report) {
+	t.Helper()
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, rep)
+	for _, a := range rep.Apps {
+		if a.Name == app {
+			return a.GoodputPPS, rep
+		}
+	}
+	t.Fatalf("app %s missing from report", app)
+	return 0, nil
+}
+
+func TestRuntimeChainRunsAndConserves(t *testing.T) {
+	params := withCustom(apps.Small(), "MONC", monStyleGraph(apps.Small()), map[string]int{"nf": 1})
+	cfg := testConfig([]AppSpec{{Name: "monc", Type: "MONC", Workers: 1}})
+	cfg.Params = params
+	cps := testCfg().CoresPerSocket
+	cfg.Cores = []int{0, cps} // stage 0 on socket 0, stage 1 across QPI
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, rep)
+	if len(rep.Workers) != 2 {
+		t.Fatalf("chain occupies %d workers, want 2", len(rep.Workers))
+	}
+	for _, w := range rep.Workers {
+		if w.Packets == 0 {
+			t.Fatalf("stage worker %d processed nothing: %+v", w.Worker, w)
+		}
+		if w.Stages != 2 || w.App != "monc" {
+			t.Fatalf("worker %d not reported as a 2-stage chain worker: %+v", w.Worker, w)
+		}
+	}
+	if rep.Workers[0].Stage != 0 || rep.Workers[1].Stage != 1 {
+		t.Fatalf("stage order wrong: %d/%d", rep.Workers[0].Stage, rep.Workers[1].Stage)
+	}
+	a := rep.Apps[0]
+	if a.Stages != 2 || a.Workers != 2 {
+		t.Fatalf("app report stages/workers = %d/%d, want 2/2", a.Stages, a.Workers)
+	}
+	if a.Processed == 0 || a.Finished == 0 {
+		t.Fatalf("chain made no progress: %+v", a)
+	}
+	if a.CutDropped != 0 {
+		t.Fatalf("linear chain lost %d branches at the cut", a.CutDropped)
+	}
+	// Per-stage telemetry made it into the control samples.
+	sawStage1 := false
+	for _, cs := range r.Stats().Samples() {
+		for _, wt := range cs.Workers {
+			if wt.Stage == 1 && wt.Stages == 2 && wt.RingCap > 0 {
+				sawStage1 = true
+			}
+		}
+	}
+	if !sawStage1 {
+		t.Fatal("no control sample carries stage-1 hand-off telemetry")
+	}
+}
+
+// TestRuntimeChainPipelineVersusParallel reproduces the Section 2.2
+// verdict inside the concurrent runtime and checks it against the
+// deterministic engine's exp.RunPipeline: a MON-style chain loses to its
+// parallel placement, the crafted large-cacheable-structure chain wins —
+// per-app packet conservation holding in every run.
+func TestRuntimeChainPipelineVersusParallel(t *testing.T) {
+	base := apps.Small()
+	hwCfg := testCfg()
+	cps := hwCfg.CoresPerSocket
+	cores := []int{0, cps} // one core per socket for both deployments
+	const dur = 0.004
+
+	run := func(name, config string, stages map[string]int) float64 {
+		params := withCustom(base, name, config, stages)
+		var spec AppSpec
+		if stages == nil {
+			spec = AppSpec{Name: "app", Type: apps.FlowType(name), Workers: 2}
+		} else {
+			spec = AppSpec{Name: "app", Type: apps.FlowType(name), Workers: 1}
+		}
+		cfg := testConfig([]AppSpec{spec})
+		cfg.Params = params
+		cfg.Cores = cores
+		pps, _ := runGoodput(t, cfg, "app", dur)
+		return pps
+	}
+
+	monCfg := monStyleGraph(base)
+	monParallel := run("MONP", monCfg, nil)
+	monChain := run("MONC", monCfg, map[string]int{"nf": 1})
+	if monChain >= monParallel {
+		t.Fatalf("MON-style chain should lose to parallel: chain %.0f pps vs parallel %.0f pps",
+			monChain, monParallel)
+	}
+
+	crafted := craftedGraph(hwCfg.L3.SizeBytes)
+	craftedParallel := run("CRAFTP", crafted, nil)
+	craftedChain := run("CRAFTC", crafted, map[string]int{"b": 1})
+	if craftedChain <= craftedParallel {
+		t.Fatalf("crafted chain should beat parallel: chain %.0f pps vs parallel %.0f pps",
+			craftedChain, craftedParallel)
+	}
+
+	// The runtime's verdicts must match the deterministic engine's
+	// Section 2.2 reproduction, which charges the same hand-off costs
+	// through the shared handoff package.
+	res, err := exp.RunPipeline(exp.Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		switch row.Workload {
+		case "MON":
+			if row.Winner() != "parallel" {
+				t.Fatalf("engine says MON winner is %s, runtime says parallel", row.Winner())
+			}
+		case "crafted":
+			if row.Winner() != "pipeline" {
+				t.Fatalf("engine says crafted winner is %s, runtime says pipeline", row.Winner())
+			}
+		}
+	}
+}
+
+// TestRuntimeChainStaysPinned: re-placement must treat a chain as one
+// unit. A single swap cannot move both stages, so even when the chain's
+// predicted drop is the worst on the floor the rebalancer must route
+// around it — here by swapping the co-located thrasher away instead.
+func TestRuntimeChainStaysPinned(t *testing.T) {
+	params := withCustom(apps.Small(), "MONC", monStyleGraph(apps.Small()), map[string]int{"nf": 1})
+	params.SynRegionBytes = testCfg().L3.SizeBytes / 2
+	monSolo := soloStats(t, apps.MON, params)
+	synSolo := soloStats(t, apps.SYNMAX, params)
+	chainCurve := core.Curve{Target: "MONC", Points: []core.CurvePoint{
+		{CompetingRefsPerSec: 0, Drop: 0},
+		{CompetingRefsPerSec: monSolo.L3RefsPerSec(), Drop: 0.3},
+		{CompetingRefsPerSec: synSolo.L3RefsPerSec(), Drop: 0.6},
+	}}
+	profiles := map[apps.FlowType]FlowProfile{
+		// The chain suffers badly next to the thrasher: the obvious (but
+		// pinned) swap candidate.
+		"MONC":      {SoloPPS: monSolo.Throughput(), SoloRefsPerSec: monSolo.L3RefsPerSec(), Curve: chainCurve},
+		apps.SYNMAX: {SoloPPS: synSolo.Throughput(), SoloRefsPerSec: synSolo.L3RefsPerSec()},
+		apps.MON:    {SoloPPS: monSolo.Throughput(), SoloRefsPerSec: monSolo.L3RefsPerSec()},
+	}
+	cps := testCfg().CoresPerSocket
+	cfg := testConfig([]AppSpec{
+		{Name: "chain", Type: "MONC", Workers: 1},
+		{Name: "thrash", Type: apps.SYNMAX, Workers: 1},
+		{Name: "mon", Type: apps.MON, Workers: 1},
+	})
+	cfg.Params = params
+	// Both chain stages and the thrasher share socket 0; a swappable MON
+	// sits on socket 1.
+	cfg.Cores = []int{0, 1, 2, cps}
+	cfg.Profiles = profiles
+	cfg.DropThreshold = 0.01
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(0.006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, rep)
+	for _, m := range rep.Migrations {
+		if strings.HasPrefix(m.FlowA, "chain") || strings.HasPrefix(m.FlowB, "chain") {
+			t.Fatalf("pinned chain migrated: %+v", m)
+		}
+	}
+	// The relief migration (thrasher across sockets) must still be
+	// available to the rebalancer.
+	if len(rep.Migrations) == 0 {
+		t.Fatal("rebalancer never moved the thrasher away from the suffering chain")
+	}
+}

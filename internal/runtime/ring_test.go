@@ -130,3 +130,69 @@ type errOutOfOrder struct{ want, got uint64 }
 func (e errOutOfOrder) Error() string {
 	return "out of order"
 }
+
+// TestRingConcurrentWithTelemetryReaders stresses the live deployment
+// shape under the race detector: one producer, one consumer, plus a
+// telemetry goroutine reading Len and Consumed the way the control loop
+// and a CLI scraper do, with variable-size packets so slot lengths are
+// exercised concurrently too.
+func TestRingConcurrentWithTelemetryReaders(t *testing.T) {
+	const total = 30000
+	r := NewRing(64, 32)
+	stop := make(chan struct{})
+	telemDone := make(chan struct{})
+	go func() {
+		defer close(telemDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if l := r.Len(); l < 0 || l > r.Cap() {
+				panic("ring occupancy out of range")
+			}
+			_ = r.Consumed()
+			stdruntime.Gosched()
+		}
+	}()
+	consDone := make(chan error, 1)
+	go func() {
+		dst := make([]byte, 32)
+		for next := uint64(0); next < total; {
+			n, ok := r.Pop(dst)
+			if !ok {
+				stdruntime.Gosched()
+				continue
+			}
+			if want := int(8 + next%17); n != want {
+				consDone <- errOutOfOrder{want: uint64(want), got: uint64(n)}
+				return
+			}
+			if v := binary.LittleEndian.Uint64(dst); v != next {
+				consDone <- errOutOfOrder{want: next, got: v}
+				return
+			}
+			next++
+		}
+		consDone <- nil
+	}()
+	buf := make([]byte, 32)
+	for i := uint64(0); i < total; {
+		sz := 8 + i%17
+		binary.LittleEndian.PutUint64(buf, i)
+		if r.Push(buf[:sz]) {
+			i++
+		} else {
+			stdruntime.Gosched()
+		}
+	}
+	if err := <-consDone; err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-telemDone
+	if r.Len() != 0 || r.Consumed() != total {
+		t.Fatalf("after drain: len=%d consumed=%d", r.Len(), r.Consumed())
+	}
+}

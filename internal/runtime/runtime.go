@@ -87,6 +87,10 @@ type Config struct {
 
 	// RingSize is each flow's input-ring capacity in packets (default 512).
 	RingSize int
+	// HandoffDepth is the capacity of the hand-off rings connecting the
+	// stages of a cross-worker service chain (default 128, clamped so
+	// in-flight packets cannot exhaust the stage-0 buffer pool).
+	HandoffDepth int
 	// Batch is the worker's maximum burst per ring poll (default 32).
 	Batch int
 	// QuantumCycles is the clock-synchronisation quantum (default 200000
@@ -126,6 +130,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.RingSize == 0 {
 		c.RingSize = 512
+	}
+	if c.HandoffDepth == 0 {
+		c.HandoffDepth = 128
 	}
 	if c.Batch == 0 {
 		c.Batch = 32
@@ -180,7 +187,8 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		if a.Name == "" {
 			return nil, fmt.Errorf("runtime: app %d has no name", i)
 		}
-		total += a.Workers
+		// A replica of a staged flow type occupies one worker per stage.
+		total += a.Workers * cfg.Params.Stages(a.Type)
 		if s := cfg.appPacketSize(a); s > maxPkt {
 			maxPkt = s
 		}
@@ -276,6 +284,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 				Flows: cfg.Params.TrafficFlows * spec.Workers,
 			})
 		}
+		stages := cfg.Params.Stages(spec.Type)
 		for k := 0; k < spec.Workers; k++ {
 			w := r.workers[widx]
 			f, err := r.buildFlow(st, k, arena(w.socket), w.socket)
@@ -284,8 +293,21 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			}
 			st.flows = append(st.flows, f)
 			r.flows = append(r.flows, f)
-			w.bind(f)
-			widx++
+			if stages > 1 {
+				// One replica of a staged flow spans the next `stages`
+				// workers, stage order matching worker order.
+				if f.pipe == nil || f.pipe.NumStages() != stages {
+					return nil, fmt.Errorf("runtime: app %q: pipeline has %d stages, spec expects %d",
+						spec.Name, f.pipe.NumStages(), stages)
+				}
+				if err := r.buildChain(f, widx, stages, arena); err != nil {
+					return nil, err
+				}
+				widx += stages
+			} else {
+				w.bind(f)
+				widx++
+			}
 		}
 		states = append(states, st)
 	}
@@ -429,9 +451,11 @@ func (r *Runtime) run(stop func(doneQuanta int, processed uint64) bool) (*Report
 			r.controlStep(q)
 			sinceControl = 0
 		}
+		// Count packets entering flows, not per-worker executions: a
+		// chain's stages each touch the same packet once.
 		var processed uint64
-		for _, w := range r.workers {
-			processed += w.packets
+		for _, f := range r.flows {
+			processed += f.packets
 		}
 		if stop(measured, processed) {
 			if sinceControl > 0 {
@@ -450,11 +474,23 @@ func (r *Runtime) resetMeasurement() {
 		w.baseCounters = w.core.Counters
 		w.prevClock = w.core.Clock()
 		w.packets = 0
+		w.bindPackets = 0
+		w.bindClock = w.core.Clock()
 		w.winBatchSum, w.winBatchCnt = 0, 0
 		w.totBatchSum, w.totBatchCnt = 0, 0
 	}
 	for _, f := range r.flows {
 		f.packets = 0
+		if f.stages != nil {
+			for _, u := range f.stages {
+				u.runner.Reset()
+			}
+			// Packets already inside the chain's hand-off rings will reach
+			// their terminal inside the window; credit them as entered so
+			// the chain's conservation identity holds (the receive-ring
+			// backlog gets the same treatment below).
+			f.packets = f.inFlight()
+		}
 		if f.pipe != nil {
 			f.baseReceived, f.baseDropped, f.baseFinished = f.pipe.Totals()
 			nodes := f.pipe.Nodes()
@@ -509,7 +545,19 @@ func (r *Runtime) controlStep(q int) {
 		if f := w.fl; f != nil {
 			tele.App = f.app.spec.Name
 			tele.Type = f.app.spec.Type
-			if f.ring != nil {
+			if u := w.unit; u != nil {
+				// Per-stage telemetry: the worker's input is the previous
+				// stage's hand-off ring (stage 0 keeps the receive ring).
+				tele.Stage = u.stage
+				tele.Stages = len(f.stages)
+				if u.in != nil {
+					tele.RingDepth = u.in.Len()
+					tele.RingCap = u.in.Cap()
+				} else if f.ring != nil {
+					tele.RingDepth = f.ring.Len()
+					tele.RingCap = f.ring.Cap()
+				}
+			} else if f.ring != nil {
 				tele.RingDepth = f.ring.Len()
 				tele.RingCap = f.ring.Cap()
 			}
@@ -519,6 +567,9 @@ func (r *Runtime) controlStep(q int) {
 			live = append(live, core.LiveFlow{
 				Worker: i, Type: f.app.spec.Type, Socket: w.socket,
 				RefsPerSec: tele.RefsPerSec,
+				// Chain stages contend for their socket but migrate only
+				// as a unit, which single-swap re-placement cannot do.
+				Pinned: w.unit != nil,
 			})
 		}
 		sample.Workers = append(sample.Workers, tele)
@@ -530,11 +581,17 @@ func (r *Runtime) controlStep(q int) {
 		sample.Workers[lf.Worker].PredictedDrop = drops[k]
 	}
 
-	// Admission control: clamp flows to their profiled reference rate.
+	// Admission control: clamp flows to their profiled reference rate. A
+	// chain is throttled as one unit: its stages' reference rates are
+	// summed (the solo profile measured the whole graph) and the single
+	// control element at stage 0 slows the whole chain down.
 	if r.cfg.Admission {
 		for i, w := range r.workers {
 			f := w.fl
 			if f == nil || f.control == nil {
+				continue
+			}
+			if w.unit != nil && w.unit.stage != 0 {
 				continue
 			}
 			prof, ok := r.cfg.Profiles[f.app.spec.Type]
@@ -543,7 +600,15 @@ func (r *Runtime) controlStep(q int) {
 			}
 			rc := core.RateController{Limit: prof.SoloRefsPerSec, Slack: r.cfg.Slack}
 			tele := &sample.Workers[i]
-			next, throttled := rc.Step(tele.RefsPerSec, tele.CyclesPerPacket, f.control.Delay())
+			refs := tele.RefsPerSec
+			if w.unit != nil {
+				for _, u := range f.stages {
+					if u.workerIdx != i {
+						refs += sample.Workers[u.workerIdx].RefsPerSec
+					}
+				}
+			}
+			next, throttled := rc.Step(refs, tele.CyclesPerPacket, f.control.Delay())
 			f.control.SetDelay(next)
 			tele.DelayCycles = next
 			tele.Throttled = throttled
@@ -601,16 +666,30 @@ func (r *Runtime) buildReport(measQ int) *Report {
 
 	for i, w := range r.workers {
 		delta := w.core.Counters.Sub(w.baseCounters)
+		// Packets and PPS are attributed to the final binding only: the
+		// per-binding baseline snapshot taken at swap time keeps packets a
+		// previous flow processed on this core out of the current app's
+		// numbers. Counter-derived rates (refs/sec) stay per-core — they
+		// are what a hardware counter would report for the whole window.
+		bound := w.packets - w.bindPackets
+		boundSec := r.cfg.Cfg.CyclesToSeconds(w.core.Clock() - w.bindClock)
 		wr := WorkerReport{
 			Worker: i, Core: w.core.ID, Socket: w.socket,
-			Packets:        w.packets,
-			PPS:            float64(w.packets) / duration,
+			Packets:        bound,
+			TotalPackets:   w.packets,
 			RefsPerSec:     float64(delta.L3Refs) / duration,
 			BatchOccupancy: occupancy(w.totBatchSum, w.totBatchCnt, w.batch),
+		}
+		if boundSec > 0 {
+			wr.PPS = float64(bound) / boundSec
 		}
 		if f := w.fl; f != nil {
 			wr.App = f.app.spec.Name
 			wr.Type = f.app.spec.Type
+			if u := w.unit; u != nil {
+				wr.Stage = u.stage
+				wr.Stages = len(f.stages)
+			}
 			if f.control != nil {
 				wr.DelayCycles = f.control.Delay()
 			}
@@ -631,8 +710,13 @@ func (r *Runtime) buildReport(measQ int) *Report {
 	}
 
 	for _, a := range r.disp.apps {
+		stages := 1
+		if len(a.flows) > 0 && a.flows[0].stages != nil {
+			stages = len(a.flows[0].stages)
+		}
 		ar := AppReport{
-			Name: a.spec.Name, Type: a.spec.Type, Workers: len(a.flows),
+			Name: a.spec.Name, Type: a.spec.Type,
+			Workers: len(a.flows) * stages, Stages: stages,
 			Offered: a.offered, Enqueued: a.enqueued, NICDrops: a.nicDrops,
 		}
 		branchIdx := map[string]int{}
@@ -641,6 +725,10 @@ func (r *Runtime) buildReport(measQ int) *Report {
 			ar.Processed += f.packets
 			ar.PipeDropped += dropped
 			ar.Finished += finished
+			ar.InFlight += f.inFlight()
+			for _, u := range f.stages {
+				ar.CutDropped += u.runner.CutDropped
+			}
 			// Per-branch terminal counters, aggregated across replicas by
 			// node name (replicas share the graph shape).
 			if f.pipe != nil && f.pipe.Branching() {
@@ -658,7 +746,8 @@ func (r *Runtime) buildReport(measQ int) *Report {
 			}
 		}
 		ar.ObservedPPS = float64(ar.Processed) / duration
-		ar.PerWorkerPPS = ar.ObservedPPS / float64(len(a.flows))
+		ar.GoodputPPS = float64(ar.Finished) / duration
+		ar.PerWorkerPPS = ar.ObservedPPS / float64(ar.Workers)
 		if a.offered > 0 {
 			ar.LossRate = float64(a.nicDrops) / float64(a.offered)
 		}
@@ -666,13 +755,25 @@ func (r *Runtime) buildReport(measQ int) *Report {
 			ar.SoloPPS = p.SoloPPS
 			expected := p.SoloPPS
 			if a.rate > 0 {
+				// Offered load is sharded across replicas (a chain replica
+				// is one RSS target no matter how many workers it spans).
 				offPPS := float64(a.offered) / duration / float64(len(a.flows))
 				if offPPS < expected {
 					expected = offPPS
 				}
 			}
 			if expected > 0 {
-				ar.ObservedDrop = 1 - ar.PerWorkerPPS/expected
+				// The drop comparison is per replica — the deployment unit
+				// the solo profile describes (the whole graph
+				// run-to-completion on one core). For unstaged apps that
+				// is per worker; for a chain it asks Section 2.2's
+				// question directly: what did cutting the graph cost (or
+				// buy) against running the replica unsplit, so pipelining
+				// overhead shows as negative headroom only when the chain
+				// actually underperforms one core, not as phantom
+				// contention drop.
+				perReplica := ar.ObservedPPS / float64(len(a.flows))
+				ar.ObservedDrop = 1 - perReplica/expected
 			}
 		}
 		if n := predCnt[a.spec.Name]; n > 0 {

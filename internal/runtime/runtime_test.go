@@ -87,8 +87,8 @@ func TestRuntimeMixedSaturating(t *testing.T) {
 			t.Fatalf("app %s: enqueued %d vs processed %d exceeds ring backlog bound %d",
 				a.Name, a.Enqueued, a.Processed, slack)
 		}
-		if a.Offered != a.Enqueued+a.NICDrops {
-			t.Fatalf("app %s: offered %d != enqueued %d + drops %d", a.Name, a.Offered, a.Enqueued, a.NICDrops)
+		if err := a.CheckConservation(); err != nil {
+			t.Fatal(err)
 		}
 	}
 	if len(r.Stats().Samples()) == 0 {
@@ -163,6 +163,7 @@ func TestRuntimeBurstOverloadDrops(t *testing.T) {
 	if a.LossRate <= 0 || a.LossRate >= 1 {
 		t.Fatalf("loss rate %v outside (0,1)", a.LossRate)
 	}
+	checkConservation(t, rep)
 }
 
 func TestRuntimeAdmissionContainsHiddenAggressor(t *testing.T) {
@@ -284,6 +285,32 @@ func TestRuntimeReplacementSeparatesThrashers(t *testing.T) {
 	// the run must not thrash placements every control interval.
 	if len(rep.Migrations) > 3 {
 		t.Fatalf("placement flapping: %d migrations", len(rep.Migrations))
+	}
+	checkConservation(t, rep)
+	// Migration attribution: a worker's Packets cover only its final
+	// binding (per-binding baselines snapshot at swap time), so summed
+	// under an app's label they can never exceed what the app's flows
+	// actually processed — they did before the fix, because the whole
+	// window's work was credited to whichever app held the last binding.
+	perApp := map[string]uint64{}
+	sawRebound := false
+	for _, w := range rep.Workers {
+		if w.TotalPackets < w.Packets {
+			t.Fatalf("worker %d: total %d < bound %d", w.Worker, w.TotalPackets, w.Packets)
+		}
+		if w.TotalPackets > w.Packets {
+			sawRebound = true
+		}
+		perApp[w.App] += w.Packets
+	}
+	if !sawRebound {
+		t.Fatal("migrations recorded but no worker excludes pre-swap packets")
+	}
+	for _, a := range rep.Apps {
+		if perApp[a.Name] > a.Processed {
+			t.Fatalf("app %s: workers claim %d packets under its label, its flows processed %d",
+				a.Name, perApp[a.Name], a.Processed)
+		}
 	}
 }
 

@@ -18,6 +18,12 @@ type WorkerTelemetry struct {
 	App    string
 	Type   apps.FlowType
 
+	// Stage/Stages identify the worker's slice of a cross-worker service
+	// chain (0/0 for run-to-completion flows). For a later stage,
+	// RingDepth/RingCap describe its hand-off ring, not the receive ring.
+	Stage  int
+	Stages int
+
 	PPS             float64 // packets processed per virtual second
 	RefsPerSec      float64 // L3 references per virtual second (the aggressiveness proxy)
 	HitsPerSec      float64 // L3 hits per virtual second (the sensitivity proxy)
@@ -82,16 +88,22 @@ type Migration struct {
 	WorstBefore float64 // worst predicted drop before the swap
 }
 
-// WorkerReport summarises one worker over the whole measurement window,
-// under its final flow binding.
+// WorkerReport summarises one worker over the whole measurement window.
+// Packets and PPS cover only the final flow binding (baselines snapshot
+// at migration time keep another app's work out of them); TotalPackets
+// counts everything the core executed in the window, and RefsPerSec is
+// likewise whole-window — it is what the core's hardware counter saw.
 type WorkerReport struct {
 	Worker int
 	Core   int
 	Socket int
 	App    string
 	Type   apps.FlowType
+	Stage  int // stage index within a chain (0 otherwise)
+	Stages int // chain length (0 for run-to-completion flows)
 
-	Packets        uint64
+	Packets        uint64 // packets processed under the final binding
+	TotalPackets   uint64 // packets processed across all bindings
 	PPS            float64
 	RefsPerSec     float64
 	BatchOccupancy float64
@@ -104,18 +116,27 @@ type WorkerReport struct {
 type AppReport struct {
 	Name    string
 	Type    apps.FlowType
-	Workers int
+	Workers int // workers the group occupies (replicas × stages)
+	Stages  int // 1 for run-to-completion flows
 
 	Offered  uint64 // packets the traffic source generated
 	Enqueued uint64 // packets accepted into input rings
 	NICDrops uint64 // packets tail-dropped at full rings
 
-	Processed   uint64 // packets fully executed by workers
+	Processed   uint64 // packets that entered a worker's pipeline
 	PipeDropped uint64 // packets dropped inside the pipeline (firewall etc.)
 	Finished    uint64 // packets that completed the pipeline
+	InFlight    uint64 // packets still inside chain hand-off rings at window end
+	// CutDropped counts packet *branches* lost at a stage cut: a chain
+	// hands each packet across a cut at most once, so a Tee broadcasting
+	// several branches over the same cut loses the extras. Non-zero means
+	// the graph's cut placement discards traffic the run-to-completion
+	// deployment would deliver — a configuration smell worth surfacing.
+	CutDropped uint64
 
 	ObservedPPS  float64 // aggregate processed/sec across the group's workers
-	PerWorkerPPS float64
+	GoodputPPS   float64 // aggregate finished/sec — useful throughput, drops excluded
+	PerWorkerPPS float64 // processed/sec per occupied core (a chain divides by its stages too)
 	SoloPPS      float64 // offline solo baseline per worker (0 when unprofiled)
 
 	ObservedDrop  float64 // 1 − PerWorkerPPS/expected (expected caps at offered rate)
@@ -142,6 +163,23 @@ func (a AppReport) PredictionError() float64 {
 		return 0
 	}
 	return a.ObservedDrop - a.PredictedDrop
+}
+
+// CheckConservation verifies the group's packet-accounting identities:
+// every offered packet was either enqueued or tail-dropped, and every
+// processed packet reached exactly one terminal (finished or dropped in
+// the pipeline) unless it is still crossing a chain's hand-off ring.
+// Telemetry that fails these identities is miscounting somewhere.
+func (a AppReport) CheckConservation() error {
+	if a.Offered != a.Enqueued+a.NICDrops {
+		return fmt.Errorf("app %s: offered %d != enqueued %d + nic drops %d",
+			a.Name, a.Offered, a.Enqueued, a.NICDrops)
+	}
+	if a.Processed != a.Finished+a.PipeDropped+a.InFlight {
+		return fmt.Errorf("app %s: processed %d != finished %d + pipe-dropped %d + in-flight %d",
+			a.Name, a.Processed, a.Finished, a.PipeDropped, a.InFlight)
+	}
+	return nil
 }
 
 // Report is the outcome of one runtime execution.
@@ -171,16 +209,20 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "scenario %s: %d workers, %.1f ms virtual, %d quanta, %d migrations, %d throttle events\n",
 		r.Scenario, len(r.Workers), r.Duration*1e3, r.Quanta, len(r.Migrations), r.ThrottleEvents)
 
-	fmt.Fprintf(&b, "\n%-3s %-4s %-6s %-10s %-8s %12s %12s %8s %8s\n",
-		"wkr", "core", "socket", "app", "type", "pkts", "pps", "occ", "delay")
+	fmt.Fprintf(&b, "\n%-3s %-4s %-6s %-10s %-8s %-5s %12s %12s %8s %8s\n",
+		"wkr", "core", "socket", "app", "type", "stage", "pkts", "pps", "occ", "delay")
 	for _, w := range r.Workers {
-		fmt.Fprintf(&b, "%-3d %-4d %-6d %-10s %-8s %12d %12.0f %8.2f %8d\n",
-			w.Worker, w.Core, w.Socket, w.App, w.Type, w.Packets, w.PPS,
+		stage := "-"
+		if w.Stages > 1 {
+			stage = fmt.Sprintf("%d/%d", w.Stage, w.Stages)
+		}
+		fmt.Fprintf(&b, "%-3d %-4d %-6d %-10s %-8s %-5s %12d %12.0f %8.2f %8d\n",
+			w.Worker, w.Core, w.Socket, w.App, w.Type, stage, w.Packets, w.PPS,
 			w.BatchOccupancy, w.DelayCycles)
 	}
 
-	fmt.Fprintf(&b, "\n%-10s %-8s %3s %12s %10s %12s %10s %10s %10s %10s\n",
-		"app", "type", "n", "processed", "nicdrop", "pps/worker", "solo", "obs_drop", "pred_drop", "err")
+	fmt.Fprintf(&b, "\n%-10s %-8s %3s %12s %12s %10s %12s %10s %10s %10s %10s\n",
+		"app", "type", "n", "processed", "finished", "nicdrop", "pps/worker", "solo", "obs_drop", "pred_drop", "err")
 	for _, a := range r.Apps {
 		obs, pred, errs := "-", "-", "-"
 		if a.SoloPPS > 0 {
@@ -188,9 +230,16 @@ func (r *Report) String() string {
 			pred = fmt.Sprintf("%.1f%%", a.PredictedDrop*100)
 			errs = fmt.Sprintf("%+.1f%%", a.PredictionError()*100)
 		}
-		fmt.Fprintf(&b, "%-10s %-8s %3d %12d %10d %12.0f %10.0f %10s %10s %10s\n",
-			a.Name, a.Type, a.Workers, a.Processed, a.NICDrops,
+		fmt.Fprintf(&b, "%-10s %-8s %3d %12d %12d %10d %12.0f %10.0f %10s %10s %10s\n",
+			a.Name, a.Type, a.Workers, a.Processed, a.Finished, a.NICDrops,
 			a.PerWorkerPPS, a.SoloPPS, obs, pred, errs)
+	}
+
+	for _, a := range r.Apps {
+		if a.CutDropped > 0 {
+			fmt.Fprintf(&b, "\n%s: %d packet branches lost at stage cuts (a cut hands each packet over once; re-cut the graph so broadcasts stay within a stage)\n",
+				a.Name, a.CutDropped)
+		}
 	}
 
 	for _, a := range r.Apps {

@@ -31,6 +31,11 @@ type flow struct {
 	ring    *Ring             // nil for synthetic flows
 	control *elements.Control // non-nil when the app carries admission control
 
+	// stages is non-nil for cross-worker service chains: one entry per
+	// pipeline stage, each bound to its own worker (see chain.go). A
+	// chain is placed, migrated, and throttled as one unit.
+	stages []*chainStage
+
 	homeDomain int
 
 	// packets counts fully executed packets since measurement start. The
@@ -75,8 +80,18 @@ func (f *flow) branchTotals() []branchCounters {
 }
 
 // totals returns the flow's pipeline counters relative to the
-// measurement baseline.
+// measurement baseline. For a chain, packets enter at stage 0 and reach
+// exactly one terminal across the stages (packets still inside hand-off
+// rings are neither; see flow.inFlight).
 func (f *flow) totals() (received, dropped, finished uint64) {
+	if f.stages != nil {
+		var d, fin uint64
+		for _, u := range f.stages {
+			d += u.runner.Dropped
+			fin += u.runner.Finished
+		}
+		return f.packets, d, fin
+	}
 	if f.pipe == nil {
 		return f.packets, 0, f.packets
 	}
@@ -144,6 +159,7 @@ type worker struct {
 	batch  int
 
 	fl    *flow
+	unit  *chainStage // non-nil when bound to one stage of a chain
 	opbuf []hw.Op
 
 	// Owner-written telemetry, read by the control loop at barriers.
@@ -157,14 +173,24 @@ type worker struct {
 	prevClock    uint64
 	baseCounters hw.Counters // measurement-start baseline
 
+	// Per-binding baselines, reset whenever the worker's flow changes
+	// (and at measurement start), so reported packets are attributed to
+	// the app that actually processed them rather than to whichever flow
+	// held the final binding after a migration.
+	bindPackets uint64
+	bindClock   uint64
+
 	startC chan uint64
 	doneC  chan struct{}
 }
 
-// bind attaches f to w: the flow's pipeline draws packets from this
-// worker's receive path from now on.
+// bind attaches f (an unstaged flow, or nil) to w: the flow's pipeline
+// draws packets from this worker's receive path from now on.
 func (w *worker) bind(f *flow) {
 	w.fl = f
+	w.unit = nil
+	w.bindPackets = w.packets
+	w.bindClock = w.core.Clock()
 	if f == nil {
 		w.src.ring = nil
 		return
@@ -172,6 +198,23 @@ func (w *worker) bind(f *flow) {
 	w.src.ring = f.ring
 	if f.pipe != nil {
 		f.pipe.Source = w.src
+	}
+}
+
+// bindStage attaches one chain stage to w. Chains are pinned: stages are
+// bound once at construction and never migrate, so their hand-off rings
+// keep exactly one producer and one consumer.
+func (w *worker) bindStage(u *chainStage) {
+	w.fl = u.fl
+	w.unit = u
+	w.bindPackets = w.packets
+	w.bindClock = w.core.Clock()
+	u.workerIdx = w.id
+	if u.stage == 0 {
+		w.src.ring = u.fl.ring
+		u.src = w.src
+	} else {
+		w.src.ring = nil
 	}
 }
 
@@ -188,37 +231,65 @@ func (w *worker) loop() {
 
 // runQuantum executes batches until the core's local clock reaches the
 // quantum boundary. When the input runs dry the worker idles to the
-// boundary: the dispatcher only refills rings at barriers, so within a
-// quantum an empty ring stays empty.
+// boundary: the dispatcher only refills receive rings at barriers, so
+// within a quantum an empty receive ring stays empty. Chain stages may
+// instead emit spin-wait traces with no packet (their hand-off rings are
+// fed live by a concurrently running peer); those advance the clock
+// without counting towards throughput or batch occupancy.
 func (w *worker) runQuantum(limit uint64) {
 	for w.core.Clock() < limit {
 		n := 0
+		progressed := false
 		for n < w.batch && w.core.Clock() < limit {
-			var ops []hw.Op
-			switch {
-			case w.fl == nil:
-			case w.fl.pipe != nil:
-				ops = w.fl.pipe.EmitPacket(w.opbuf[:0])
-			case w.fl.raw != nil:
-				ops = w.fl.raw.EmitPacket(w.opbuf[:0])
-			}
+			ops, pkts := w.step()
 			if len(ops) == 0 {
 				break
 			}
-			w.opbuf = ops
-			w.core.ExecOps(ops)
-			w.fl.packets++
-			w.packets++
-			n++
+			progressed = true
+			if pkts > 0 {
+				w.core.ExecOps(ops)
+				w.packets++
+				n++
+			} else {
+				w.core.ExecStall(ops)
+			}
 		}
 		w.winBatchSum += uint64(n)
 		w.winBatchCnt++
 		w.totBatchSum += uint64(n)
 		w.totBatchCnt++
-		if n == 0 {
+		if !progressed {
 			w.core.AdvanceTo(limit)
 			return
 		}
+	}
+}
+
+// step performs one unit of work for the bound flow and reports whether a
+// packet was fully processed. Empty ops mean the worker has nothing to do
+// until the next barrier.
+func (w *worker) step() ([]hw.Op, int) {
+	switch {
+	case w.fl == nil:
+		return nil, 0
+	case w.unit != nil:
+		return w.unit.step(w)
+	case w.fl.pipe != nil:
+		ops := w.fl.pipe.EmitPacket(w.opbuf[:0])
+		if len(ops) == 0 {
+			return nil, 0
+		}
+		w.opbuf = ops
+		w.fl.packets++
+		return ops, 1
+	default:
+		ops := w.fl.raw.EmitPacket(w.opbuf[:0])
+		if len(ops) == 0 {
+			return nil, 0
+		}
+		w.opbuf = ops
+		w.fl.packets++
+		return ops, 1
 	}
 }
 

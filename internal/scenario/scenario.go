@@ -19,6 +19,13 @@
 //	natfw :: Flow(GRAPH NATFW, WORKERS 2);
 //	mon   :: Flow(TYPE MON, RATE_FRACTION 0.7);
 //
+// A graph block may also declare stage cuts, turning the flow into a
+// cross-worker service chain: `stage 1: fw;` moves fw — and everything
+// downstream of it — onto a second worker connected by a hand-off ring.
+// Each replica of a staged flow occupies one core per stage, consecutive
+// in worker order, so PLACE pins stages individually (e.g. PLACE s0:0
+// s1:0 runs stage 0 on socket 0 and stage 1 across the interconnect).
+//
 // Config turns a parsed scenario into a runtime.Config on a concrete
 // platform; inline graphs become custom flow types (apps.Params.Custom),
 // so offline profiling and the concurrent runtime treat them exactly
@@ -63,10 +70,51 @@ type Flow struct {
 }
 
 // Graph is one inline pipeline definition; Config is the Click graph
-// text, kept verbatim.
+// text, kept verbatim (stage declarations excluded).
 type Graph struct {
 	Name   string
 	Config string
+	// Stages holds the graph's stage-cut declarations in declaration
+	// order; empty means the graph runs to completion on one worker.
+	Stages []StageDecl
+}
+
+// StageDecl assigns the named elements to one stage of a cross-worker
+// service chain (`stage 1: fw, tee;` inside a graph block). Elements not
+// named in any declaration inherit their predecessors' stage, so listing
+// each cut's entry elements is enough. A flow using a staged graph
+// occupies stages × WORKERS cores: each replica spans its stages on
+// consecutive workers, in stage order — PLACE lists cores in that same
+// order.
+type StageDecl struct {
+	Stage    int
+	Elements []string
+}
+
+// MaxStage returns the graph's highest declared stage index.
+func (g Graph) MaxStage() int {
+	max := 0
+	for _, d := range g.Stages {
+		if d.Stage > max {
+			max = d.Stage
+		}
+	}
+	return max
+}
+
+// StageMap flattens the declarations into the element→stage map the apps
+// layer consumes; nil when the graph is unstaged.
+func (g Graph) StageMap() map[string]int {
+	if len(g.Stages) == 0 {
+		return nil
+	}
+	m := make(map[string]int)
+	for _, d := range g.Stages {
+		for _, el := range d.Elements {
+			m[el] = d.Stage
+		}
+	}
+	return m
 }
 
 // Scenario is a parsed scenario file.
@@ -124,6 +172,15 @@ func Parse(text string) (*Scenario, error) {
 			return nil, fmt.Errorf("graph %q declared twice", g.Name)
 		}
 		names[g.Name] = true
+		staged := map[string]bool{}
+		for _, d := range g.Stages {
+			for _, el := range d.Elements {
+				if staged[el] {
+					return nil, fmt.Errorf("graph %q: element %q assigned to two stages", g.Name, el)
+				}
+				staged[el] = true
+			}
+		}
 	}
 
 	for stmtNo, raw := range click.SplitTopLevel(rest, ";") {
@@ -300,6 +357,20 @@ func parseFlow(name string, args click.Args) (Flow, error) {
 	return f, nil
 }
 
+// flowStages returns how many workers one replica of f occupies: the
+// stage count of its graph, or 1 for builtins and unstaged graphs.
+func (s *Scenario) flowStages(f Flow) int {
+	for _, g := range s.Graphs {
+		if g.Name == f.Type {
+			if len(g.Stages) == 0 {
+				return 1
+			}
+			return g.MaxStage() + 1
+		}
+	}
+	return 1
+}
+
 // flowType resolves a flow's type string: a declared graph name wins,
 // otherwise it must be a builtin flow type.
 func (s *Scenario) flowType(f Flow) (apps.FlowType, error) {
@@ -347,7 +418,7 @@ func (s *Scenario) Config(cfg hw.Config, params apps.Params) (runtime.Config, er
 					pktSize = f.PacketSize
 				}
 			}
-			custom[t] = apps.CustomFlow{Config: g.Config, PacketSize: pktSize}
+			custom[t] = apps.CustomFlow{Config: g.Config, PacketSize: pktSize, Stages: g.StageMap()}
 		}
 		params.Custom = custom
 	}
@@ -366,10 +437,12 @@ func (s *Scenario) Config(cfg hw.Config, params apps.Params) (runtime.Config, er
 		if err != nil {
 			return runtime.Config{}, fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
-		if fit > 0 && total+f.Workers > fit {
+		// A staged graph's replica occupies one core per stage.
+		cores := f.Workers * s.flowStages(f)
+		if fit > 0 && total+cores > fit {
 			break
 		}
-		total += f.Workers
+		total += cores
 		out.Apps = append(out.Apps, runtime.AppSpec{
 			Name: f.Name, Type: t, Workers: f.Workers,
 			Rate: f.Rate, RateFraction: f.RateFraction,
@@ -445,7 +518,13 @@ func (s *Scenario) Render() string {
 	b.WriteString(");\n")
 
 	for _, g := range s.Graphs {
-		fmt.Fprintf(&b, "\ngraph %s {%s}\n", g.Name, g.Config)
+		fmt.Fprintf(&b, "\ngraph %s {%s", g.Name, g.Config)
+		// Stage declarations re-attach right after the Click text so the
+		// next parse strips them back out byte-for-byte.
+		for _, d := range g.Stages {
+			fmt.Fprintf(&b, "stage %d: %s;", d.Stage, strings.Join(d.Elements, " "))
+		}
+		b.WriteString("}\n")
 	}
 
 	for _, f := range s.Flows {
@@ -520,10 +599,86 @@ func extractGraphs(s string) (string, []Graph, error) {
 		if closing < 0 {
 			return "", nil, fmt.Errorf("graph %q: missing closing brace", name)
 		}
-		graphs = append(graphs, Graph{Name: name, Config: s[j+1 : j+closing]})
+		cfg, decls, err := stripStageDecls(name, s[j+1:j+closing])
+		if err != nil {
+			return "", nil, err
+		}
+		graphs = append(graphs, Graph{Name: name, Config: cfg, Stages: decls})
 		i = j + closing + 1
 	}
 	return out.String(), graphs, nil
+}
+
+// stripStageDecls pulls `stage N: el el;` statements out of a graph body,
+// returning the remaining Click text byte-for-byte except that the
+// declarations themselves are removed (first keyword byte through
+// terminating semicolon) and a dangling final statement gains its ';',
+// so that parse → render → parse is stable.
+func stripStageDecls(graph, body string) (string, []StageDecl, error) {
+	var out strings.Builder
+	var decls []StageDecl
+	parts := click.SplitTopLevel(body, ";")
+	for i, stmt := range parts {
+		terminated := i < len(parts)-1 // every part but the last had a ';'
+		lead := len(stmt) - len(strings.TrimLeft(stmt, " \t\r\n"))
+		trimmed := stmt[lead:]
+		switch {
+		case !isStageDecl(trimmed):
+			out.WriteString(stmt)
+			if terminated || trimmed != "" {
+				// Terminating a dangling final statement keeps the Click
+				// text well-formed when Render re-attaches stage
+				// declarations after it (and makes parse → render → parse
+				// stable from the first parse on).
+				out.WriteByte(';')
+			}
+		case !terminated:
+			return "", nil, fmt.Errorf("graph %q: stage declaration %q missing ';'", graph, snippet(trimmed))
+		default:
+			d, err := parseStageDecl(trimmed)
+			if err != nil {
+				return "", nil, fmt.Errorf("graph %q: %w", graph, err)
+			}
+			decls = append(decls, d)
+			out.WriteString(stmt[:lead])
+		}
+	}
+	return out.String(), decls, nil
+}
+
+// isStageDecl reports whether a trimmed graph statement is a stage-cut
+// declaration: the keyword `stage` followed by a stage number. An element
+// that happens to be named stage (`stage :: Counter`, `stage -> out`) is
+// ordinary Click text.
+func isStageDecl(trimmed string) bool {
+	if !wordAt(trimmed, 0, "stage") {
+		return false
+	}
+	rest := strings.TrimLeft(trimmed[len("stage"):], " \t\r\n")
+	return rest != "" && rest[0] >= '0' && rest[0] <= '9'
+}
+
+// parseStageDecl parses "stage N: el[,] el ...".
+func parseStageDecl(s string) (StageDecl, error) {
+	rest := strings.TrimSpace(s[len("stage"):])
+	num, names, ok := strings.Cut(rest, ":")
+	if !ok {
+		return StageDecl{}, fmt.Errorf("stage declaration %q wants `stage N: element ...`", snippet(s))
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(num))
+	if err != nil || n < 0 {
+		return StageDecl{}, fmt.Errorf("stage declaration %q: bad stage number %q", snippet(s), strings.TrimSpace(num))
+	}
+	d := StageDecl{Stage: n}
+	for _, tok := range strings.FieldsFunc(names, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	}) {
+		d.Elements = append(d.Elements, tok)
+	}
+	if len(d.Elements) == 0 {
+		return StageDecl{}, fmt.Errorf("stage declaration %q names no elements", snippet(s))
+	}
+	return d, nil
 }
 
 func wordAt(s string, i int, word string) bool {
