@@ -21,7 +21,7 @@
 //	          [-scenario mixed|bursty|thrash|hidden]
 //	          [-scale quick|full] [-duration 0.05] [-packets N]
 //	          [-batch 32] [-ring 512] [-quantum 200000] [-noprofile]
-//	          [-telemetry]
+//	          [-migrate-state BYTES] [-telemetry]
 //
 // Durations are virtual seconds on the simulated platform.
 package main
@@ -48,6 +48,8 @@ func main() {
 	batch := flag.Int("batch", 0, "worker batch size (default 32)")
 	ring := flag.Int("ring", 0, "input-ring capacity in packets (default per scenario)")
 	quantum := flag.Uint64("quantum", 0, "clock-sync quantum in cycles (default 200000)")
+	migrateState := flag.Uint64("migrate-state", 0,
+		"state-migration footprint threshold in bytes: re-placed flows whose tables fit are copied to their new socket; 0 keeps the scenario's setting")
 	noprofile := flag.Bool("noprofile", false,
 		"skip offline profiling (disables prediction, admission limits, re-placement)")
 	telemetry := flag.Bool("telemetry", false, "dump per-window telemetry samples")
@@ -85,6 +87,9 @@ func main() {
 	}
 	if *quantum > 0 {
 		cfg.QuantumCycles = *quantum
+	}
+	if *migrateState > 0 {
+		cfg.MigrateState = *migrateState
 	}
 	if cfg.Warmup == 0 {
 		cfg.Warmup = scale.Warmup
@@ -139,9 +144,9 @@ func main() {
 					// ring (stage 0 keeps the receive ring).
 					app = fmt.Sprintf("%s#%d", w.App, w.Stage)
 				}
-				fmt.Printf("  t=%.2fms wkr=%d sock=%d %-10s pps=%.2fM refs/s=%.1fM occ=%.2f ring=%d/%d delay=%d pred=%.1f%%%s\n",
+				fmt.Printf("  t=%.2fms wkr=%d sock=%d %-10s pps=%.2fM refs/s=%.1fM rem/pkt=%.2f occ=%.2f ring=%d/%d delay=%d pred=%.1f%%%s\n",
 					cs.Time*1e3, w.Worker, w.Socket, app, w.PPS/1e6, w.RefsPerSec/1e6,
-					w.BatchOccupancy, w.RingDepth, w.RingCap, w.DelayCycles,
+					w.RemotePerPacket, w.BatchOccupancy, w.RingDepth, w.RingCap, w.DelayCycles,
 					w.PredictedDrop*100, throttledMark(w.Throttled))
 			}
 		}

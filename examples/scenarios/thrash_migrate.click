@@ -1,0 +1,17 @@
+// thrash_migrate — the thrash scenario with state migration enabled:
+// when re-placement separates the monitoring victims from the SYN_MAX
+// thrashers, MIGRATE_STATE lets any re-placed flow whose live state
+// footprint is at most 8 MiB carry its tables to the new socket (the
+// copy is charged as remote reads plus local writes on the destination
+// core). Without the knob a migrated flow's tables stay behind and every
+// reference crosses the interconnect forever — compare the post-swap
+// remote-refs-per-packet telemetry of the two variants.
+scenario :: Scenario(NAME thrash_migrate, MIN_SOCKETS 2, MIN_CORES_PER_SOCKET 2,
+                     SYN_REGION_FRACTION 0.5, DROP_THRESHOLD 0.05,
+                     MIGRATE_STATE 8388608,
+                     PLACE 0 1 s1:0 s1:1);
+
+mon-a    :: Flow(TYPE MON, WORKERS 1);
+thrash-a :: Flow(TYPE SYN_MAX, WORKERS 1);
+mon-b    :: Flow(TYPE MON, WORKERS 1);
+thrash-b :: Flow(TYPE SYN_MAX, WORKERS 1);

@@ -150,6 +150,56 @@ type Instance struct {
 	Source   hw.PacketSource
 	Pipeline *click.Pipeline   // nil for raw synthetic sources
 	Control  *elements.Control // non-nil when built with a control element
+
+	// State records where every structure the flow allocated lives in
+	// simulated memory: one binding per element, with the pipeline stage
+	// it executes in. This is what makes application state a placeable
+	// resource — the runtime reads it to know which NUMA domain holds a
+	// flow's tables, what migrating them would cost, and which stage of a
+	// service chain owns which span.
+	State []StateBinding
+}
+
+// StateBinding locates one element's simulated state.
+type StateBinding struct {
+	Element string // element (or structure) name the state belongs to
+	Stage   int    // pipeline stage the element executes in
+	Base    hw.Addr
+	Size    uint64
+	// Source marks the build-time source's allocations (packet buffers,
+	// RX descriptors). Under the concurrent runtime the source is
+	// replaced by the worker's receive ring, so these bytes are dead
+	// weight there: excluded from live footprints and never migrated.
+	Source bool
+}
+
+// Domain returns the NUMA domain the binding's memory belongs to.
+func (b StateBinding) Domain() int { return hw.DomainOf(b.Base) }
+
+// Lines returns how many cache lines the binding spans.
+func (b StateBinding) Lines() int { return hw.LinesSpanned(b.Base, int(b.Size)) }
+
+// StateBindings returns the instance's live (non-source) state bindings
+// for one stage, or for all stages when stage < 0.
+func (i *Instance) StateBindings(stage int) []StateBinding {
+	var out []StateBinding
+	for _, b := range i.State {
+		if b.Source || (stage >= 0 && b.Stage != stage) {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// StateBytes returns the live state footprint in bytes for one stage, or
+// for all stages when stage < 0 (source allocations excluded).
+func (i *Instance) StateBytes(stage int) uint64 {
+	var n uint64
+	for _, b := range i.StateBindings(stage) {
+		n += b.Size
+	}
+	return n
 }
 
 // PacketSize returns the wire size of the packets generated for flow
@@ -212,41 +262,101 @@ func (p Params) Config(t FlowType, seed uint64) string {
 // Build constructs flow type t with per-flow state allocated from arena
 // (the flow's local NUMA domain) and all randomness derived from seed.
 func (p Params) Build(t FlowType, arena *mem.Arena, seed uint64) (*Instance, error) {
-	return p.build(t, arena, seed, nil)
+	return p.build(t, singleArena(arena), seed, nil, 0)
 }
 
 // BuildWithControl is Build with a Control element inserted at the head
 // of the pipeline (Section 4's aggressiveness-containment knob). SYN
 // flows cannot carry a control element.
 func (p Params) BuildWithControl(t FlowType, arena *mem.Arena, seed uint64) (*Instance, error) {
-	ctl := elements.NewControl(0)
-	return p.build(t, arena, seed, ctl)
+	return p.build(t, singleArena(arena), seed, elements.NewControl(0), 0)
 }
 
-func (p Params) build(t FlowType, arena *mem.Arena, seed uint64, ctl *elements.Control) (*Instance, error) {
+// BuildPlaced constructs flow type t with each pipeline stage's state
+// allocated from arenaAt(stage) — the concurrent runtime passes the
+// arena of the worker that will run the stage, so a cut graph keeps
+// every stage's tables next to its core instead of piling them all into
+// stage 0's domain. Unstaged flows allocate everything from arenaAt(0).
+func (p Params) BuildPlaced(t FlowType, arenaAt func(stage int) *mem.Arena, seed uint64) (*Instance, error) {
+	return p.build(t, arenaAt, seed, nil, 0)
+}
+
+// BuildPlacedWithControl is BuildPlaced with a Control element at the
+// head of the pipeline.
+func (p Params) BuildPlacedWithControl(t FlowType, arenaAt func(stage int) *mem.Arena, seed uint64) (*Instance, error) {
+	return p.build(t, arenaAt, seed, elements.NewControl(0), 0)
+}
+
+// singleArena adapts a single arena to the per-stage form.
+func singleArena(a *mem.Arena) func(int) *mem.Arena {
+	return func(int) *mem.Arena { return a }
+}
+
+// arenaTracker records which arenas a build allocated from (and where
+// each one's binding record stood beforehand), so the build can collect
+// exactly its own bindings afterwards.
+type arenaTracker struct {
+	uses []struct {
+		a    *mem.Arena
+		mark int
+	}
+	seen map[*mem.Arena]bool
+}
+
+func (tr *arenaTracker) track(a *mem.Arena) *mem.Arena {
+	if a == nil || tr.seen[a] {
+		return a
+	}
+	if tr.seen == nil {
+		tr.seen = map[*mem.Arena]bool{}
+	}
+	tr.seen[a] = true
+	tr.uses = append(tr.uses, struct {
+		a    *mem.Arena
+		mark int
+	}{a, a.Mark()})
+	return a
+}
+
+// collect turns the tracked arenas' new bindings into the instance's
+// state record. stageOf maps element names to stages (nil for unstaged
+// builds); srcName marks the build-time source's allocations.
+func (tr *arenaTracker) collect(stageOf map[string]int, srcName string) []StateBinding {
+	var out []StateBinding
+	for _, u := range tr.uses {
+		for _, b := range u.a.BindingsSince(u.mark) {
+			out = append(out, StateBinding{
+				Element: b.Label,
+				Stage:   stageOf[b.Label],
+				Base:    b.Base,
+				Size:    b.Size,
+				Source:  srcName != "" && b.Label == srcName,
+			})
+		}
+	}
+	return out
+}
+
+func (p Params) build(t FlowType, arenaAt func(int) *mem.Arena, seed uint64, ctl *elements.Control, hiddenTrigger uint64) (*Instance, error) {
+	tr := &arenaTracker{}
+	arena := tr.track(arenaAt(0))
 	switch t {
-	case SYN:
+	case SYN, SYNMAX:
 		if ctl != nil {
 			return nil, fmt.Errorf("apps: SYN flows have no pipeline for a control element")
 		}
+		compute := 0
+		if t == SYN {
+			compute = 200 // moderate default; sweeps override
+		}
+		defer arena.SetLabel(arena.SetLabel(string(t)))
 		src := synth.NewSource(arena, synth.Config{
 			Seed:              seed,
 			RegionBytes:       p.SynRegionBytes,
 			AccessesPerPacket: p.SynAccesses,
-			ComputePerAccess:  200, // moderate default; sweeps override
+			ComputePerAccess:  compute,
 		})
-		return &Instance{Type: t, Source: src}, nil
-	case SYNMAX:
-		if ctl != nil {
-			return nil, fmt.Errorf("apps: SYN flows have no pipeline for a control element")
-		}
-		src := synth.NewSource(arena, synth.Config{
-			Seed:              seed,
-			RegionBytes:       p.SynRegionBytes,
-			AccessesPerPacket: p.SynAccesses,
-			ComputePerAccess:  0,
-		})
-		return &Instance{Type: t, Source: src}, nil
+		return &Instance{Type: t, Source: src, State: tr.collect(nil, "")}, nil
 	case IP, MON, FW, RE, VPN:
 	default:
 		if _, ok := p.Custom[t]; !ok {
@@ -254,12 +364,32 @@ func (p Params) build(t FlowType, arena *mem.Arena, seed uint64, ctl *elements.C
 		}
 	}
 	env := &click.Env{Arena: arena, Seed: seed}
+	if cf, ok := p.Custom[t]; ok && len(cf.Stages) > 0 {
+		env.StageOf = cf.Stages
+		env.ArenaAt = func(s int) *mem.Arena { return tr.track(arenaAt(s)) }
+	}
 	pl, err := click.ParseConfig(env, string(t), p.Config(t, seed))
 	if err != nil {
 		return nil, fmt.Errorf("apps: building %s: %w", t, err)
 	}
 	if ctl != nil {
 		pl.PushFront(ctl)
+	}
+	if hiddenTrigger > 0 {
+		// The Section 4 adversarial element: SYN_MAX-like accesses after
+		// the trigger. Since each FW packet takes far longer than a SYN
+		// packet, matching SYN_MAX's per-second memory pressure requires
+		// proportionally more accesses per packet.
+		old := arena.SetLabel("hidden_aggressor")
+		aggr := synth.NewElement(arena, synth.Config{
+			Seed:              seed ^ 0xa66,
+			RegionBytes:       p.SynRegionBytes,
+			AccessesPerPacket: p.SynAccesses * 16,
+		}, hiddenTrigger)
+		arena.SetLabel(old)
+		if err := pl.InsertBefore("ToDevice", aggr); err != nil {
+			return nil, err
+		}
 	}
 	// Stage cuts are assigned after all structural edits (a Control at
 	// the head lands in stage 0 with the rest of the receive path).
@@ -268,7 +398,31 @@ func (p Params) build(t FlowType, arena *mem.Arena, seed uint64, ctl *elements.C
 			return nil, fmt.Errorf("apps: staging %s: %w", t, err)
 		}
 	}
-	return &Instance{Type: t, Source: pl, Pipeline: pl, Control: ctl}, nil
+	stageOf := make(map[string]int, len(pl.Nodes()))
+	for _, n := range pl.Nodes() {
+		stageOf[n.Name] = n.Stage
+	}
+	state := tr.collect(stageOf, pl.SourceName())
+	if cf, ok := p.Custom[t]; ok && len(cf.Stages) > 0 {
+		// Cross-check the parser's pre-construction stage plan against
+		// the authoritative AssignStages outcome: every live binding must
+		// sit in the arena of the stage it executes in. A divergence
+		// (e.g. the two inheritance implementations drifting apart) would
+		// otherwise ship silently as permanent cross-domain traffic.
+		for _, b := range state {
+			if b.Source {
+				continue
+			}
+			if want := arenaAt(b.Stage).Domain(); b.Domain() != want {
+				return nil, fmt.Errorf("apps: %s: element %q runs in stage %d but its state landed in domain %d, want %d (stage plan diverged)",
+					t, b.Element, b.Stage, b.Domain(), want)
+			}
+		}
+	}
+	return &Instance{
+		Type: t, Source: pl, Pipeline: pl, Control: ctl,
+		State: state,
+	}, nil
 }
 
 // Stages returns how many pipeline stages flow type t is cut into — the
@@ -291,13 +445,16 @@ func (p Params) Stages(t FlowType) int {
 // BuildSyn constructs a synthetic flow with explicit knobs, used by the
 // profiling sweep to ramp competing references per second.
 func (p Params) BuildSyn(arena *mem.Arena, seed uint64, computePerAccess int) *Instance {
+	tr := &arenaTracker{}
+	tr.track(arena)
+	defer arena.SetLabel(arena.SetLabel(string(SYN)))
 	src := synth.NewSource(arena, synth.Config{
 		Seed:              seed,
 		RegionBytes:       p.SynRegionBytes,
 		AccessesPerPacket: p.SynAccesses,
 		ComputePerAccess:  computePerAccess,
 	})
-	return &Instance{Type: SYN, Source: src}
+	return &Instance{Type: SYN, Source: src, State: tr.collect(nil, "")}
 }
 
 // BuildHiddenAggressor constructs the Section 4 adversarial flow: it
@@ -305,23 +462,7 @@ func (p Params) BuildSyn(arena *mem.Arena, seed uint64, computePerAccess int) *I
 // SYN_MAX-like memory accesses. The returned instance carries a Control
 // element so the administrator's throttle has something to act on.
 func (p Params) BuildHiddenAggressor(arena *mem.Arena, seed uint64, triggerPackets uint64) (*Instance, error) {
-	inst, err := p.BuildWithControl(FW, arena, seed)
-	if err != nil {
-		return nil, err
-	}
-	// Post-trigger the flow performs SYN_MAX-style processing: since each
-	// FW packet takes far longer than a SYN packet, matching SYN_MAX's
-	// per-second memory pressure requires proportionally more accesses
-	// per packet.
-	aggr := synth.NewElement(arena, synth.Config{
-		Seed:              seed ^ 0xa66,
-		RegionBytes:       p.SynRegionBytes,
-		AccessesPerPacket: p.SynAccesses * 16,
-	}, triggerPackets)
-	if err := inst.Pipeline.InsertBefore("ToDevice", aggr); err != nil {
-		return nil, err
-	}
-	return inst, nil
+	return p.build(FW, singleArena(arena), seed, elements.NewControl(0), triggerPackets)
 }
 
 // ParseFlowType converts a string such as "MON" or "syn_max" to a

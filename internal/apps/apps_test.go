@@ -279,3 +279,94 @@ func TestCustomFlowTypeBuilds(t *testing.T) {
 		t.Fatal("unknown custom type must error without registration")
 	}
 }
+
+func TestBuildRecordsStateBindings(t *testing.T) {
+	p := Small()
+	a := mem.NewArena(0)
+	inst, err := p.Build(MON, a, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.State) == 0 {
+		t.Fatal("no state bindings recorded")
+	}
+	var sawSource, sawTable bool
+	for _, b := range inst.State {
+		if b.Domain() != 0 {
+			t.Fatalf("binding %+v outside domain 0", b)
+		}
+		if b.Base < hw.DomainBase(0)+4096 {
+			t.Fatalf("binding %+v inside the reserved null page", b)
+		}
+		if b.Source {
+			sawSource = true
+		}
+		if b.Element == "NetFlow@4" || b.Element == "RadixIPLookup@2" {
+			sawTable = true
+		}
+	}
+	if !sawSource {
+		t.Fatal("source allocations not marked")
+	}
+	if !sawTable {
+		t.Fatalf("no table bindings among %+v", inst.State)
+	}
+	live := inst.StateBytes(-1)
+	if live == 0 {
+		t.Fatal("zero live footprint")
+	}
+	// The trie reserves ~640 MiB of address space; the live footprint
+	// must reflect touched bytes, not the reservation.
+	if live > 64<<20 {
+		t.Fatalf("live footprint %d includes address-space reservations", live)
+	}
+	for _, b := range inst.StateBindings(-1) {
+		if b.Source {
+			t.Fatalf("live bindings include the source: %+v", b)
+		}
+	}
+}
+
+func TestBuildPlacedAllocatesPerStage(t *testing.T) {
+	p := Small()
+	custom := map[FlowType]CustomFlow{
+		"MONC": {
+			Config: `
+				src :: FromDevice(SIZE 64, FLOWS 512, BUFFERS 64);
+				chk :: CheckIPHeader;
+				rt  :: RadixIPLookup(ROUTES 1000);
+				nf  :: NetFlow(ENTRIES 512);
+				src -> chk -> rt -> nf -> ToDevice;
+			`,
+			PacketSize: 64,
+			Stages:     map[string]int{"nf": 1},
+		},
+	}
+	p.Custom = custom
+	arenas := []*mem.Arena{mem.NewArena(0), mem.NewArena(1)}
+	inst, err := p.BuildPlaced("MONC", func(s int) *mem.Arena { return arenas[s] }, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Pipeline.NumStages() != 2 {
+		t.Fatalf("stages = %d, want 2", inst.Pipeline.NumStages())
+	}
+	for _, b := range inst.State {
+		want := b.Stage // stage 0 state in domain 0, stage 1 in domain 1
+		if b.Domain() != want {
+			t.Fatalf("binding %+v: stage %d state in domain %d", b, b.Stage, b.Domain())
+		}
+		if b.Base < hw.DomainBase(want) || b.Base >= hw.DomainBase(want+1) {
+			t.Fatalf("binding %+v outside its domain's address range", b)
+		}
+	}
+	// The cut's downstream elements inherit stage 1, so both the NetFlow
+	// table and the ToDevice ring must be in domain 1.
+	if n := len(inst.StateBindings(1)); n < 2 {
+		t.Fatalf("stage 1 owns %d bindings, want NetFlow and ToDevice", n)
+	}
+	if inst.StateBytes(0) == 0 || inst.StateBytes(1) == 0 {
+		t.Fatalf("per-stage footprints: %d / %d, both must be non-zero",
+			inst.StateBytes(0), inst.StateBytes(1))
+	}
+}

@@ -35,6 +35,14 @@ func ParseConfig(env *Env, name, config string) (*Pipeline, error) {
 		return nil, err
 	}
 
+	// When the graph will be cut into stages, resolve each element's
+	// stage before construction so its state allocates from the arena of
+	// the worker that will run it (per-stage NUMA-local placement).
+	var plan map[string]int
+	if len(env.StageOf) > 0 && env.ArenaAt != nil {
+		plan = stagePlan(stmts, env.StageOf)
+	}
+
 	nodes := make(map[string]*graphNode)
 	order := []*graphNode{} // declaration order, for deterministic errors
 	anon := 0
@@ -43,7 +51,20 @@ func ParseConfig(env *Env, name, config string) (*Pipeline, error) {
 		if _, dup := nodes[nm]; dup {
 			return nil, fmt.Errorf("click: element %q declared twice", nm)
 		}
-		inst, err := NewInstance(env, class, args)
+		benv := env
+		if plan != nil {
+			if a := env.arenaFor(plan[nm]); a != env.Arena {
+				e2 := *env
+				e2.Arena = a
+				benv = &e2
+			}
+		}
+		if benv.Arena != nil {
+			// Label the element's allocations so callers can read back
+			// exactly where its state landed (apps records these bindings).
+			defer benv.Arena.SetLabel(benv.Arena.SetLabel(nm))
+		}
+		inst, err := NewInstance(benv, class, args)
 		if err != nil {
 			return nil, fmt.Errorf("click: %q: %w", nm, err)
 		}
@@ -233,7 +254,98 @@ func ParseConfig(env *Env, name, config string) (*Pipeline, error) {
 			from.connect(e.port, built[e.to])
 		}
 	}
-	return newGraphPipeline(name, src, finalNodes), nil
+	pl := newGraphPipeline(name, src, finalNodes)
+	pl.srcName = head.name
+	return pl, nil
+}
+
+// stagePlan predicts each element's stage assignment from the lexed
+// statements, before any element is constructed: explicit entries come
+// from stageOf, every other node inherits the maximum stage of its
+// predecessors in topological order — the same rule
+// Pipeline.AssignStages applies (and later validates) on the built
+// graph. Anonymous inline elements are named exactly as the build pass
+// names them, so the plan's keys line up. The plan is best-effort: on a
+// malformed graph (cycles, duplicates) it returns what it derived and
+// leaves error reporting to the build pass, which sees the same input.
+func stagePlan(stmts []stmt, stageOf map[string]int) map[string]int {
+	type pnode struct {
+		name  string
+		stage int
+		fixed bool
+		outs  []*pnode
+		indeg int
+	}
+	nodes := map[string]*pnode{}
+	var order []*pnode
+	get := func(nm string) *pnode {
+		if n, ok := nodes[nm]; ok {
+			return n
+		}
+		n := &pnode{name: nm}
+		if s, ok := stageOf[nm]; ok {
+			if s > 0 {
+				n.stage = s
+			}
+			n.fixed = true
+		}
+		nodes[nm] = n
+		order = append(order, n)
+		return n
+	}
+	anon := 0
+	for _, st := range stmts {
+		switch st.kind {
+		case stmtDecl:
+			get(st.name)
+		case stmtConn:
+			var prev *pnode
+			for _, ref := range st.chain {
+				var n *pnode
+				if ref.class != "" {
+					// Mirrors the build pass's anonymous-element naming.
+					anon++
+					n = get(fmt.Sprintf("%s@%d", ref.class, anon))
+				} else {
+					n = get(ref.name)
+				}
+				if prev != nil && prev != n {
+					prev.outs = append(prev.outs, n)
+					n.indeg++
+				}
+				prev = n
+			}
+		}
+	}
+
+	// Kahn in declaration order; unresolvable remainders (cycles the
+	// build pass will reject) keep their explicit or zero stage.
+	done := map[*pnode]bool{}
+	for remaining := len(order); remaining > 0; {
+		progressed := false
+		for _, n := range order {
+			if done[n] || n.indeg != 0 {
+				continue
+			}
+			done[n] = true
+			remaining--
+			progressed = true
+			for _, t := range n.outs {
+				t.indeg--
+				if !t.fixed && n.stage > t.stage {
+					t.stage = n.stage
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	plan := make(map[string]int, len(order))
+	for _, n := range order {
+		plan[n.name] = n.stage
+	}
+	return plan
 }
 
 // graphNode is the parser's intermediate representation of one element.

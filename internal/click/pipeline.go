@@ -61,8 +61,9 @@ type Pipeline struct {
 	Dropped  uint64 // packets that completed on no branch
 	Finished uint64 // packets that completed on at least one branch
 
-	head  *Node
-	nodes []*Node // topological order, head first
+	head    *Node
+	nodes   []*Node // topological order, head first
+	srcName string  // source's config name (ParseConfig-built pipelines)
 
 	numStages int           // 0 until AssignStages cuts the graph
 	idx       map[*Node]int // node → index, for cross-stage resume points
@@ -102,6 +103,13 @@ func newGraphPipeline(name string, src Source, nodes []*Node) *Pipeline {
 // Nodes returns the pipeline's nodes in topological order, head first.
 // Callers must not restructure the graph through them.
 func (pl *Pipeline) Nodes() []*Node { return pl.nodes }
+
+// SourceName returns the configuration name of the pipeline's source
+// element ("" for programmatically built pipelines). State bindings
+// recorded under this label belong to the build-time source — a runtime
+// that replaces the source (e.g. with a receive ring) treats them as
+// dead weight, not migratable flow state.
+func (pl *Pipeline) SourceName() string { return pl.srcName }
 
 // Elements returns the pipeline's elements in topological order — for a
 // linear pipeline, exactly the chain order.

@@ -11,9 +11,32 @@ import (
 // Env carries the resources element constructors need: the NUMA arena to
 // allocate simulated memory from (enforcing the paper's local-allocation
 // policy) and a seed for any per-flow randomness.
+//
+// StageOf and ArenaAt together make state placement stage-aware: when a
+// graph will be cut into a cross-worker service chain, ParseConfig
+// resolves each element's stage (same inheritance rule as
+// Pipeline.AssignStages) before construction and allocates its state
+// from ArenaAt(stage) — so every stage's tables land in the NUMA domain
+// of the worker that will run them, instead of stage 0's.
 type Env struct {
 	Arena *mem.Arena
 	Seed  uint64
+
+	// StageOf maps element names to stage indices (unlisted elements
+	// inherit the maximum stage of their predecessors). nil or empty
+	// means a single-stage graph.
+	StageOf map[string]int
+	// ArenaAt returns the arena stage s allocates from; nil means every
+	// stage uses Arena.
+	ArenaAt func(stage int) *mem.Arena
+}
+
+// arenaFor resolves the arena for one stage's allocations.
+func (e *Env) arenaFor(stage int) *mem.Arena {
+	if e.ArenaAt == nil {
+		return e.Arena
+	}
+	return e.ArenaAt(stage)
 }
 
 // Constructor builds an element or source instance from configuration

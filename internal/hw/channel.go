@@ -33,7 +33,19 @@ type Channel struct {
 	Requests    uint64
 	QueueCycles uint64 // total cycles requests spent waiting
 	BusyCycles  uint64 // total cycles the channel was occupied
+
+	// waitHist counts requests by queueing delay in power-of-two buckets:
+	// bucket 0 is zero wait, bucket i ≥ 1 covers [2^(i-1), 2^i). It feeds
+	// WaitQuantile, which is how Config.MaxQueueWait (the concurrent
+	// runtime's finite-queue bound) is tuned against the deterministic
+	// engine's observed tail waits.
+	waitHist [waitBuckets]uint64
 }
+
+// waitBuckets bounds the histogram: the last bucket absorbs every wait
+// of 2^(waitBuckets-2) cycles or more (≈ 32k cycles, far beyond any
+// plausible queue).
+const waitBuckets = 17
 
 // NewChannel builds a channel that serves one request every serviceCycles.
 func NewChannel(name string, serviceCycles uint64) *Channel {
@@ -70,7 +82,51 @@ func (ch *Channel) Occupy(now uint64) (wait uint64) {
 	}
 	ch.Requests++
 	ch.QueueCycles += wait
+	ch.waitHist[waitBucket(wait)]++
 	return wait
+}
+
+// waitBucket maps a wait to its histogram bucket.
+func waitBucket(wait uint64) int {
+	b := 0
+	for wait > 0 && b < waitBuckets-1 {
+		b++
+		wait >>= 1
+	}
+	return b
+}
+
+// WaitQuantile returns an upper bound on the q-quantile (q in [0,1]) of
+// per-request queueing delay: the inclusive upper edge of the histogram
+// bucket the quantile falls in. Zero when the channel saw no requests.
+// The histogram's last bucket is open-ended, so the result saturates at
+// 2^16−1: a quantile landing among waits of ≥ 2^15 cycles (far beyond
+// any bounded queue; MaxWait caps concurrent-mode waits two orders of
+// magnitude lower) reports that cap, not a true upper bound.
+func (ch *Channel) WaitQuantile(q float64) uint64 {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.Requests == 0 {
+		return 0
+	}
+	target := uint64(q * float64(ch.Requests))
+	if float64(target) < q*float64(ch.Requests) {
+		target++ // ceiling: the quantile request itself must be covered
+	}
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for b, n := range ch.waitHist {
+		cum += n
+		if cum >= target {
+			if b == 0 {
+				return 0
+			}
+			return 1<<b - 1
+		}
+	}
+	return 1<<(waitBuckets-1) - 1
 }
 
 // Utilization returns the fraction of [0, now] the channel spent busy.
@@ -97,4 +153,5 @@ func (ch *Channel) Reset() {
 	ch.Requests = 0
 	ch.QueueCycles = 0
 	ch.BusyCycles = 0
+	ch.waitHist = [waitBuckets]uint64{}
 }

@@ -104,3 +104,33 @@ func TestChannelMaxWaitBoundsQueueing(t *testing.T) {
 		t.Fatalf("wait after idle gap = %d, want 0", w)
 	}
 }
+
+func TestChannelWaitQuantile(t *testing.T) {
+	ch := NewChannel("t", 10)
+	if got := ch.WaitQuantile(0.99); got != 0 {
+		t.Fatalf("empty channel p99 = %d, want 0", got)
+	}
+	// 9 zero-wait requests (well spaced) and one back-to-back request
+	// that waits 10 cycles: p50 is zero, p99 lands in the waiters' bucket.
+	now := uint64(0)
+	for i := 0; i < 9; i++ {
+		if w := ch.Occupy(now); w != 0 {
+			t.Fatalf("spaced request waited %d", w)
+		}
+		now += 100
+	}
+	if w := ch.Occupy(now - 100 + 1); w != 9 {
+		t.Fatalf("back-to-back wait = %d, want 9", w)
+	}
+	if p50 := ch.WaitQuantile(0.5); p50 != 0 {
+		t.Fatalf("p50 = %d, want 0", p50)
+	}
+	p99 := ch.WaitQuantile(0.99)
+	if p99 < 9 || p99 > 15 {
+		t.Fatalf("p99 = %d, want the [8,16) bucket's upper edge", p99)
+	}
+	ch.Reset()
+	if got := ch.WaitQuantile(0.99); got != 0 {
+		t.Fatalf("post-reset p99 = %d, want 0", got)
+	}
+}

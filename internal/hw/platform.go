@@ -46,6 +46,11 @@ type Platform struct {
 	Cfg     Config
 	Sockets []*Socket
 	Cores   []*Core // flattened, indexed by global core id
+
+	// domainHome overrides the default domain→socket mapping for
+	// individual NUMA domains (see SetDomainHome). nil until the first
+	// override is installed.
+	domainHome map[int]int
 }
 
 // NewPlatform builds a machine from cfg.
@@ -78,9 +83,48 @@ func NewPlatform(cfg Config) *Platform {
 	return p
 }
 
-// HomeSocket returns the socket whose memory controller owns addr.
+// HomeSocket returns the socket whose memory controller owns addr. By
+// default domain d homes to socket d % Sockets, so domain ids beyond the
+// socket count give callers private domains with a well-defined home —
+// the runtime allocates each flow's state from its own private domain so
+// the state can be re-homed independently (see SetDomainHome).
 func (p *Platform) HomeSocket(addr Addr) *Socket {
-	return p.Sockets[DomainOf(addr)%len(p.Sockets)]
+	d := DomainOf(addr)
+	if s, ok := p.domainHome[d]; ok {
+		return p.Sockets[s]
+	}
+	return p.Sockets[d%len(p.Sockets)]
+}
+
+// DomainHome returns the socket id addresses of NUMA domain d currently
+// home to.
+func (p *Platform) DomainHome(d int) int {
+	if s, ok := p.domainHome[d]; ok {
+		return s
+	}
+	return d % len(p.Sockets)
+}
+
+// SetDomainHome re-homes NUMA domain d to the given socket's memory
+// controller: every subsequent miss on a domain-d address is served
+// there. It models the end state of a state migration — after the copy,
+// the structure's lines live in the destination socket's memory — without
+// relocating simulated addresses, so Go-side structures keep their
+// recorded pointers. Callers charge the copy itself (remote reads of
+// every line, then local writes) before installing the override.
+//
+// The mapping is read on every cache miss without locking: call this
+// only while no core is executing (the runtime does so at quantum
+// barriers, where channel synchronisation orders the write before every
+// worker's next access).
+func (p *Platform) SetDomainHome(d, socket int) {
+	if socket < 0 || socket >= len(p.Sockets) {
+		panic(fmt.Sprintf("hw: domain %d re-homed to nonexistent socket %d", d, socket))
+	}
+	if p.domainHome == nil {
+		p.domainHome = make(map[int]int)
+	}
+	p.domainHome[d] = socket
 }
 
 // Access performs one memory reference by this core at virtual time now

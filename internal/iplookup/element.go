@@ -77,6 +77,7 @@ func init() {
 		}
 		t := New(env.Arena, nil)
 		RandomTable(t, n, seed)
+		t.recordFootprint()
 		return NewElement(t, env.Arena, n+1), nil
 	})
 }

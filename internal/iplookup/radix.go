@@ -79,11 +79,20 @@ func New(arena *mem.Arena, strides []int) *RadixTrie {
 	// Reserve generous contiguous simulated ranges for entries and node
 	// descriptors; actual usage is bounded by insertions. 1<<26 entries
 	// × 8 B = 512 MiB of address space, of which only allocated entries
-	// are ever touched.
-	t.base = arena.Alloc(uint64(1<<26)*simEntryBytes, hw.LineSize)
-	t.hdrBase = arena.Alloc(uint64(1<<24)*8, hw.LineSize)
+	// are ever touched — recordFootprint reports the touched extent once
+	// the table is populated, so the reservation never counts as state.
+	t.base = arena.Reserve(uint64(1<<26)*simEntryBytes, hw.LineSize)
+	t.hdrBase = arena.Reserve(uint64(1<<24)*8, hw.LineSize)
 	t.newNode(0) // root
 	return t
+}
+
+// recordFootprint reports the trie's touched extents to the arena's
+// binding record: the bytes lookups actually reference, and the bytes a
+// state migration would copy. Call it after the table is populated.
+func (t *RadixTrie) recordFootprint() {
+	t.arena.Record(t.base, uint64(len(t.entries))*simEntryBytes)
+	t.arena.Record(t.hdrBase, uint64(len(t.level))*8)
 }
 
 func (t *RadixTrie) newNode(level int) int32 {

@@ -19,11 +19,44 @@ import (
 // Arena is a bump allocator over one NUMA domain's simulated address
 // range. It is not safe for concurrent use; allocation happens during
 // single-threaded experiment setup.
+//
+// Every allocation is recorded as a Binding under the arena's current
+// label (SetLabel), so callers can reconstruct exactly which structure
+// lives where — the hook state placement and migration decisions hang
+// off: a flow that knows its tables' base, footprint, and domain can be
+// asked what moving them would cost.
 type Arena struct {
 	domain int
 	next   hw.Addr
 	limit  hw.Addr
+
+	label    string
+	bindings []Binding
+	// sealed forces the next allocation to open a new binding even under
+	// an unchanged label; SetLabel sets it so two structures that happen
+	// to share a label string never merge into one record.
+	sealed bool
 }
+
+// Binding records one labelled allocation span: which structure it is,
+// where its simulated memory starts, and how many bytes it covers.
+// Consecutive allocations under one SetLabel call coalesce into a single
+// binding (a structure built from many small allocations is one span in
+// a bump allocator), so the record stays compact.
+type Binding struct {
+	Label string
+	Base  hw.Addr
+	Size  uint64
+}
+
+// Domain returns the NUMA domain the binding's memory belongs to.
+func (b Binding) Domain() int { return hw.DomainOf(b.Base) }
+
+// End returns the first address past the binding.
+func (b Binding) End() hw.Addr { return b.Base + hw.Addr(b.Size) }
+
+// Lines returns how many cache lines the binding spans.
+func (b Binding) Lines() int { return hw.LinesSpanned(b.Base, int(b.Size)) }
 
 // arenaCapacity bounds each domain's allocatable range. 1 TiB per domain
 // is far beyond any experiment's needs and keeps domain ids disjoint.
@@ -45,6 +78,53 @@ func NewArena(d int) *Arena {
 // Domain returns the NUMA domain this arena allocates from.
 func (a *Arena) Domain() int { return a.domain }
 
+// SetLabel names the structure subsequent allocations belong to and
+// returns the previous label, so callers can restore it:
+//
+//	defer a.SetLabel(a.SetLabel("flow_table"))
+func (a *Arena) SetLabel(label string) (old string) {
+	old = a.label
+	a.label = label
+	a.sealed = true
+	return old
+}
+
+// Mark returns a cursor into the binding record; BindingsSince(Mark())
+// brackets the allocations of one build. It also seals the current
+// binding so a later allocation can never extend a span recorded before
+// the mark.
+func (a *Arena) Mark() int {
+	a.sealed = true
+	return len(a.bindings)
+}
+
+// Bindings returns the arena's full allocation record in address order.
+// The slice is shared; callers must not modify it.
+func (a *Arena) Bindings() []Binding { return a.bindings }
+
+// BindingsSince returns copies of the bindings recorded after mark.
+func (a *Arena) BindingsSince(mark int) []Binding {
+	if mark < 0 || mark > len(a.bindings) {
+		panic(fmt.Sprintf("mem: binding mark %d outside [0,%d]", mark, len(a.bindings)))
+	}
+	out := make([]Binding, len(a.bindings)-mark)
+	copy(out, a.bindings[mark:])
+	return out
+}
+
+// record extends the current binding or opens a new one for [base, end).
+func (a *Arena) record(base, end hw.Addr) {
+	if n := len(a.bindings); !a.sealed && n > 0 && a.bindings[n-1].Label == a.label {
+		// Same structure, still the same SetLabel epoch: one span. Any
+		// alignment gap between the spans is dead padding the structure
+		// owns anyway.
+		a.bindings[n-1].Size = uint64(end - a.bindings[n-1].Base)
+		return
+	}
+	a.bindings = append(a.bindings, Binding{Label: a.label, Base: base, Size: uint64(end - base)})
+	a.sealed = false
+}
+
 // Used returns the number of bytes allocated so far, excluding the
 // reserved null page.
 func (a *Arena) Used() uint64 { return uint64(a.next-hw.DomainBase(a.domain)) - 4096 }
@@ -64,12 +144,40 @@ func (a *Arena) Alloc(size uint64, align uint64) hw.Addr {
 		panic(fmt.Sprintf("mem: domain %d arena exhausted (%d bytes requested)", a.domain, size))
 	}
 	a.next = end
+	if end > base {
+		a.record(base, end)
+	}
 	return base
 }
 
 // AllocLines reserves n cache lines and returns the base address.
 func (a *Arena) AllocLines(n int) hw.Addr {
 	return a.Alloc(uint64(n)*hw.LineSize, hw.LineSize)
+}
+
+// Reserve allocates address space like Alloc but records no binding: for
+// sparse structures that reserve a generous contiguous range and touch
+// only what insertions populate (e.g. the radix trie's entry array).
+// The structure reports the extent it actually uses via Record, so
+// footprint-based decisions (state-migration thresholds, copy costs) see
+// touched bytes rather than reserved address space.
+func (a *Arena) Reserve(size uint64, align uint64) hw.Addr {
+	mark := a.Mark()
+	base := a.Alloc(size, align)
+	a.bindings = a.bindings[:mark]
+	a.sealed = true
+	return base
+}
+
+// Record adds an explicit binding for [base, base+size) under the
+// arena's current label — how a sparse structure reports the touched
+// extent inside an earlier Reserve. Zero-size records are dropped.
+func (a *Arena) Record(base hw.Addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	a.bindings = append(a.bindings, Binding{Label: a.label, Base: base, Size: size})
+	a.sealed = true
 }
 
 // Region is a fixed-stride array of elements in simulated memory,

@@ -111,3 +111,86 @@ func TestArenaDisjointQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestArenaBindingsRecordLabelledSpans(t *testing.T) {
+	a := NewArena(1)
+	a.SetLabel("table")
+	p1 := a.Alloc(100, 8)
+	a.Alloc(50, 8) // same label, same epoch: coalesces
+	a.SetLabel("ring")
+	p3 := a.Alloc(64, 64)
+
+	bs := a.Bindings()
+	if len(bs) != 2 {
+		t.Fatalf("bindings = %+v, want 2 spans", bs)
+	}
+	if bs[0].Label != "table" || bs[0].Base != p1 {
+		t.Fatalf("first binding %+v", bs[0])
+	}
+	if got := bs[0].End(); got < p1+150 {
+		t.Fatalf("coalesced span ends at %#x, want ≥ %#x", got, p1+150)
+	}
+	if bs[1].Label != "ring" || bs[1].Base != p3 || bs[1].Size != 64 {
+		t.Fatalf("second binding %+v", bs[1])
+	}
+	if bs[0].Domain() != 1 || bs[1].Domain() != 1 {
+		t.Fatalf("bindings report wrong domain: %+v", bs)
+	}
+}
+
+func TestArenaSetLabelSealsCoalescing(t *testing.T) {
+	a := NewArena(0)
+	a.SetLabel("x")
+	a.Alloc(10, 8)
+	// Re-setting the same label must still open a new span: two
+	// structures that share a label string are not one structure.
+	a.SetLabel("x")
+	a.Alloc(10, 8)
+	if got := len(a.Bindings()); got != 2 {
+		t.Fatalf("bindings = %d, want 2 (SetLabel must seal)", got)
+	}
+}
+
+func TestArenaBindingsSinceBracketsBuilds(t *testing.T) {
+	a := NewArena(0)
+	a.SetLabel("first")
+	a.Alloc(10, 8)
+	mark := a.Mark()
+	a.SetLabel("second")
+	a.Alloc(20, 8)
+	bs := a.BindingsSince(mark)
+	if len(bs) != 1 || bs[0].Label != "second" || bs[0].Size != 20 {
+		t.Fatalf("bindings since mark = %+v", bs)
+	}
+	// A post-mark allocation under the pre-mark label must not extend the
+	// pre-mark span (Mark seals).
+	a.SetLabel("first")
+	a.Alloc(5, 8)
+	if got := len(a.BindingsSince(mark)); got != 2 {
+		t.Fatalf("bindings since mark = %d, want 2", got)
+	}
+}
+
+func TestArenaReserveAndRecord(t *testing.T) {
+	a := NewArena(0)
+	a.SetLabel("sparse")
+	base := a.Reserve(1<<20, hw.LineSize)
+	if len(a.Bindings()) != 0 {
+		t.Fatalf("Reserve recorded a binding: %+v", a.Bindings())
+	}
+	// A later allocation must not overlap the reservation.
+	p := a.Alloc(64, 64)
+	if p < base+(1<<20) {
+		t.Fatalf("allocation %#x overlaps reservation [%#x,%#x)", p, base, base+(1<<20))
+	}
+	a.Record(base, 4096)
+	a.Record(base, 0) // dropped
+	bs := a.Bindings()
+	if len(bs) != 2 {
+		t.Fatalf("bindings = %+v, want alloc + explicit record", bs)
+	}
+	last := bs[len(bs)-1]
+	if last.Base != base || last.Size != 4096 || last.Label != "sparse" {
+		t.Fatalf("recorded binding %+v", last)
+	}
+}

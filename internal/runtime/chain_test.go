@@ -229,6 +229,9 @@ func TestRuntimeChainStaysPinned(t *testing.T) {
 	cfg.Cores = []int{0, 1, 2, cps}
 	cfg.Profiles = profiles
 	cfg.DropThreshold = 0.01
+	// State migration enabled: the thrasher/mon relief swap may copy
+	// state, the pinned chain's tables must never move.
+	cfg.MigrateState = 64 << 20
 	r, err := NewRuntime(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -247,5 +250,26 @@ func TestRuntimeChainStaysPinned(t *testing.T) {
 	// available to the rebalancer.
 	if len(rep.Migrations) == 0 {
 		t.Fatal("rebalancer never moved the thrasher away from the suffering chain")
+	}
+	// State migration was live for the swapped flows, yet the pinned
+	// chain's per-stage tables never moved: its worker rows stay
+	// NUMA-local for the whole run.
+	sawCopy := false
+	for _, m := range rep.Migrations {
+		if m.CopyA.Copied || m.CopyB.Copied {
+			sawCopy = true
+		}
+	}
+	if !sawCopy {
+		t.Fatal("no relief migration copied state despite an admitting threshold")
+	}
+	for _, w := range rep.Workers {
+		if w.App != "chain" {
+			continue
+		}
+		if w.StateBytes == 0 || w.StateSocket != w.Socket {
+			t.Fatalf("pinned chain stage %d: state %dB on socket %d, worker on %d",
+				w.Stage, w.StateBytes, w.StateSocket, w.Socket)
+		}
 	}
 }

@@ -100,11 +100,24 @@ type Config struct {
 	ControlEvery int
 	// MaxQueueWait bounds any single request's queueing delay at the
 	// memory controllers and QPI links, modelling their finite queues
-	// (default 64 cycles ≈ a dozen outstanding line transfers). Required
-	// under lax clock synchronisation — workers replay their quanta in
-	// arbitrary host order, and unbounded FCFS would tax a late replayer
-	// with its neighbours' entire quantum; see hw.Channel.MaxWait.
+	// (default DefaultMaxQueueWait). Required under lax clock
+	// synchronisation — workers replay their quanta in arbitrary host
+	// order, and unbounded FCFS would tax a late replayer with its
+	// neighbours' entire quantum; see hw.Channel.MaxWait.
 	MaxQueueWait uint64
+
+	// MigrateState, when positive, makes live re-placement move a flow's
+	// state along with the flow: a re-placed flow whose live state
+	// footprint is at most MigrateState bytes has its tables copied into
+	// the destination socket's memory — charged line-by-line through the
+	// simulated hierarchy as remote reads plus local writes on the
+	// destination core (surfaced in Counters.RemoteRefs/QPIQueueCycles
+	// and Migration.StateCopyCycles) — after which its accesses resolve
+	// to the new local domain. Flows above the threshold migrate without
+	// their state and keep paying QPI on every reference, the trade an
+	// operator prices with the copy-cost crossover (see README). Zero
+	// disables state migration entirely.
+	MigrateState uint64
 	// Warmup is virtual seconds excluded from measurement (default 0).
 	Warmup float64
 
@@ -127,6 +140,18 @@ type Config struct {
 	Scenario string
 }
 
+// DefaultMaxQueueWait is the default finite-queue bound in cycles, tuned
+// against the deterministic engine's observed memory-controller queue
+// waits under a socket-saturating realistic mix. The engine's p99 wait
+// there is ≈ 63 cycles, its mean ≈ 8; under lax synchronisation the
+// bound is hit far more often than a true FCFS queue's tail (a late
+// replayer sees the channel horizon its neighbours' whole quantum
+// ahead), so within the admissible band the smallest value tracks the
+// engine's throughput best: 32 is the low edge of [p99/2, 2·p99], and
+// TestMaxQueueWaitTracksEngine fails if the default ever leaves that
+// band.
+const DefaultMaxQueueWait = 32
+
 func (c Config) withDefaults() Config {
 	if c.RingSize == 0 {
 		c.RingSize = 512
@@ -144,7 +169,7 @@ func (c Config) withDefaults() Config {
 		c.ControlEvery = 5
 	}
 	if c.MaxQueueWait == 0 {
-		c.MaxQueueWait = 64
+		c.MaxQueueWait = DefaultMaxQueueWait
 	}
 	if c.Slack == 0 {
 		c.Slack = 0.05
@@ -167,8 +192,18 @@ type Runtime struct {
 	quantumSec float64
 
 	migrations     []Migration
+	pendingPost    []pendingPost
 	throttleEvents int
 	finished       bool
+}
+
+// pendingPost marks one side of a recorded migration whose post-copy
+// remote-reference rate is still unmeasured; the next control window on
+// the flow's new worker fills it in.
+type pendingPost struct {
+	mig    int // index into migrations
+	side   int // 0 = flow A, 1 = flow B
+	worker int // the flow's new worker
 }
 
 // NewRuntime validates cfg and builds the platform, workers, flow
@@ -254,7 +289,24 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 
 	// Flow instances: replica k of an app starts on the next unbound
-	// worker; its state is allocated from that worker's NUMA domain.
+	// worker; each stage's state is allocated from a private NUMA domain
+	// homed to that stage's worker's socket. Private domains (ids beyond
+	// the socket count, homing via modulo — see hw.Platform.HomeSocket)
+	// are what make state a placeable resource: a migration can re-home
+	// one flow's tables without touching anything else in the domain.
+	statePriv := 0
+	stateArena := func(socket int) *mem.Arena {
+		statePriv++
+		a := mem.NewArena(cfg.Cfg.Sockets*statePriv + socket)
+		// Page colouring: every fresh domain starts at the same low
+		// address bits, so without an offset all flows' tables would
+		// collide in the same cache sets — contention the shared-arena
+		// layout (and any sane allocator) doesn't have. Staggering each
+		// private arena by an odd page stride spreads the state across
+		// the L3's sets like a sequentially filled shared arena does.
+		a.Reserve(uint64(statePriv)*101*4096, 4096)
+		return a
+	}
 	var states []*appState
 	widx := 0
 	for ai := range cfg.Apps {
@@ -287,7 +339,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		stages := cfg.Params.Stages(spec.Type)
 		for k := 0; k < spec.Workers; k++ {
 			w := r.workers[widx]
-			f, err := r.buildFlow(st, k, arena(w.socket), w.socket)
+			stageArenas := make([]*mem.Arena, stages)
+			for s := range stageArenas {
+				stageArenas[s] = stateArena(r.workers[widx+s].socket)
+			}
+			f, err := r.buildFlow(st, k, stageArenas)
 			if err != nil {
 				return nil, err
 			}
@@ -350,22 +406,34 @@ func (c Config) resolveRate(a AppSpec) (float64, error) {
 	return a.RateFraction * p.SoloPPS * float64(a.Workers), nil
 }
 
-func (r *Runtime) buildFlow(st *appState, replica int, arena *mem.Arena, domain int) (*flow, error) {
+// buildFlow constructs one replica with stage s's state allocated from
+// arenas[s] (one private arena per stage, homed to the stage's worker's
+// socket; unstaged flows use arenas[0] for everything).
+func (r *Runtime) buildFlow(st *appState, replica int, arenas []*mem.Arena) (*flow, error) {
 	spec := st.spec
 	seed := core.SeedFor(spec.Type, st.index*64+replica)
+	arenaAt := func(s int) *mem.Arena {
+		if s < 0 {
+			s = 0
+		}
+		if s >= len(arenas) {
+			s = len(arenas) - 1
+		}
+		return arenas[s]
+	}
 	var inst *apps.Instance
 	var err error
 	switch {
 	case spec.HiddenTrigger > 0:
-		inst, err = r.cfg.Params.BuildHiddenAggressor(arena, seed, spec.HiddenTrigger)
+		inst, err = r.cfg.Params.BuildHiddenAggressor(arenas[0], seed, spec.HiddenTrigger)
 	case spec.Type == apps.SYN:
-		inst = r.cfg.Params.BuildSyn(arena, seed, spec.SynCompute)
+		inst = r.cfg.Params.BuildSyn(arenas[0], seed, spec.SynCompute)
 	case spec.Type == apps.SYNMAX:
-		inst = r.cfg.Params.BuildSyn(arena, seed, 0)
+		inst = r.cfg.Params.BuildSyn(arenas[0], seed, 0)
 	case spec.Control:
-		inst, err = r.cfg.Params.BuildWithControl(spec.Type, arena, seed)
+		inst, err = r.cfg.Params.BuildPlacedWithControl(spec.Type, arenaAt, seed)
 	default:
-		inst, err = r.cfg.Params.Build(spec.Type, arena, seed)
+		inst, err = r.cfg.Params.BuildPlaced(spec.Type, arenaAt, seed)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("runtime: app %q replica %d: %w", spec.Name, replica, err)
@@ -376,7 +444,9 @@ func (r *Runtime) buildFlow(st *appState, replica int, arena *mem.Arena, domain 
 		replica:    replica,
 		pipe:       inst.Pipeline,
 		control:    inst.Control,
-		homeDomain: domain,
+		state:      inst.StateBindings(-1),
+		stateBytes: inst.StateBytes(-1),
+		stateHome:  r.platform.DomainHome(arenas[0].Domain()),
 	}
 	if f.pipe != nil {
 		f.ring = NewRing(r.cfg.RingSize, st.pktSize)
@@ -540,8 +610,12 @@ func (r *Runtime) controlStep(q int) {
 			tele.PPS = float64(delta.Packets) / winSec
 			tele.RefsPerSec = float64(delta.L3Refs) / winSec
 			tele.HitsPerSec = float64(delta.L3Hits) / winSec
+			tele.RemoteRefsPerSec = float64(delta.RemoteRefs) / winSec
 		}
 		tele.CyclesPerPacket = delta.PerPacket(delta.Cycles)
+		tele.RemotePerPacket = delta.PerPacket(delta.RemoteRefs)
+		w.lastRemotePerPkt = tele.RemotePerPacket
+		w.lastWindowPackets = delta.Packets
 		if f := w.fl; f != nil {
 			tele.App = f.app.spec.Name
 			tele.Type = f.app.spec.Type
@@ -574,6 +648,30 @@ func (r *Runtime) controlStep(q int) {
 		}
 		sample.Workers = append(sample.Workers, tele)
 	}
+
+	// Fill in the post-copy remote rates of migrations recorded at
+	// earlier control steps, from the first post-swap window in which the
+	// moved flow actually processed traffic (copy traffic is excluded —
+	// swap re-baselined the window counters after the copy, and a long
+	// copy can leave the destination core idle for several quanta, so a
+	// zero-packet window stays pending rather than recording a phantom
+	// rate). Migrations whose measurement never lands keep the NaN
+	// sentinel: "unmeasured", not "local".
+	pending := r.pendingPost[:0]
+	for _, pp := range r.pendingPost {
+		w := r.workers[pp.worker]
+		if w.lastWindowPackets == 0 {
+			pending = append(pending, pp)
+			continue
+		}
+		m := &r.migrations[pp.mig]
+		if pp.side == 0 {
+			m.RemotePerPktAfterA = w.lastRemotePerPkt
+		} else {
+			m.RemotePerPktAfterB = w.lastRemotePerPkt
+		}
+	}
+	r.pendingPost = pending
 
 	// Predicted drop for the placement the window actually measured.
 	drops := core.PredictLiveDrops(r.curves, live)
@@ -635,16 +733,115 @@ func (r *Runtime) controlStep(q int) {
 }
 
 // swap exchanges the flows of two workers: live migration at a barrier.
+// When Config.MigrateState admits a flow's footprint, its state moves
+// with it (migrateState); otherwise the tables stay behind and the flow
+// pays QPI from its new socket.
 func (r *Runtime) swap(a, b, q int, worstBefore float64) {
 	wa, wb := r.workers[a], r.workers[b]
 	fa, fb := wa.fl, wb.fl
-	r.migrations = append(r.migrations, Migration{
+	m := Migration{
 		Quantum: q, WorkerA: a, WorkerB: b,
 		FlowA: flowName(fa), FlowB: flowName(fb),
 		WorstBefore: worstBefore,
-	})
+		// Both rate pairs use NaN for "unmeasured", never a phantom 0.00
+		// ("fully local"): the before side when the preceding window
+		// carried no traffic, the after side until the first post-swap
+		// window with traffic measures it.
+		RemotePerPktBeforeA: remRateOrNaN(wa),
+		RemotePerPktBeforeB: remRateOrNaN(wb),
+		RemotePerPktAfterA:  math.NaN(),
+		RemotePerPktAfterB:  math.NaN(),
+	}
+	m.CopyA = r.migrateState(fa, wb)
+	m.CopyB = r.migrateState(fb, wa)
+	m.StateCopyCycles = m.CopyA.Cycles + m.CopyB.Cycles
+	if m.StateCopyCycles > 0 {
+		// Re-baseline the next control window past the copy: its remote
+		// reads are one-off migration traffic, not the steady state the
+		// post-copy telemetry is after. (Whole-run counters keep them.)
+		for _, w := range [2]*worker{wa, wb} {
+			w.prevCounters = w.core.Counters
+			w.prevClock = w.core.Clock()
+		}
+	}
 	wa.bind(fb)
 	wb.bind(fa)
+	r.migrations = append(r.migrations, m)
+	// A measurement still pending on either worker now belongs to a
+	// superseded binding: drop it (its migration keeps the NaN sentinel)
+	// before scheduling this swap's.
+	kept := r.pendingPost[:0]
+	for _, pp := range r.pendingPost {
+		if pp.worker != a && pp.worker != b {
+			kept = append(kept, pp)
+		}
+	}
+	mi := len(r.migrations) - 1
+	r.pendingPost = append(kept,
+		pendingPost{mig: mi, side: 0, worker: b},
+		pendingPost{mig: mi, side: 1, worker: a})
+}
+
+// remRateOrNaN returns the worker's last-window remote rate, or NaN when
+// that window processed no packets and therefore measured nothing.
+func remRateOrNaN(w *worker) float64 {
+	if w.lastWindowPackets == 0 {
+		return math.NaN()
+	}
+	return w.lastRemotePerPkt
+}
+
+// fnMigrate attributes state-copy traffic in per-function profiles.
+var fnMigrate = hw.RegisterFunc("state_migration")
+
+// migrateState copies f's state into dst's socket if the configured
+// threshold admits it. The copy is charged on the destination core —
+// the worker about to run the flow spends its cycles memcpy-ing — as a
+// streamed remote read of every state line followed, once the flow's
+// private domains are re-homed, by a local write of the same line: the
+// read crosses the interconnect (RemoteRefs, QPIQueueCycles), the write
+// re-establishes the line under the destination socket's controller.
+// After the copy the flow's table references resolve locally again.
+func (r *Runtime) migrateState(f *flow, dst *worker) StateCopy {
+	if f == nil || r.cfg.MigrateState == 0 || f.stateBytes == 0 ||
+		f.stateBytes > r.cfg.MigrateState || f.stateHome == dst.socket {
+		return StateCopy{}
+	}
+	start := dst.core.Clock()
+	var ops []hw.Op
+	var domains []int
+	lines := 0
+	for _, b := range f.state {
+		if b.Size == 0 {
+			continue
+		}
+		if n := len(domains); n == 0 || domains[n-1] != b.Domain() {
+			domains = append(domains, b.Domain())
+		}
+		last := hw.LineOf(b.Base + hw.Addr(b.Size) - 1)
+		for line := hw.LineOf(b.Base); line <= last; line += hw.LineSize {
+			// memcpy order, line by line: the read streams across the
+			// interconnect (independent address stream, so OpLoadStream
+			// overlaps like any copy loop), the write lands in the line
+			// just brought into the destination's cache and drains to the
+			// local controller as a write-back once the domain re-homes.
+			ops = append(ops,
+				hw.Op{Kind: hw.OpLoadStream, Addr: line, Func: fnMigrate},
+				hw.Op{Kind: hw.OpStore, Addr: line, Func: fnMigrate})
+			lines++
+		}
+	}
+	dst.core.ExecStall(ops)
+	for _, d := range domains {
+		r.platform.SetDomainHome(d, dst.socket)
+	}
+	f.stateHome = dst.socket
+	return StateCopy{
+		Copied: true,
+		Bytes:  f.stateBytes,
+		Lines:  lines,
+		Cycles: dst.core.Clock() - start,
+	}
 }
 
 func flowName(f *flow) string {
@@ -675,10 +872,12 @@ func (r *Runtime) buildReport(measQ int) *Report {
 		boundSec := r.cfg.Cfg.CyclesToSeconds(w.core.Clock() - w.bindClock)
 		wr := WorkerReport{
 			Worker: i, Core: w.core.ID, Socket: w.socket,
-			Packets:        bound,
-			TotalPackets:   w.packets,
-			RefsPerSec:     float64(delta.L3Refs) / duration,
-			BatchOccupancy: occupancy(w.totBatchSum, w.totBatchCnt, w.batch),
+			Packets:         bound,
+			TotalPackets:    w.packets,
+			RefsPerSec:      float64(delta.L3Refs) / duration,
+			RemotePerPacket: delta.PerPacket(delta.RemoteRefs),
+			BatchOccupancy:  occupancy(w.totBatchSum, w.totBatchCnt, w.batch),
+			StateSocket:     -1,
 		}
 		if boundSec > 0 {
 			wr.PPS = float64(bound) / boundSec
@@ -689,6 +888,12 @@ func (r *Runtime) buildReport(measQ int) *Report {
 			if u := w.unit; u != nil {
 				wr.Stage = u.stage
 				wr.Stages = len(f.stages)
+				wr.StateBytes, wr.StateSocket = f.stageState(u.stage, r.platform)
+			} else {
+				wr.StateBytes = f.stateBytes
+				if f.stateBytes > 0 {
+					wr.StateSocket = f.stateHome
+				}
 			}
 			if f.control != nil {
 				wr.DelayCycles = f.control.Delay()

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
@@ -24,16 +25,18 @@ type WorkerTelemetry struct {
 	Stage  int
 	Stages int
 
-	PPS             float64 // packets processed per virtual second
-	RefsPerSec      float64 // L3 references per virtual second (the aggressiveness proxy)
-	HitsPerSec      float64 // L3 hits per virtual second (the sensitivity proxy)
-	CyclesPerPacket float64
-	BatchOccupancy  float64 // mean batch fill fraction [0,1]
-	RingDepth       int     // input-ring occupancy at sample time
-	RingCap         int
-	DelayCycles     uint32 // admission-control delay currently applied
-	Throttled       bool   // admission control tightened the delay this window
-	PredictedDrop   float64
+	PPS              float64 // packets processed per virtual second
+	RefsPerSec       float64 // L3 references per virtual second (the aggressiveness proxy)
+	HitsPerSec       float64 // L3 hits per virtual second (the sensitivity proxy)
+	RemoteRefsPerSec float64 // L3 misses served by a remote NUMA domain, per second
+	RemotePerPacket  float64 // remote references per processed packet (the locality signal)
+	CyclesPerPacket  float64
+	BatchOccupancy   float64 // mean batch fill fraction [0,1]
+	RingDepth        int     // input-ring occupancy at sample time
+	RingCap          int
+	DelayCycles      uint32 // admission-control delay currently applied
+	Throttled        bool   // admission control tightened the delay this window
+	PredictedDrop    float64
 }
 
 // ControlSample is one control interval's full telemetry snapshot.
@@ -86,6 +89,34 @@ type Migration struct {
 	FlowA       string
 	FlowB       string
 	WorstBefore float64 // worst predicted drop before the swap
+
+	// State movement. CopyA describes FlowA's tables moving to WorkerB's
+	// socket, CopyB the reverse; both are zero-valued when
+	// Config.MigrateState left the state behind (disabled, footprint
+	// above the threshold, or already local). StateCopyCycles totals both
+	// copies' downtime on the destination cores.
+	StateCopyCycles uint64
+	CopyA, CopyB    StateCopy
+
+	// Remote references per packet for each moved flow over the control
+	// window preceding the swap (on its old worker) and the first full
+	// window after it (on its new worker) — the pre- versus post-copy
+	// locality evidence: with a state copy the "after" rate returns to
+	// the local baseline, without one it jumps to roughly the flow's
+	// table references per packet. A rate is NaN while unmeasured: the
+	// Before fields when the preceding window carried no traffic, the
+	// After fields until a post-swap window with traffic lands (a run
+	// may end first).
+	RemotePerPktBeforeA, RemotePerPktAfterA float64
+	RemotePerPktBeforeB, RemotePerPktAfterB float64
+}
+
+// StateCopy describes one direction of a migration's state movement.
+type StateCopy struct {
+	Copied bool
+	Bytes  uint64 // live state footprint moved
+	Lines  int    // cache lines streamed across the interconnect
+	Cycles uint64 // copy downtime charged to the destination core
 }
 
 // WorkerReport summarises one worker over the whole measurement window.
@@ -102,12 +133,22 @@ type WorkerReport struct {
 	Stage  int // stage index within a chain (0 otherwise)
 	Stages int // chain length (0 for run-to-completion flows)
 
-	Packets        uint64 // packets processed under the final binding
-	TotalPackets   uint64 // packets processed across all bindings
-	PPS            float64
-	RefsPerSec     float64
-	BatchOccupancy float64
-	DelayCycles    uint32
+	Packets         uint64 // packets processed under the final binding
+	TotalPackets    uint64 // packets processed across all bindings
+	PPS             float64
+	RefsPerSec      float64
+	RemotePerPacket float64 // whole-window remote references per packet
+	BatchOccupancy  float64
+	DelayCycles     uint32
+
+	// StateBytes is the bound flow's (or chain stage's) live state
+	// footprint; StateSocket is the socket currently homing it, -1 when
+	// the worker holds no flow or the flow allocated no state. A
+	// StateSocket differing from Socket means every table reference
+	// crosses the interconnect — the situation state migration exists to
+	// repair.
+	StateBytes  uint64
+	StateSocket int
 }
 
 // AppReport summarises one flow group over the measurement window and
@@ -194,6 +235,14 @@ type Report struct {
 	ThrottleEvents int // control windows in which admission tightened a delay
 }
 
+// fmtRemRate renders a migration-window remote rate, NaN as unmeasured.
+func fmtRemRate(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
 // TotalProcessed sums processed packets across all flow groups.
 func (r *Report) TotalProcessed() uint64 {
 	var n uint64
@@ -209,16 +258,23 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "scenario %s: %d workers, %.1f ms virtual, %d quanta, %d migrations, %d throttle events\n",
 		r.Scenario, len(r.Workers), r.Duration*1e3, r.Quanta, len(r.Migrations), r.ThrottleEvents)
 
-	fmt.Fprintf(&b, "\n%-3s %-4s %-6s %-10s %-8s %-5s %12s %12s %8s %8s\n",
-		"wkr", "core", "socket", "app", "type", "stage", "pkts", "pps", "occ", "delay")
+	fmt.Fprintf(&b, "\n%-3s %-4s %-6s %-10s %-8s %-5s %12s %12s %8s %8s %8s %9s\n",
+		"wkr", "core", "socket", "app", "type", "stage", "pkts", "pps", "occ", "delay", "rem/pkt", "state")
 	for _, w := range r.Workers {
 		stage := "-"
 		if w.Stages > 1 {
 			stage = fmt.Sprintf("%d/%d", w.Stage, w.Stages)
 		}
-		fmt.Fprintf(&b, "%-3d %-4d %-6d %-10s %-8s %-5s %12d %12.0f %8.2f %8d\n",
+		state := "-"
+		if w.StateSocket >= 0 {
+			state = fmt.Sprintf("%dB@s%d", w.StateBytes, w.StateSocket)
+			if w.StateSocket != w.Socket {
+				state += "!" // state remote to the executing socket
+			}
+		}
+		fmt.Fprintf(&b, "%-3d %-4d %-6d %-10s %-8s %-5s %12d %12.0f %8.2f %8d %8.2f %9s\n",
 			w.Worker, w.Core, w.Socket, w.App, w.Type, stage, w.Packets, w.PPS,
-			w.BatchOccupancy, w.DelayCycles)
+			w.BatchOccupancy, w.DelayCycles, w.RemotePerPacket, state)
 	}
 
 	fmt.Fprintf(&b, "\n%-10s %-8s %3s %12s %12s %10s %12s %10s %10s %10s %10s\n",
@@ -259,6 +315,13 @@ func (r *Report) String() string {
 	for _, m := range r.Migrations {
 		fmt.Fprintf(&b, "\nmigration @q%d: worker %d (%s) <-> worker %d (%s), worst predicted drop was %.1f%%",
 			m.Quantum, m.WorkerA, m.FlowA, m.WorkerB, m.FlowB, m.WorstBefore*100)
+		if m.StateCopyCycles > 0 {
+			fmt.Fprintf(&b, "\n  state copy: %d B (%d lines) in %d cycles",
+				m.CopyA.Bytes+m.CopyB.Bytes, m.CopyA.Lines+m.CopyB.Lines, m.StateCopyCycles)
+		}
+		fmt.Fprintf(&b, "\n  remote refs/pkt: %s %s -> %s, %s %s -> %s",
+			m.FlowA, fmtRemRate(m.RemotePerPktBeforeA), fmtRemRate(m.RemotePerPktAfterA),
+			m.FlowB, fmtRemRate(m.RemotePerPktBeforeB), fmtRemRate(m.RemotePerPktAfterB))
 	}
 	if len(r.Migrations) > 0 {
 		b.WriteString("\n")

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"pktpredict/internal/apps"
 	"pktpredict/internal/click"
 	"pktpredict/internal/elements"
 	"pktpredict/internal/hw"
@@ -36,7 +37,16 @@ type flow struct {
 	// chain is placed, migrated, and throttled as one unit.
 	stages []*chainStage
 
-	homeDomain int
+	// state records where the flow's live tables sit in simulated memory
+	// (build-time source buffers excluded); stateBytes is their summed
+	// footprint. stateHome is the socket whose memory controller
+	// currently serves those lines: it starts as the home of the flow's
+	// private NUMA domain(s) and follows the flow when a migration copies
+	// the state (Runtime.migrateState). A flow running on a worker whose
+	// socket differs from stateHome pays QPI on every table reference.
+	state      []apps.StateBinding
+	stateBytes uint64
+	stateHome  int
 
 	// packets counts fully executed packets since measurement start. The
 	// owning worker increments it; the control loop reads it at barriers.
@@ -50,6 +60,22 @@ type flow struct {
 	// baseBranch holds each pipeline node's terminal counters at
 	// measurement start, aligned with pipe.Nodes().
 	baseBranch []branchCounters
+}
+
+// stageState sums the state footprint of one chain stage and returns the
+// socket currently homing it (-1 when the stage allocated nothing).
+func (f *flow) stageState(stage int, p *hw.Platform) (bytes uint64, socket int) {
+	socket = -1
+	for _, b := range f.state {
+		if b.Stage != stage {
+			continue
+		}
+		bytes += b.Size
+		if socket < 0 {
+			socket = p.DomainHome(b.Domain())
+		}
+	}
+	return bytes, socket
 }
 
 // branchCounters is one node's terminal counter snapshot.
@@ -172,6 +198,14 @@ type worker struct {
 	prevCounters hw.Counters // control-window baseline
 	prevClock    uint64
 	baseCounters hw.Counters // measurement-start baseline
+
+	// lastRemotePerPkt is the previous control window's remote references
+	// per packet on this core — the "before" side of a migration's
+	// locality telemetry (see Migration.RemotePerPktBeforeA) — and
+	// lastWindowPackets that window's packet count, which gates the
+	// "after" side: a window with no traffic measures nothing.
+	lastRemotePerPkt  float64
+	lastWindowPackets uint64
 
 	// Per-binding baselines, reset whenever the worker's flow changes
 	// (and at measurement start), so reported packets are attributed to

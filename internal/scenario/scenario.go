@@ -126,6 +126,11 @@ type Scenario struct {
 	DropThreshold     float64
 	MinCoresPerSocket int
 	MinSockets        int
+	// MigrateState is the state-migration footprint threshold in bytes
+	// (`MIGRATE_STATE 1048576`): a re-placed flow whose tables fit copies
+	// them to its new socket, a bigger one keeps them remote. Zero (the
+	// default) leaves state behind on every migration.
+	MigrateState uint64
 	// Fit caps the total worker count at min(cores per socket, Fit),
 	// admitting declared flows in order until the cap is hit — how the
 	// mixed scenario fills exactly one socket on any platform.
@@ -273,6 +278,9 @@ func (s *Scenario) applyScenarioArgs(args click.Args) error {
 	getF("DROP_THRESHOLD", &s.DropThreshold)
 	getF("SYN_REGION_FRACTION", &s.SynRegionFraction)
 	if err != nil {
+		return err
+	}
+	if s.MigrateState, err = args.Uint64("MIGRATE_STATE", 0); err != nil {
 		return err
 	}
 	if s.Admission, err = args.Bool("ADMISSION", false); err != nil {
@@ -467,6 +475,7 @@ func (s *Scenario) Config(cfg hw.Config, params apps.Params) (runtime.Config, er
 	out.RingSize = s.RingSize
 	out.Admission = s.Admission
 	out.DropThreshold = s.DropThreshold
+	out.MigrateState = s.MigrateState
 	return out, nil
 }
 
@@ -490,6 +499,9 @@ func (s *Scenario) Render() string {
 	}
 	if s.DropThreshold != 0 {
 		add("DROP_THRESHOLD %v", s.DropThreshold)
+	}
+	if s.MigrateState != 0 {
+		add("MIGRATE_STATE %d", s.MigrateState)
 	}
 	if s.MinCoresPerSocket != 0 {
 		add("MIN_CORES_PER_SOCKET %d", s.MinCoresPerSocket)

@@ -296,3 +296,43 @@ func TestFlowTypesIncludesCustom(t *testing.T) {
 		t.Fatalf("FlowTypes = %v, want %v", types, want)
 	}
 }
+
+// TestMigrateStateKnob: the MIGRATE_STATE scenario argument reaches the
+// runtime configuration, and the shipped thrash_migrate file differs
+// from plain thrash only by that knob (and its name).
+func TestMigrateStateKnob(t *testing.T) {
+	s, err := Parse(`
+		scenario :: Scenario(NAME m, MIGRATE_STATE 1048576);
+		mon :: Flow(TYPE MON);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MigrateState != 1<<20 {
+		t.Fatalf("MigrateState = %d, want %d", s.MigrateState, 1<<20)
+	}
+	cfg, err := s.Config(testCfg(), apps.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MigrateState != 1<<20 {
+		t.Fatalf("runtime config MigrateState = %d, want %d", cfg.MigrateState, 1<<20)
+	}
+
+	base, err := loadShipped(t, "thrash").Config(testCfg(), apps.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := loadShipped(t, "thrash_migrate").Config(testCfg(), apps.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.MigrateState == 0 {
+		t.Fatal("thrash_migrate ships without MIGRATE_STATE")
+	}
+	base.MigrateState = mig.MigrateState
+	base.Scenario = mig.Scenario
+	if !reflect.DeepEqual(base, mig) {
+		t.Fatalf("thrash_migrate diverges from thrash beyond the migration knob:\n got %+v\nwant %+v", mig, base)
+	}
+}
