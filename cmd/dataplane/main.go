@@ -19,9 +19,15 @@
 //
 //	dataplane [-config examples/scenarios/nat_chain.click]
 //	          [-scenario mixed|bursty|thrash|hidden]
-//	          [-scale quick|full] [-duration 0.05] [-packets N]
+//	          [-scale quick|full] [-platform "SOCKETS 2, L3_BYTES 6291456"]
+//	          [-duration 0.05] [-packets N]
 //	          [-batch 32] [-ring 512] [-quantum 200000] [-noprofile]
 //	          [-migrate-state BYTES] [-telemetry]
+//
+// The platform is layered: -scale supplies the defaults, a scenario
+// file's platform :: Platform(...) block overrides the knobs it names,
+// and -platform (same KEY VALUE syntax) overrides both. Offline
+// profiling always runs on the effective platform.
 //
 // Durations are virtual seconds on the simulated platform.
 package main
@@ -43,6 +49,8 @@ func main() {
 	scenarioName := flag.String("scenario", "mixed",
 		"builtin scenario: "+strings.Join(runtime.ScenarioNames(), ", ")+" (ignored with -config)")
 	scaleName := flag.String("scale", "quick", "platform/workload scale: quick or full")
+	platformOverrides := flag.String("platform", "",
+		`platform overrides as "KEY VALUE, KEY VALUE" (e.g. "SOCKETS 2, L3_BYTES 6291456"); applied over the -scale platform and any scenario Platform block`)
 	duration := flag.Float64("duration", 0.05, "measured virtual seconds")
 	packets := flag.Uint64("packets", 0, "stop after N processed packets instead of -duration")
 	batch := flag.Int("batch", 0, "worker batch size (default 32)")
@@ -65,16 +73,32 @@ func main() {
 		fatalf("unknown scale %q", *scaleName)
 	}
 
+	overrides, err := scenario.ParseOverrides(*platformOverrides)
+	if err != nil {
+		fatalf("-platform: %v", err)
+	}
+
 	var cfg runtime.Config
-	var err error
 	if *configPath != "" {
 		sc, lerr := scenario.Load(*configPath)
 		if lerr != nil {
 			fatalf("%v", lerr)
 		}
-		cfg, err = sc.Config(scale.Cfg, scale.Params)
+		// Precedence: -scale defaults < file platform block < -platform.
+		hwCfg, perr := sc.PlatformConfig(scale.Cfg)
+		if perr != nil {
+			fatalf("%v", perr)
+		}
+		if hwCfg, perr = overrides.Apply(hwCfg); perr != nil {
+			fatalf("-platform: %v", perr)
+		}
+		cfg, err = sc.ConfigOn(hwCfg, scale.Params)
 	} else {
-		cfg, err = runtime.ScenarioConfig(*scenarioName, scale.Cfg, scale.Params)
+		hwCfg, perr := overrides.Apply(scale.Cfg)
+		if perr != nil {
+			fatalf("-platform: %v", perr)
+		}
+		cfg, err = runtime.ScenarioConfig(*scenarioName, hwCfg, scale.Params)
 	}
 	if err != nil {
 		fatalf("%v", err)
@@ -101,8 +125,10 @@ func main() {
 		start := time.Now()
 		// Profiling must use the scenario's workload parameters (thrash,
 		// for example, pins the SYN region; file scenarios register their
-		// custom graph types), not the raw scale's.
-		profiles, err := runtime.ProfileFlows(scale.Cfg, cfg.Params, scale.Warmup, scale.Window,
+		// custom graph types) and the effective platform (a Platform
+		// block or -platform override changes the curves), not the raw
+		// scale's.
+		profiles, err := runtime.ProfileFlows(cfg.Cfg, cfg.Params, scale.Warmup, scale.Window,
 			scale.SweepGrid, types)
 		if err != nil {
 			fatalf("profiling: %v", err)

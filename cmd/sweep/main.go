@@ -1,0 +1,108 @@
+// Command sweep executes an evaluation grid — platform variants ×
+// offered-load multipliers × scenario files — in parallel and reports
+// per-app predicted-versus-measured drop, goodput, and remote-reference
+// locality at every point, aggregated into max/mean prediction error:
+// the paper's evaluation table as a one-command regression harness.
+//
+// Usage:
+//
+//	sweep -config examples/sweeps/paper_mixes.sweep
+//	      [-scale quick|full] [-platform "KEY VALUE, ..."]
+//	      [-parallel N] [-json report.json] [-md report.md] [-q]
+//
+// The markdown report is printed to stdout (and to -md when given); the
+// JSON report is written to -json. The exit status is the gate: 0 when
+// every point's validated apps are within the scenario's prediction-
+// error tolerance, 1 otherwise — which is how CI turns the smoke grid
+// into a per-PR data point (the JSON report is uploaded as an
+// artifact).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pktpredict/internal/exp"
+	"pktpredict/internal/scenario"
+	"pktpredict/internal/sweep"
+)
+
+func main() {
+	configPath := flag.String("config", "", "sweep grid file (.sweep, see examples/sweeps/)")
+	scaleName := flag.String("scale", "quick", "platform/workload scale: quick or full")
+	platformOverrides := flag.String("platform", "",
+		`platform overrides as "KEY VALUE, KEY VALUE", applied on top of every grid variant`)
+	parallel := flag.Int("parallel", 0, "max concurrent grid points (default: the sweep file's PARALLEL, else GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write the JSON report here")
+	mdPath := flag.String("md", "", "write the markdown report here (stdout always gets it)")
+	quiet := flag.Bool("q", false, "suppress per-point progress on stderr")
+	flag.Parse()
+
+	if *configPath == "" {
+		fatalf("-config is required")
+	}
+	var scale exp.Scale
+	switch *scaleName {
+	case "full":
+		scale = exp.Full()
+	case "quick":
+		scale = exp.Quick()
+	default:
+		fatalf("unknown scale %q", *scaleName)
+	}
+	cfg, err := sweep.LoadConfig(*configPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *parallel < 0 {
+		fatalf("-parallel %d negative", *parallel)
+	}
+	if *parallel > 0 {
+		cfg.Parallel = *parallel
+	}
+	overrides, err := scenario.ParseOverrides(*platformOverrides)
+	if err != nil {
+		fatalf("-platform: %v", err)
+	}
+
+	r := &sweep.Runner{Config: cfg, Scale: scale, Overrides: overrides}
+	if !*quiet {
+		r.Progress = os.Stderr
+		fmt.Fprintf(os.Stderr, "sweep: %s — %d platforms × %d loads × %d scenarios = %d points (%s scale)\n",
+			cfg.Name, len(cfg.Platforms), len(cfg.Loads), len(cfg.Runs), cfg.Points(), scale.Name)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	md := rep.Markdown()
+	fmt.Print(md)
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *jsonPath != "" {
+		js, err := rep.JSON()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(js, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "sweep: FAIL — %d/%d points outside tolerance (max |err| %.1f%%)\n",
+			rep.Failed, len(rep.Points), rep.MaxAbsErr*100)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: PASS — max |err| %.1f%%, mean %.1f%% over %d points\n",
+		rep.MaxAbsErr*100, rep.MeanAbsErr*100, len(rep.Points))
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

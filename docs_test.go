@@ -1,0 +1,71 @@
+// Documentation conformance tests: every internal package must carry a
+// godoc package comment stating what it models (the CI vet/test steps
+// keep this enforced), and the README must link the reference docs.
+package pktpredict_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInternalPackagesHaveDocComments walks internal/* and fails on any
+// package whose files all lack a package comment — the godoc contract
+// that every subsystem explains what it models and which part of the
+// paper it reproduces (docs/ARCHITECTURE.md is the map; the package
+// comments are the territory).
+func TestInternalPackagesHaveDocComments(t *testing.T) {
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join("internal", e.Name())
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			var doc string
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					doc += f.Doc.Text()
+				}
+			}
+			if strings.TrimSpace(doc) == "" {
+				t.Errorf("package %s (%s) has no package comment; document what it models and which paper section it reproduces", name, dir)
+				continue
+			}
+			if len(strings.TrimSpace(doc)) < 80 {
+				t.Errorf("package %s (%s): package comment %q is too thin to explain what the package models", name, dir, doc)
+			}
+		}
+	}
+}
+
+// TestREADMELinksDocs pins the documentation entry points: the README
+// must point readers at the architecture overview and the scenario
+// grammar reference, and both files must exist.
+func TestREADMELinksDocs(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/scenario-format.md"} {
+		if _, err := os.Stat(doc); err != nil {
+			t.Errorf("%s missing: %v", doc, err)
+		}
+		if !strings.Contains(string(readme), doc) {
+			t.Errorf("README does not link %s", doc)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// mixed_half_l3 — the mixed middlebox mix pinned to a platform variant
+// declared in the scenario itself: same topology as the base (-scale)
+// platform but with the shared L3 halved to 512 KiB (sized against the
+// quick scale's 1 MiB L3; on -scale full pass a full-size override
+// instead). The platform block is what lets one file carry its own
+// platform shape: `cmd/dataplane -config` and the sweep harness resolve
+// it identically, and profiling runs on the overridden platform, so the
+// prediction tracks the steeper contention curves.
+scenario :: Scenario(NAME mixed_half_l3, MIN_CORES_PER_SOCKET 4, FIT 6);
+
+platform :: Platform(L3_BYTES 524288, LINE_BYTES 64);
+
+ipfwd :: Flow(TYPE IP, WORKERS 2);
+mon   :: Flow(TYPE MON, WORKERS 1);
+vpn   :: Flow(TYPE VPN, WORKERS 1);
+fw    :: Flow(TYPE FW, WORKERS 1);
+mon2  :: Flow(TYPE MON, WORKERS 1);

@@ -2,6 +2,7 @@ package click
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -68,15 +69,17 @@ func (a Args) Uint64(key string, def uint64) (uint64, error) {
 }
 
 // Float64 returns the keyword argument key as a float64, or def if
-// absent.
+// absent. Non-finite values (NaN, ±Inf) are rejected: no configuration
+// knob means them, and they would poison downstream arithmetic and
+// break render/parse round-trips.
 func (a Args) Float64(key string, def float64) (float64, error) {
 	v, ok := a.Keyword[strings.ToUpper(key)]
 	if !ok {
 		return def, nil
 	}
 	f, err := strconv.ParseFloat(v, 64)
-	if err != nil {
-		return 0, fmt.Errorf("click: argument %s: %q is not a number", key, v)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("click: argument %s: %q is not a finite number", key, v)
 	}
 	return f, nil
 }

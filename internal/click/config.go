@@ -414,19 +414,19 @@ func lex(config string) ([]stmt, error) {
 		return nil, err
 	}
 	var stmts []stmt
-	for lineNo, raw := range splitStatements(stripped) {
-		s := strings.TrimSpace(raw)
-		if s == "" {
-			continue
-		}
+	for _, ts := range Statements(stripped) {
+		s := ts.Text
+		// Line numbers are relative to the config text lex was handed —
+		// for a scenario's inline graph, the graph block's body.
+		at := fmt.Sprintf("statement %d (line %d)", ts.No, ts.Line)
 		if name, rest, ok := CutTopLevel(s, "::"); ok {
 			name = strings.TrimSpace(name)
 			if !isIdent(name) {
-				return nil, fmt.Errorf("click: statement %d: bad element name %q", lineNo+1, name)
+				return nil, fmt.Errorf("click: %s: bad element name %q", at, name)
 			}
 			class, args, err := ParseClassRef(strings.TrimSpace(rest))
 			if err != nil {
-				return nil, fmt.Errorf("click: statement %d: %w", lineNo+1, err)
+				return nil, fmt.Errorf("click: %s: %w", at, err)
 			}
 			stmts = append(stmts, stmt{kind: stmtDecl, name: name, class: class, args: args})
 			continue
@@ -434,24 +434,24 @@ func lex(config string) ([]stmt, error) {
 		if strings.Contains(s, "->") {
 			parts := SplitTopLevel(s, "->")
 			if len(parts) < 2 {
-				return nil, fmt.Errorf("click: statement %d: dangling '->'", lineNo+1)
+				return nil, fmt.Errorf("click: %s: dangling '->'", at)
 			}
 			var chain []elemRef
 			for _, part := range parts {
 				part = strings.TrimSpace(part)
 				if part == "" {
-					return nil, fmt.Errorf("click: statement %d: empty element in chain", lineNo+1)
+					return nil, fmt.Errorf("click: %s: empty element in chain", at)
 				}
 				ref, err := parseChainItem(part)
 				if err != nil {
-					return nil, fmt.Errorf("click: statement %d: %w", lineNo+1, err)
+					return nil, fmt.Errorf("click: %s: %w", at, err)
 				}
 				chain = append(chain, ref)
 			}
 			stmts = append(stmts, stmt{kind: stmtConn, chain: chain})
 			continue
 		}
-		return nil, fmt.Errorf("click: statement %d: cannot parse %q", lineNo+1, s)
+		return nil, fmt.Errorf("click: %s: cannot parse %q", at, s)
 	}
 	// Bare-class references in chains: if a chain item names something
 	// never declared but registered as a class, treat it as anonymous.
@@ -548,6 +548,10 @@ func ParseClassRef(s string) (string, Args, error) {
 			return "", Args{}, fmt.Errorf("bad class name %q", class)
 		}
 		inner := s[i+1 : len(s)-1]
+		// No argument value legitimately contains unpaired parentheses.
+		if !BalancedParens(inner) {
+			return "", Args{}, fmt.Errorf("unbalanced parentheses in %q", s)
+		}
 		var items []string
 		if strings.TrimSpace(inner) != "" {
 			items = SplitTopLevel(inner, ",")
@@ -597,6 +601,13 @@ func StripComments(s string) (string, error) {
 			if j < 0 {
 				return "", fmt.Errorf("click: unterminated block comment")
 			}
+			// Keep the comment's newlines so downstream parsers can report
+			// line numbers that match the original text.
+			for _, c := range []byte(s[i : i+2+j+2]) {
+				if c == '\n' {
+					b.WriteByte(c)
+				}
+			}
 			i += 2 + j + 2
 			continue
 		}
@@ -604,11 +615,6 @@ func StripComments(s string) (string, error) {
 		i++
 	}
 	return b.String(), nil
-}
-
-// splitStatements splits on top-level semicolons.
-func splitStatements(s string) []string {
-	return SplitTopLevel(s, ";")
 }
 
 // SplitTopLevel splits s on sep occurrences that are not nested inside
@@ -635,6 +641,54 @@ func SplitTopLevel(s, sep string) []string {
 	}
 	parts = append(parts, s[start:])
 	return parts
+}
+
+// Statement is one top-level statement of a comment-stripped
+// configuration, with the position parser error messages report.
+type Statement struct {
+	Text string // statement text, surrounding whitespace trimmed
+	No   int    // 1-based statement number (blank statements counted)
+	Line int    // 1-based line of the statement's first non-blank byte
+}
+
+// Statements splits comment-stripped text on top-level semicolons and
+// tracks each statement's number and starting line; blank statements
+// are dropped. It relies on SplitTopLevel's losslessness, so the line
+// numbers match the original text as long as comment stripping (and any
+// block removal a caller performed) preserved newlines.
+func Statements(s string) []Statement {
+	var out []Statement
+	offset := 0
+	for i, raw := range SplitTopLevel(s, ";") {
+		start := offset + (len(raw) - len(strings.TrimLeft(raw, " \t\r\n")))
+		offset += len(raw) + 1
+		t := strings.TrimSpace(raw)
+		if t == "" {
+			continue
+		}
+		out = append(out, Statement{Text: t, No: i + 1, Line: 1 + strings.Count(s[:start], "\n")})
+	}
+	return out
+}
+
+// BalancedParens reports whether s's parentheses pair up without ever
+// closing below depth zero. Unbalanced text can never form a valid
+// configuration, and it would shift top-level separator positions on a
+// re-parse of rendered output, so parsers reject it up front.
+func BalancedParens(s string) bool {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		if depth < 0 {
+			return false
+		}
+	}
+	return depth == 0
 }
 
 // CutTopLevel is strings.Cut restricted to top-level (unparenthesised)

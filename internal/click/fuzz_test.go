@@ -30,6 +30,12 @@ func FuzzParseConfig(f *testing.F) {
 		"src :: TSource(COUNT 1, SEED 7); src -> TElem(X 1, Y 2);",
 		"cls[999999999999999999] -> TElem;",
 		"src :: TSource; src -> TCls;",
+		// Platform(...) declarations are scenario-level grammar; inside a
+		// click config they are just an unknown element class and must be
+		// rejected deterministically, never crash the lexer.
+		"platform :: Platform(SOCKETS 2, CORES_PER_SOCKET 4); src :: TSource; src -> TElem;",
+		"platform :: Platform(L3_BYTES 524288, LINE_BYTES 64);",
+		"platform :: Platform(SOCKETS 2",
 	}
 	for _, s := range seeds {
 		f.Add(s)

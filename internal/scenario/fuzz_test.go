@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseScenario feeds arbitrary text to the scenario parser, which
+// must reject or accept it without panicking — scenario files are user
+// input, and sweeps author them programmatically. For every accepted
+// input the parser must also round-trip: Render then Parse reproduces
+// the identical structure (platform block included), which is the
+// contract the sweep harness and the shipped-file tests rely on.
+func FuzzParseScenario(f *testing.F) {
+	seeds := []string{
+		"scenario :: Scenario(NAME s);\nmon :: Flow(TYPE MON);",
+		"scenario :: Scenario(NAME s, RING 256, ADMISSION true, PLACE 0 s1:1);\nmon :: Flow(TYPE MON, WORKERS 2, RATE_FRACTION 0.7);",
+		// Platform blocks: empty, partial, full, and malformed.
+		"scenario :: Scenario(NAME s);\nplatform :: Platform();\nmon :: Flow(TYPE MON);",
+		"scenario :: Scenario(NAME s);\nplatform :: Platform(L3_BYTES 524288);\nmon :: Flow(TYPE MON);",
+		fullPlatformScenario,
+		"scenario :: Scenario(NAME s);\nplatform :: Platform(SOCKETS 0);\nmon :: Flow(TYPE MON);",
+		"scenario :: Scenario(NAME s);\nplatform :: Platform(WIDGETS 7);\nmon :: Flow(TYPE MON);",
+		"scenario :: Scenario(NAME s);\nplatform :: Platform(L3_POLICY RANDOM, INCLUSIVE_L3 maybe);\nmon :: Flow(TYPE MON);",
+		"platform :: Platform(SOCKETS 2)",
+		"scenario :: Scenario(NAME s);\nplatform :: Platform(SOCKETS 2);\nplatform2 :: Platform(SOCKETS 4);\nmon :: Flow(TYPE MON);",
+		// Graph blocks with stage declarations.
+		"scenario :: Scenario(NAME s);\ngraph G {\nsrc :: FromDevice(SIZE 64);\nsrc -> ToDevice;\nstage 1: ToDevice;\n}\ng :: Flow(GRAPH G);",
+		"scenario :: Scenario(NAME s);\ngraph G {",
+		"// comment\n/* block */\nscenario :: Scenario(NAME s);\nmon :: Flow(TYPE MON);",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(text)
+		if err != nil {
+			return
+		}
+		s2, err := Parse(s.Render())
+		if err != nil {
+			t.Fatalf("accepted input renders unparseable: %v\n--- input ---\n%s\n--- rendered ---\n%s", err, text, s.Render())
+		}
+		if s.Name != "" && !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip diverges\n--- input ---\n%s\n got %+v\nwant %+v", text, s2, s)
+		}
+	})
+}

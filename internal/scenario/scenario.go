@@ -26,10 +26,20 @@
 // in worker order, so PLACE pins stages individually (e.g. PLACE s0:0
 // s1:0 runs stage 0 on socket 0 and stage 1 across the interconnect).
 //
+// A file may also declare the platform it wants to run on:
+//
+//	platform :: Platform(SOCKETS 2, CORES_PER_SOCKET 4, L3_BYTES 6291456);
+//
+// overriding only the named knobs of the base platform (see Platform for
+// the key set and precedence rules) — this is what lets one scenario be
+// evaluated across platform shapes, the paper's evaluation axis that
+// internal/sweep grids over.
+//
 // Config turns a parsed scenario into a runtime.Config on a concrete
 // platform; inline graphs become custom flow types (apps.Params.Custom),
 // so offline profiling and the concurrent runtime treat them exactly
-// like builtin workloads.
+// like builtin workloads. See docs/scenario-format.md for the complete
+// grammar reference.
 package scenario
 
 import (
@@ -138,6 +148,11 @@ type Scenario struct {
 	SynRegionFraction float64
 	Place             []Placement
 
+	// Platform is the file's platform :: Platform(...) override block,
+	// nil when the file declares none and runs on the base platform
+	// unchanged.
+	Platform *Platform
+
 	Flows  []Flow
 	Graphs []Graph
 }
@@ -188,44 +203,56 @@ func Parse(text string) (*Scenario, error) {
 		}
 	}
 
-	for stmtNo, raw := range click.SplitTopLevel(rest, ";") {
-		st := strings.TrimSpace(raw)
-		if st == "" {
-			continue
-		}
+	// Statement errors carry both the statement number and the line the
+	// statement starts on (StripComments and extractGraphs preserve
+	// newlines, so click.Statements' positions match the original file)
+	// — what makes a parse error in a large sweep-authored scenario
+	// findable.
+	for _, stmt := range click.Statements(rest) {
+		st := stmt.Text
+		at := fmt.Sprintf("statement %d (line %d)", stmt.No, stmt.Line)
 		name, classRef, ok := click.CutTopLevel(st, "::")
 		if !ok {
-			return nil, fmt.Errorf("statement %d: cannot parse %q (want name :: Scenario(...) or name :: Flow(...))", stmtNo+1, st)
+			return nil, fmt.Errorf("%s: cannot parse %q (want name :: Scenario(...), name :: Platform(...) or name :: Flow(...))", at, st)
 		}
 		name = strings.TrimSpace(name)
 		if !isFlowName(name) {
-			return nil, fmt.Errorf("statement %d: bad name %q", stmtNo+1, name)
+			return nil, fmt.Errorf("%s: bad name %q", at, name)
 		}
 		class, args, err := click.ParseClassRef(strings.TrimSpace(classRef))
 		if err != nil {
-			return nil, fmt.Errorf("statement %d: %w", stmtNo+1, err)
+			return nil, fmt.Errorf("%s: %w", at, err)
 		}
 		switch class {
 		case "Scenario":
 			if seenScenario {
-				return nil, fmt.Errorf("statement %d: second Scenario declaration", stmtNo+1)
+				return nil, fmt.Errorf("%s: second Scenario declaration", at)
 			}
 			seenScenario = true
 			if err := s.applyScenarioArgs(args); err != nil {
-				return nil, fmt.Errorf("statement %d: %w", stmtNo+1, err)
+				return nil, fmt.Errorf("%s: %w", at, err)
 			}
+		case "Platform":
+			if s.Platform != nil {
+				return nil, fmt.Errorf("%s: second Platform declaration", at)
+			}
+			p, err := ParsePlatformArgs(args)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", at, err)
+			}
+			s.Platform = p
 		case "Flow":
 			if names[name] {
-				return nil, fmt.Errorf("statement %d: flow %q declared twice", stmtNo+1, name)
+				return nil, fmt.Errorf("%s: flow %q declared twice", at, name)
 			}
 			names[name] = true
 			f, err := parseFlow(name, args)
 			if err != nil {
-				return nil, fmt.Errorf("statement %d: %w", stmtNo+1, err)
+				return nil, fmt.Errorf("%s: %w", at, err)
 			}
 			s.Flows = append(s.Flows, f)
 		default:
-			return nil, fmt.Errorf("statement %d: unknown declaration class %q (want Scenario or Flow)", stmtNo+1, class)
+			return nil, fmt.Errorf("%s: unknown declaration class %q (want Scenario, Platform or Flow)", at, class)
 		}
 	}
 	if !seenScenario {
@@ -390,10 +417,35 @@ func (s *Scenario) flowType(f Flow) (apps.FlowType, error) {
 	return apps.ParseFlowType(f.Type)
 }
 
+// PlatformConfig returns base with the file's platform block applied —
+// the effective platform the scenario asks to run on. Without a block it
+// returns base unchanged.
+func (s *Scenario) PlatformConfig(base hw.Config) (hw.Config, error) {
+	cfg, err := s.Platform.Apply(base)
+	if err != nil {
+		return hw.Config{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return cfg, nil
+}
+
 // Config assembles the runtime configuration of the scenario on the
 // given platform and workload scale — the file-based counterpart of
-// runtime.ScenarioConfig.
+// runtime.ScenarioConfig. The file's platform block, if any, is applied
+// to cfg first; callers that already resolved platform precedence
+// themselves (the sweep harness layering variants, the CLI layering
+// -platform) use ConfigOn instead.
 func (s *Scenario) Config(cfg hw.Config, params apps.Params) (runtime.Config, error) {
+	applied, err := s.PlatformConfig(cfg)
+	if err != nil {
+		return runtime.Config{}, err
+	}
+	return s.ConfigOn(applied, params)
+}
+
+// ConfigOn assembles the runtime configuration on exactly cfg, treating
+// it as the already-resolved effective platform (the file's platform
+// block is NOT applied again).
+func (s *Scenario) ConfigOn(cfg hw.Config, params apps.Params) (runtime.Config, error) {
 	if cfg.CoresPerSocket < s.MinCoresPerSocket {
 		return runtime.Config{}, fmt.Errorf("scenario %s needs ≥%d cores per socket", s.Name, s.MinCoresPerSocket)
 	}
@@ -529,6 +581,10 @@ func (s *Scenario) Render() string {
 	b.WriteString(strings.Join(attrs, ", "))
 	b.WriteString(");\n")
 
+	if s.Platform != nil {
+		fmt.Fprintf(&b, "\nplatform :: Platform(%s);\n", strings.Join(s.Platform.renderArgs(), ", "))
+	}
+
 	for _, g := range s.Graphs {
 		fmt.Fprintf(&b, "\ngraph %s {%s", g.Name, g.Config)
 		// Stage declarations re-attach right after the Click text so the
@@ -611,12 +667,28 @@ func extractGraphs(s string) (string, []Graph, error) {
 		if closing < 0 {
 			return "", nil, fmt.Errorf("graph %q: missing closing brace", name)
 		}
+		// An unbalanced body can never form a valid Click config, and it
+		// would make the top-level statement splitter see different
+		// statement boundaries on re-parse — reject it here so Render's
+		// output is stable.
+		if !click.BalancedParens(s[j+1 : j+closing]) {
+			return "", nil, fmt.Errorf("graph %q: unbalanced parentheses", name)
+		}
 		cfg, decls, err := stripStageDecls(name, s[j+1:j+closing])
 		if err != nil {
 			return "", nil, err
 		}
 		graphs = append(graphs, Graph{Name: name, Config: cfg, Stages: decls})
-		i = j + closing + 1
+		// Keep the removed block's newlines in the statement stream so
+		// line numbers reported for later statements stay true to the
+		// file.
+		end := j + closing + 1
+		for k := i; k < end; k++ {
+			if s[k] == '\n' {
+				out.WriteByte('\n')
+			}
+		}
+		i = end
 	}
 	return out.String(), graphs, nil
 }

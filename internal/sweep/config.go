@@ -1,0 +1,226 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"pktpredict/internal/click"
+	"pktpredict/internal/scenario"
+)
+
+// PlatformVariant is one point on the sweep's platform axis: a named
+// override set applied to the base (-scale) platform. A nil Platform —
+// declared `base :: Platform();` — runs the base platform unchanged.
+type PlatformVariant struct {
+	Name     string
+	Platform *scenario.Platform
+}
+
+// RunSpec is one point on the sweep's scenario axis: a scenario file and
+// its prediction-error tolerance (0 means the sweep default applies).
+// The tolerances shipped in examples/sweeps mirror the per-mix bounds
+// internal/runtime/validate_test.go enforces in CI.
+type RunSpec struct {
+	Name      string
+	File      string
+	Tolerance float64
+}
+
+// Config is a parsed .sweep file: the declarative grid
+// platforms × loads × scenarios plus the execution knobs shared by
+// every point.
+type Config struct {
+	Name string
+
+	// Duration/Warmup are virtual seconds measured/discarded per point;
+	// Quantum and ControlEvery mirror the runtime knobs of the same name.
+	Duration     float64
+	Warmup       float64
+	Quantum      uint64
+	ControlEvery int
+
+	// Parallel caps how many grid points execute concurrently
+	// (goroutine-isolated runs); 0 lets the runner pick.
+	Parallel int
+
+	// Tolerance is the default |observed − expected| drop bound a point's
+	// validated apps must meet; RunSpec.Tolerance overrides it per
+	// scenario.
+	Tolerance float64
+
+	// Loads are offered-load multipliers applied to every flow of every
+	// scenario (1 = the rates as written; saturating flows are paced to
+	// the given fraction of their solo rate when the multiplier is < 1).
+	Loads []float64
+
+	Platforms []PlatformVariant
+	Runs      []RunSpec
+}
+
+// Points returns the grid size.
+func (c *Config) Points() int {
+	return len(c.Platforms) * len(c.Loads) * len(c.Runs)
+}
+
+// LoadConfig reads and parses a sweep file; scenario FILE paths are
+// resolved relative to the sweep file's directory. A missing NAME
+// defaults to the file's base name without extension.
+func LoadConfig(path string) (*Config, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	c, err := ParseConfig(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %s: %w", path, err)
+	}
+	if c.Name == "" {
+		c.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	dir := filepath.Dir(path)
+	for i := range c.Runs {
+		if !filepath.IsAbs(c.Runs[i].File) {
+			c.Runs[i].File = filepath.Join(dir, c.Runs[i].File)
+		}
+	}
+	return c, nil
+}
+
+// ParseConfig parses sweep text. The grammar reuses the scenario files'
+// lexical conventions (Click comments, `name :: Class(ARGS);`
+// declarations) with three declaration classes:
+//
+//	sweep :: Sweep(NAME paper_mixes, DURATION 0.006, WARMUP 0.0003,
+//	               QUANTUM 100000, CONTROL_EVERY 4, PARALLEL 4,
+//	               TOLERANCE 0.15, LOADS 0.6 0.85 1.0);
+//
+//	base     :: Platform();
+//	small_l3 :: Platform(L3_BYTES 524288);
+//
+//	mixed  :: Run(FILE ../scenarios/mixed.click);
+//	thrash :: Run(FILE ../scenarios/thrash.click, TOLERANCE 0.20);
+func ParseConfig(text string) (*Config, error) {
+	stripped, err := click.StripComments(text)
+	if err != nil {
+		return nil, err
+	}
+	c := &Config{
+		Duration:     0.006,
+		Warmup:       0.0003,
+		Quantum:      100_000,
+		ControlEvery: 4,
+		Tolerance:    0.15,
+	}
+	seenSweep := false
+	names := map[string]bool{}
+	for _, stmt := range click.Statements(stripped) {
+		st := stmt.Text
+		at := fmt.Sprintf("statement %d (line %d)", stmt.No, stmt.Line)
+		name, classRef, ok := click.CutTopLevel(st, "::")
+		if !ok {
+			return nil, fmt.Errorf("%s: cannot parse %q (want name :: Sweep(...), name :: Platform(...) or name :: Run(...))", at, st)
+		}
+		name = strings.TrimSpace(name)
+		class, args, err := click.ParseClassRef(strings.TrimSpace(classRef))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", at, err)
+		}
+		if names[name] {
+			return nil, fmt.Errorf("%s: name %q declared twice", at, name)
+		}
+		names[name] = true
+		switch class {
+		case "Sweep":
+			if seenSweep {
+				return nil, fmt.Errorf("%s: second Sweep declaration", at)
+			}
+			seenSweep = true
+			if err := c.applySweepArgs(args); err != nil {
+				return nil, fmt.Errorf("%s: %w", at, err)
+			}
+		case "Platform":
+			p, err := scenario.ParsePlatformArgs(args)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", at, err)
+			}
+			c.Platforms = append(c.Platforms, PlatformVariant{Name: name, Platform: p})
+		case "Run":
+			r := RunSpec{Name: name, File: args.String("FILE", "")}
+			if r.File == "" {
+				return nil, fmt.Errorf("%s: run %q needs FILE", at, name)
+			}
+			if r.Tolerance, err = args.Float64("TOLERANCE", 0); err != nil {
+				return nil, fmt.Errorf("%s: %w", at, err)
+			}
+			if r.Tolerance < 0 || r.Tolerance >= 1 {
+				return nil, fmt.Errorf("%s: run %q: TOLERANCE %v outside [0,1)", at, name, r.Tolerance)
+			}
+			c.Runs = append(c.Runs, r)
+		default:
+			return nil, fmt.Errorf("%s: unknown declaration class %q (want Sweep, Platform or Run)", at, class)
+		}
+	}
+	if !seenSweep {
+		return nil, fmt.Errorf("missing sweep :: Sweep(...) declaration")
+	}
+	if len(c.Runs) == 0 {
+		return nil, fmt.Errorf("sweep declares no runs")
+	}
+	if len(c.Platforms) == 0 {
+		c.Platforms = []PlatformVariant{{Name: "base"}}
+	}
+	if len(c.Loads) == 0 {
+		c.Loads = []float64{1}
+	}
+	return c, nil
+}
+
+func (c *Config) applySweepArgs(args click.Args) error {
+	var err error
+	c.Name = args.String("NAME", c.Name)
+	if c.Duration, err = args.Float64("DURATION", c.Duration); err != nil {
+		return err
+	}
+	if c.Warmup, err = args.Float64("WARMUP", c.Warmup); err != nil {
+		return err
+	}
+	if c.Quantum, err = args.Uint64("QUANTUM", c.Quantum); err != nil {
+		return err
+	}
+	if c.ControlEvery, err = args.Int("CONTROL_EVERY", c.ControlEvery); err != nil {
+		return err
+	}
+	if c.Parallel, err = args.Int("PARALLEL", 0); err != nil {
+		return err
+	}
+	if c.Tolerance, err = args.Float64("TOLERANCE", c.Tolerance); err != nil {
+		return err
+	}
+	// Duration is measured virtual time; warmup is excluded on top of it.
+	if c.Duration <= 0 || c.Warmup < 0 {
+		return fmt.Errorf("sweep: DURATION %v must be positive and WARMUP %v non-negative", c.Duration, c.Warmup)
+	}
+	if c.Tolerance <= 0 || c.Tolerance >= 1 {
+		return fmt.Errorf("sweep: TOLERANCE %v outside (0,1)", c.Tolerance)
+	}
+	if c.Parallel < 0 {
+		return fmt.Errorf("sweep: PARALLEL %d negative", c.Parallel)
+	}
+	if c.Quantum < 1000 {
+		return fmt.Errorf("sweep: QUANTUM %d cycles too small (want ≥1000)", c.Quantum)
+	}
+	if c.ControlEvery < 1 {
+		return fmt.Errorf("sweep: CONTROL_EVERY %d (want ≥1)", c.ControlEvery)
+	}
+	for _, tok := range strings.Fields(args.String("LOADS", "")) {
+		f, perr := strconv.ParseFloat(tok, 64)
+		if perr != nil || f <= 0 || f > 4 {
+			return fmt.Errorf("sweep: LOADS point %q (want a multiplier in (0,4])", tok)
+		}
+		c.Loads = append(c.Loads, f)
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AppResult is one app's row at one grid point.
+type AppResult struct {
+	App      string `json:"app"`
+	Type     string `json:"type"`
+	Replicas int    `json:"replicas"`
+	Stages   int    `json:"stages"`
+
+	// OfferedFraction is the offered load as a fraction of the app's solo
+	// rate at this point (0 = saturating).
+	OfferedFraction float64 `json:"offered_fraction"`
+
+	Offered   uint64 `json:"offered"`
+	Processed uint64 `json:"processed"`
+	Finished  uint64 `json:"finished"`
+	NICDrops  uint64 `json:"nic_drops"`
+
+	ObservedPPS     float64 `json:"observed_pps"`
+	GoodputPPS      float64 `json:"goodput_pps"`
+	SoloPPS         float64 `json:"solo_pps"`
+	RemotePerPacket float64 `json:"remote_per_packet"`
+
+	ObservedDrop  float64 `json:"observed_drop"`
+	PredictedDrop float64 `json:"predicted_drop"`
+	// ExpectedDrop is the drop the model expects at this operating point
+	// (the curve prediction for saturating flows, the headroom-derived
+	// figure for paced ones); PredErr = ObservedDrop − ExpectedDrop.
+	ExpectedDrop float64 `json:"expected_drop"`
+	PredErr      float64 `json:"prediction_error"`
+
+	// Validated marks apps whose error counts toward the gate; synthetic
+	// probes and hidden aggressors are reported but never validated.
+	Validated bool `json:"validated"`
+	Pass      bool `json:"pass"`
+}
+
+// PointResult is one grid point's outcome.
+type PointResult struct {
+	Platform string  `json:"platform"`
+	Load     float64 `json:"load"`
+	Scenario string  `json:"scenario"`
+
+	// Effective platform summary, for report readers.
+	Sockets        int `json:"sockets"`
+	CoresPerSocket int `json:"cores_per_socket"`
+	L3Bytes        int `json:"l3_bytes"`
+
+	Tolerance float64 `json:"tolerance"`
+
+	Migrations     int `json:"migrations"`
+	ThrottleEvents int `json:"throttle_events"`
+
+	Apps []AppResult `json:"apps"`
+
+	// MaxAbsErr/MeanAbsErr aggregate |prediction error| over the point's
+	// validated apps; WorstApp names the max.
+	MaxAbsErr  float64 `json:"max_abs_error"`
+	MeanAbsErr float64 `json:"mean_abs_error"`
+	WorstApp   string  `json:"worst_app"`
+
+	Pass bool `json:"pass"`
+	// Error is set when the point failed to execute at all (load error,
+	// platform invalid on this scenario, broken conservation, ...); such
+	// a point never passes.
+	Error string `json:"error,omitempty"`
+
+	HostSeconds float64 `json:"host_seconds"`
+}
+
+// Report is a whole sweep's outcome: the grid's axes, every point, and
+// the headline prediction-error aggregates.
+type Report struct {
+	Name      string    `json:"name"`
+	Scale     string    `json:"scale"`
+	Duration  float64   `json:"duration"`
+	Tolerance float64   `json:"tolerance"`
+	Platforms []string  `json:"platforms"`
+	Loads     []float64 `json:"loads"`
+	Scenarios []string  `json:"scenarios"`
+
+	Points []PointResult `json:"points"`
+
+	// MaxAbsErr/MeanAbsErr aggregate over every validated app row of
+	// every executed point — the sweep's reproduction of the paper's
+	// "prediction within a few percent" table bottom line.
+	MaxAbsErr  float64 `json:"max_abs_error"`
+	MeanAbsErr float64 `json:"mean_abs_error"`
+	Failed     int     `json:"failed_points"`
+	Pass       bool    `json:"pass"`
+}
+
+// finish computes a point's aggregates from its app rows.
+func (p *PointResult) finish() {
+	p.Pass = p.Error == ""
+	n := 0
+	for _, a := range p.Apps {
+		if !a.Validated {
+			continue
+		}
+		n++
+		e := math.Abs(a.PredErr)
+		p.MeanAbsErr += e
+		if e >= p.MaxAbsErr {
+			p.MaxAbsErr = e
+			p.WorstApp = a.App
+		}
+		if !a.Pass {
+			p.Pass = false
+		}
+	}
+	if n > 0 {
+		p.MeanAbsErr /= float64(n)
+	}
+}
+
+// aggregate computes the report's totals from its points. A point that
+// errored out contributes only its failure: any app rows it collected
+// before the error come from a run with known-broken accounting and
+// must not shape the headline error figures.
+func (r *Report) aggregate() {
+	r.Pass = true
+	n := 0
+	for _, p := range r.Points {
+		if p.Error != "" || !p.Pass {
+			r.Failed++
+			r.Pass = false
+		}
+		if p.Error != "" {
+			continue
+		}
+		for _, a := range p.Apps {
+			if !a.Validated {
+				continue
+			}
+			n++
+			e := math.Abs(a.PredErr)
+			r.MeanAbsErr += e
+			if e > r.MaxAbsErr {
+				r.MaxAbsErr = e
+			}
+		}
+	}
+	if n > 0 {
+		r.MeanAbsErr /= float64(n)
+	}
+}
+
+// JSON renders the machine-readable report (the CI artifact).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Markdown renders the human-readable report: a summary line, the
+// per-point table, and a per-app detail table.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "# sweep %s — %s\n\n", r.Name, verdict)
+	fmt.Fprintf(&b, "%d platforms × %d loads × %d scenarios = %d points (%s scale, %.1f ms virtual per point)\n\n",
+		len(r.Platforms), len(r.Loads), len(r.Scenarios), len(r.Points), r.Scale, r.Duration*1e3)
+	fmt.Fprintf(&b, "Prediction error over all validated apps: max %.1f%%, mean %.1f%%; %d/%d points failed.\n\n",
+		r.MaxAbsErr*100, r.MeanAbsErr*100, r.Failed, len(r.Points))
+
+	b.WriteString("| platform | load | scenario | topology | apps | max \\|err\\| | mean \\|err\\| | worst app | tol | migr | thr | result |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, p := range r.Points {
+		result := "pass"
+		switch {
+		case p.Error != "":
+			result = "error: " + mdCell(p.Error)
+		case !p.Pass:
+			result = "**FAIL**"
+		}
+		nv := 0
+		for _, a := range p.Apps {
+			if a.Validated {
+				nv++
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %.2f | %s | %d×%d, L3 %s | %d | %.1f%% | %.1f%% | %s | %.0f%% | %d | %d | %s |\n",
+			p.Platform, p.Load, p.Scenario, p.Sockets, p.CoresPerSocket, fmtBytes(p.L3Bytes),
+			nv, p.MaxAbsErr*100, p.MeanAbsErr*100, dash(p.WorstApp), p.Tolerance*100,
+			p.Migrations, p.ThrottleEvents, result)
+	}
+
+	b.WriteString("\n## Per-app detail\n\n")
+	b.WriteString("| platform | load | scenario | app | type | offered | obs drop | pred drop | expected | err | goodput pps | rem/pkt | validated |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, p := range r.Points {
+		for _, a := range p.Apps {
+			off := "sat"
+			if a.OfferedFraction > 0 {
+				off = fmt.Sprintf("%.2f×solo", a.OfferedFraction)
+			}
+			val := "–"
+			if a.Validated {
+				val = "pass"
+				if !a.Pass {
+					val = "**FAIL**"
+				}
+			}
+			fmt.Fprintf(&b, "| %s | %.2f | %s | %s | %s | %s | %.1f%% | %.1f%% | %.1f%% | %+.1f%% | %.2fM | %.2f | %s |\n",
+				p.Platform, p.Load, p.Scenario, a.App, a.Type, off,
+				a.ObservedDrop*100, a.PredictedDrop*100, a.ExpectedDrop*100, a.PredErr*100,
+				a.GoodputPPS/1e6, a.RemotePerPacket, val)
+		}
+	}
+	return b.String()
+}
+
+func dash(s string) string {
+	if s == "" {
+		return "–"
+	}
+	return s
+}
+
+// mdCell makes arbitrary text (error strings quoting user input) safe
+// inside a markdown table cell.
+func mdCell(s string) string {
+	s = strings.NewReplacer("|", "\\|", "\n", " ", "\r", " ").Replace(s)
+	return s
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

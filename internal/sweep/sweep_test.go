@@ -1,0 +1,177 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pktpredict/internal/exp"
+	"pktpredict/internal/runtime"
+)
+
+func TestScaleLoad(t *testing.T) {
+	mk := func() runtime.Config {
+		return runtime.Config{Apps: []runtime.AppSpec{
+			{Name: "sat"},
+			{Name: "frac", RateFraction: 0.8},
+			{Name: "rate", Rate: 1e6},
+		}}
+	}
+	cfg := mk()
+	scaleLoad(&cfg, 0.5)
+	if cfg.Apps[0].RateFraction != 0.5 {
+		t.Errorf("saturating flow not paced down: %+v", cfg.Apps[0])
+	}
+	if cfg.Apps[1].RateFraction != 0.4 {
+		t.Errorf("fraction flow not scaled: %+v", cfg.Apps[1])
+	}
+	if cfg.Apps[2].Rate != 0.5e6 {
+		t.Errorf("rate flow not scaled: %+v", cfg.Apps[2])
+	}
+
+	cfg = mk()
+	scaleLoad(&cfg, 1.5)
+	if cfg.Apps[0].RateFraction != 0 || cfg.Apps[0].Rate != 0 {
+		t.Errorf("saturating flow must stay saturating at load ≥ 1: %+v", cfg.Apps[0])
+	}
+	if cfg.Apps[1].RateFraction != 1.2000000000000002 && cfg.Apps[1].RateFraction != 1.2 {
+		t.Errorf("fraction flow not scaled up: %+v", cfg.Apps[1])
+	}
+
+	cfg = mk()
+	scaleLoad(&cfg, 1)
+	if cfg.Apps[0] != mk().Apps[0] || cfg.Apps[1] != mk().Apps[1] || cfg.Apps[2] != mk().Apps[2] {
+		t.Errorf("load 1 must leave rates as written: %+v", cfg.Apps)
+	}
+}
+
+// TestSweepSmokeGrid executes a real 1-platform × 2-load grid over the
+// shipped mixed scenario through the full pipeline — load, platform
+// resolution, memoised profiling, concurrent runs, evaluation — and
+// checks the report's shape and gate. Skipped under -short like the
+// other profiling-backed suites (CI's dedicated sweep step covers it).
+func TestSweepSmokeGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep execution test skipped in -short mode (runs in the CI sweep step)")
+	}
+	cfg, err := ParseConfig(`
+sweep :: Sweep(NAME t, DURATION 0.004, WARMUP 0.0003, QUANTUM 100000,
+               CONTROL_EVERY 4, TOLERANCE 0.18, LOADS 0.7 1.0, PARALLEL 2);
+mixed :: Run(FILE ../../examples/scenarios/mixed.click);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress bytes.Buffer
+	r := &Runner{Config: cfg, Scale: exp.Quick(), Progress: &progress}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Error != "" {
+			t.Fatalf("point %s/%.2f/%s failed: %s", p.Platform, p.Load, p.Scenario, p.Error)
+		}
+		validated := 0
+		for _, a := range p.Apps {
+			if a.Validated {
+				validated++
+			}
+			if a.SoloPPS <= 0 {
+				t.Errorf("point %v app %s has no solo baseline", p.Load, a.App)
+			}
+		}
+		if validated == 0 {
+			t.Fatalf("point %v validated no apps", p.Load)
+		}
+	}
+	if !rep.Pass {
+		t.Fatalf("smoke grid failed its own gate: max |err| %.1f%%\n%s", rep.MaxAbsErr*100, rep.Markdown())
+	}
+	if rep.Points[0].Load != 0.7 || rep.Points[1].Load != 1.0 {
+		t.Fatalf("points out of declared order: %v, %v", rep.Points[0].Load, rep.Points[1].Load)
+	}
+
+	// The paced point's apps must be evaluated as paced (offered < solo),
+	// the saturating point's as saturating.
+	if a := rep.Points[0].Apps[0]; a.OfferedFraction != 0.7 {
+		t.Errorf("load 0.7 app evaluated with fraction %v", a.OfferedFraction)
+	}
+	if a := rep.Points[1].Apps[0]; a.OfferedFraction != 0 {
+		t.Errorf("load 1.0 app evaluated with fraction %v, want saturating", a.OfferedFraction)
+	}
+
+	// Renders: JSON must round-trip, markdown must carry the tables.
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("JSON report does not round-trip: %v", err)
+	}
+	if len(back.Points) != len(rep.Points) || back.MaxAbsErr != rep.MaxAbsErr {
+		t.Fatalf("JSON report lost data: %+v", back)
+	}
+	md := rep.Markdown()
+	for _, want := range []string{"# sweep t — PASS", "| platform | load | scenario |", "Per-app detail", "mixed"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown report missing %q:\n%s", want, md)
+		}
+	}
+	if !strings.Contains(progress.String(), "[2/2]") {
+		t.Errorf("progress lines missing: %q", progress.String())
+	}
+}
+
+// TestReportAggregation checks the gate arithmetic on a hand-built
+// report: non-validated rows never count, a failing app fails its point
+// and the sweep, an errored point fails the sweep.
+func TestReportAggregation(t *testing.T) {
+	rep := &Report{
+		Name: "agg",
+		Points: []PointResult{
+			{Apps: []AppResult{
+				{App: "a", Validated: true, Pass: true, PredErr: 0.02},
+				{App: "syn", Validated: false, PredErr: 0.9},
+			}},
+			{Apps: []AppResult{
+				{App: "b", Validated: true, Pass: false, PredErr: -0.3},
+			}},
+			// An errored point's partial rows (collected before the error)
+			// must not shape the headline figures.
+			{Error: "boom", Apps: []AppResult{
+				{App: "c", Validated: true, Pass: true, PredErr: 0.99},
+			}},
+		},
+	}
+	for i := range rep.Points {
+		rep.Points[i].finish()
+	}
+	rep.aggregate()
+	if rep.Points[0].Pass != true || rep.Points[0].MaxAbsErr != 0.02 || rep.Points[0].WorstApp != "a" {
+		t.Fatalf("point 0 aggregation wrong: %+v", rep.Points[0])
+	}
+	if rep.Points[1].Pass {
+		t.Fatal("failing app did not fail its point")
+	}
+	if rep.Points[2].Pass {
+		t.Fatal("errored point passed")
+	}
+	if rep.Pass || rep.Failed != 2 {
+		t.Fatalf("sweep gate wrong: pass=%v failed=%d", rep.Pass, rep.Failed)
+	}
+	if rep.MaxAbsErr != 0.3 {
+		t.Fatalf("max |err| %v, want 0.3 (the failing app's, never the errored point's)", rep.MaxAbsErr)
+	}
+	if got := (0.02 + 0.3) / 2; rep.MeanAbsErr != got {
+		t.Fatalf("mean |err| %v, want %v", rep.MeanAbsErr, got)
+	}
+	if !strings.Contains(rep.Markdown(), "error: boom") {
+		t.Fatal("markdown omits the errored point")
+	}
+}
