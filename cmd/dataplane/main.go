@@ -23,6 +23,17 @@
 //	          [-duration 0.05] [-packets N]
 //	          [-batch 32] [-ring 512] [-quantum 200000] [-noprofile]
 //	          [-migrate-state BYTES] [-telemetry]
+//	          [-metrics-addr :9090] [-residuals]
+//	          [-trace-sample 64] [-trace-out trace.json]
+//
+// Observability: -metrics-addr serves the live metrics registry over
+// HTTP while the dataplane runs (/metrics Prometheus text, /metrics.json
+// JSON) — scrape-safe mid-run. -residuals prints the per-window
+// prediction-residual series (predicted vs observed drop per app, with a
+// diagnosed cause) after the run. -trace-sample N tags one in N packets
+// entering each staged chain and records per-stage exec spans in virtual
+// time; -trace-out writes them as Chrome trace-event JSON loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 //
 // The platform is layered: -scale supplies the defaults, a scenario
 // file's platform :: Platform(...) block overrides the knobs it names,
@@ -40,6 +51,7 @@ import (
 	"time"
 
 	"pktpredict/internal/exp"
+	"pktpredict/internal/obs"
 	"pktpredict/internal/runtime"
 	"pktpredict/internal/scenario"
 )
@@ -61,6 +73,14 @@ func main() {
 	noprofile := flag.Bool("noprofile", false,
 		"skip offline profiling (disables prediction, admission limits, re-placement)")
 	telemetry := flag.Bool("telemetry", false, "dump per-window telemetry samples")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve live metrics over HTTP on this address (/metrics Prometheus text, /metrics.json)")
+	residuals := flag.Bool("residuals", false,
+		"print the per-window prediction-residual series with diagnosed causes")
+	traceSample := flag.Int("trace-sample", 0,
+		"trace one in N packets entering each staged chain (0 disables)")
+	traceOut := flag.String("trace-out", "",
+		"write sampled chain traces as Chrome trace-event JSON to this file (implies -trace-sample 64 if unset)")
 	flag.Parse()
 
 	var scale exp.Scale
@@ -141,6 +161,35 @@ func main() {
 		cfg.Profiles = profiles
 	}
 
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv, serr := obs.Serve(*metricsAddr, reg)
+		if serr != nil {
+			fatalf("-metrics-addr: %v", serr)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dataplane: serving metrics on http://%s/metrics\n", srv.Addr)
+		cfg.Metrics = reg
+	}
+	if *traceOut != "" && *traceSample == 0 {
+		*traceSample = 64
+	}
+	cfg.TraceSample = *traceSample
+	if *residuals {
+		// Live per-window residual report: each control barrier prints the
+		// apps whose prediction diverged, with the diagnosed cause.
+		cfg.OnWindow = func(cs runtime.ControlSample, res []obs.Residual) {
+			for _, rr := range res {
+				if rr.Cause == obs.CauseNone {
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "residual t=%.2fms %-10s pred=%.1f%% obs=%.1f%% [%s] %s\n",
+					rr.Time*1e3, rr.App, rr.Predicted*100, rr.Observed*100, rr.Cause, rr.Evidence)
+			}
+		}
+	}
+
 	r, err := runtime.NewRuntime(cfg)
 	if err != nil {
 		fatalf("%v", err)
@@ -160,6 +209,15 @@ func main() {
 
 	fmt.Println(rep.String())
 
+	if *residuals {
+		printResiduals(rep.Residuals)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, r, cfg.Cfg.ClockHz); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
 	if *telemetry {
 		fmt.Println("telemetry samples:")
 		for _, cs := range r.Stats().Samples() {
@@ -177,6 +235,52 @@ func main() {
 			}
 		}
 	}
+}
+
+// printResiduals renders the retained prediction-residual time series:
+// the paper's accuracy metric per control window, with each divergence's
+// diagnosed cause.
+func printResiduals(res []obs.Residual) {
+	if len(res) == 0 {
+		fmt.Println("residual series: empty (no profiled apps, or run shorter than one control window)")
+		return
+	}
+	fmt.Println("prediction-residual series:")
+	for _, rr := range res {
+		line := fmt.Sprintf("  t=%.2fms %-10s pred=%5.1f%% obs=%5.1f%% resid=%+5.1f%% [%s]",
+			rr.Time*1e3, rr.App, rr.Predicted*100, rr.Observed*100, rr.Residual*100, rr.Cause)
+		if rr.Evidence != "" {
+			line += " " + rr.Evidence
+		}
+		fmt.Println(line)
+	}
+}
+
+// writeTrace exports the run's sampled chain spans as Chrome trace-event
+// JSON (Perfetto / chrome://tracing).
+func writeTrace(path string, r *runtime.Runtime, clockHz float64) error {
+	t := r.Tracer()
+	if t == nil {
+		return fmt.Errorf("trace: no tracer (is -trace-sample set?)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := t.WriteChrome(f, clockHz); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	n := len(t.Events())
+	msg := fmt.Sprintf("dataplane: wrote %d trace spans to %s", n, path)
+	if d := t.Dropped(); d > 0 {
+		msg += fmt.Sprintf(" (%d spans dropped: raise TraceCap or sample less)", d)
+	}
+	if n == 0 {
+		msg += " (no staged chains in this scenario, or no sampled packet completed)"
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	return f.Close()
 }
 
 func throttledMark(t bool) string {

@@ -9,6 +9,12 @@
 //	sweep -config examples/sweeps/paper_mixes.sweep
 //	      [-scale quick|full] [-platform "KEY VALUE, ..."]
 //	      [-parallel N] [-json report.json] [-md report.md] [-q]
+//	      [-trend trend.json]
+//
+// -trend appends this run's per-scenario max/mean prediction error to a
+// persistent store keyed by git revision and scenario, and prints the
+// accumulated trend table — the accuracy time series across commits that
+// catches a slow regression the per-run tolerance gate still admits.
 //
 // The markdown report is printed to stdout (and to -md when given); the
 // JSON report is written to -json. The exit status is the gate: 0 when
@@ -22,11 +28,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
+	"time"
 
 	"pktpredict/internal/exp"
 	"pktpredict/internal/scenario"
 	"pktpredict/internal/sweep"
 )
+
+// gitRev keys trend entries by the working tree's commit; outside a git
+// checkout (or without git) the entries still append under "unknown".
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
 
 func main() {
 	configPath := flag.String("config", "", "sweep grid file (.sweep, see examples/sweeps/)")
@@ -36,6 +55,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent grid points (default: the sweep file's PARALLEL, else GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write the JSON report here")
 	mdPath := flag.String("md", "", "write the markdown report here (stdout always gets it)")
+	trendPath := flag.String("trend", "",
+		"append per-scenario prediction error to this JSON trend store (keyed by git rev + scenario) and print the trend table")
 	quiet := flag.Bool("q", false, "suppress per-point progress on stderr")
 	flag.Parse()
 
@@ -92,6 +113,17 @@ func main() {
 		if err := os.WriteFile(*jsonPath, append(js, '\n'), 0o644); err != nil {
 			fatalf("%v", err)
 		}
+	}
+	if *trendPath != "" {
+		trend, err := sweep.LoadTrend(*trendPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		trend.Append(rep, gitRev(), time.Now().UTC().Format(time.RFC3339))
+		if err := trend.Save(*trendPath); err != nil {
+			fatalf("trend: %v", err)
+		}
+		fmt.Print("\n" + trend.Markdown())
 	}
 	if !rep.Pass {
 		fmt.Fprintf(os.Stderr, "sweep: FAIL — %d/%d points outside tolerance (max |err| %.1f%%)\n",

@@ -22,6 +22,11 @@ type Packet struct {
 	// Recycler, if non-nil, returns the packet's buffer to its pool when
 	// the pipeline finishes with it.
 	Recycler Recycler
+	// Trace is the packet's sampled trace ID, zero for the unsampled
+	// majority. A staged chain's stage 0 tags one in N packets; the ID
+	// rides the hand-off descriptors so every stage attributes its exec
+	// span to the same trace (see internal/obs).
+	Trace uint64
 	// pool-internal handle, opaque to elements.
 	PoolIndex int
 }

@@ -66,6 +66,12 @@ type Ring struct {
 	tail atomic.Uint64
 	_    [64]byte
 	head atomic.Uint64
+	_    [64]byte
+	// polls counts spin-wait iterations (PollFull + PollEmpty): the
+	// backpressure signal telemetry reads while both stages run. A burst
+	// of producer polls means the consumer lags (ring full); consumer
+	// polls mean the producer starves it.
+	polls atomic.Uint64
 }
 
 // New builds a ring of the given depth (rounded up to a power of two,
@@ -104,6 +110,13 @@ func (r *Ring) Empty() bool { return r.Len() == 0 }
 // Consumed returns the cumulative number of packets popped, for credit
 // accounting across barriers.
 func (r *Ring) Consumed() uint64 { return r.head.Load() }
+
+// Produced returns the cumulative number of packets pushed.
+func (r *Ring) Produced() uint64 { return r.tail.Load() }
+
+// Polls returns the cumulative spin-wait iterations both stages have
+// charged against this ring — the observable cost of stage imbalance.
+func (r *Ring) Polls() uint64 { return r.polls.Load() }
 
 // Push hands p (with its resume node and upstream finished flag) to the
 // consuming stage, emitting the descriptor-line store. It returns false,
@@ -153,6 +166,7 @@ func (r *Ring) PollEmpty(ctx *click.Ctx) {
 }
 
 func (r *Ring) poll(ctx *click.Ctx, cursor uint64) {
+	r.polls.Add(1)
 	old := ctx.SetFunc(fnHandoff)
 	ctx.Load(r.desc.Addr(int(cursor & r.mask)))
 	ctx.Compute(pollCycles, pollInstrs)

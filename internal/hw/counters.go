@@ -64,6 +64,27 @@ func (c Counters) Sub(prev Counters) Counters {
 	return d
 }
 
+// Each calls fn with every headline counter's name and value in a fixed
+// order — the enumeration an exposition layer publishes, so a new
+// counter added here shows up on every scrape without the exporter
+// naming it by hand. Per-function counters are excluded; use Func and
+// FuncName for those.
+func (c Counters) Each(fn func(name string, v uint64)) {
+	fn("cycles", c.Cycles)
+	fn("instructions", c.Instructions)
+	fn("packets", c.Packets)
+	fn("l1_refs", c.L1Refs)
+	fn("l1_hits", c.L1Hits)
+	fn("l2_refs", c.L2Refs)
+	fn("l2_hits", c.L2Hits)
+	fn("l3_refs", c.L3Refs)
+	fn("l3_hits", c.L3Hits)
+	fn("l3_misses", c.L3Misses)
+	fn("remote_refs", c.RemoteRefs)
+	fn("mem_queue_cycles", c.MemQueueCycles)
+	fn("qpi_queue_cycles", c.QPIQueueCycles)
+}
+
 // CPI returns cycles per retired instruction.
 func (c Counters) CPI() float64 {
 	if c.Instructions == 0 {

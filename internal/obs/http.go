@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics       Prometheus text exposition (scrape target)
+//	/metrics.json  the same snapshot as JSON
+//
+// Every request takes a fresh snapshot, so a scrape observes a live
+// dataplane without stopping it (snapshots only read atomics; safe under
+// the race detector while workers run).
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	return mux
+}
+
+// Serve listens on addr and serves Handler(r) until the returned server
+// is closed. It returns once the listener is bound, so a caller can
+// scrape immediately; the serve loop runs on its own goroutine. The
+// returned server's Addr holds the bound address (useful with ":0").
+func Serve(addr string, r *Registry) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Addr:              ln.Addr().String(),
+		Handler:           Handler(r),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

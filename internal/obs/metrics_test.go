@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines while a
+// reader snapshots continuously: the final count must be exact and every
+// intermediate snapshot monotonic (run under -race in CI).
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "t", "shard").With("0")
+	const writers, perWriter = 8, 10000
+
+	stop := make(chan struct{})
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var last float64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := reg.Snapshot()
+			v := s.Families[0].Series[0].Value
+			if v < last {
+				snapErr = &nonMonotonicErr{last, v}
+				return
+			}
+			last = v
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+}
+
+type nonMonotonicErr struct{ last, v float64 }
+
+func (e *nonMonotonicErr) Error() string { return "snapshot went backwards" }
+
+// TestGaugeHistogramConcurrent exercises gauge Add and histogram Observe
+// from concurrent writers with a concurrent snapshotter.
+func TestGaugeHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_gauge", "t").With()
+	h := reg.Histogram("test_hist", "t", []float64{1, 2, 4}).With()
+	const writers, perWriter = 8, 5000
+
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.Snapshot()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				g.Add(1)
+				h.Observe(float64(j % 5))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	if got := g.Value(); got != writers*perWriter {
+		t.Fatalf("gauge = %g, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	wantSum := float64(writers) * perWriter / 5 * (0 + 1 + 2 + 3 + 4)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestVecReuse checks that With returns the same handle for the same
+// labels and that re-registration returns the existing family.
+func TestVecReuse(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "t", "w").With("1")
+	b := reg.Counter("x_total", "t", "w").With("1")
+	if a != b {
+		t.Fatal("same labels gave different counter handles")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatalf("shared handle reads %d, want 3", b.Value())
+	}
+}
+
+// TestPrometheusExposition locks the text format: HELP/TYPE headers,
+// label rendering and escaping, histogram bucket expansion.
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dp_packets_total", "packets processed", "worker", "app").With("0", `na"t`).Add(7)
+	reg.Gauge("dp_ring_fill", "ring occupancy fraction").With().Set(0.5)
+	h := reg.Histogram("dp_batch", "batch fill", []float64{1, 8, 32}).With()
+	h.Observe(1)
+	h.Observe(9)
+
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP dp_packets_total packets processed\n",
+		"# TYPE dp_packets_total counter\n",
+		`dp_packets_total{worker="0",app="na\"t"} 7` + "\n",
+		"# TYPE dp_ring_fill gauge\n",
+		"dp_ring_fill 0.5\n",
+		"# TYPE dp_batch histogram\n",
+		`dp_batch_bucket{le="1"} 1` + "\n",
+		`dp_batch_bucket{le="8"} 1` + "\n",
+		`dp_batch_bucket{le="32"} 2` + "\n",
+		`dp_batch_bucket{le="+Inf"} 2` + "\n",
+		"dp_batch_sum 10\n",
+		"dp_batch_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// The acceptance bar: counter and gauge updates on the worker hot path
+// must not allocate. testing.AllocsPerRun gives an exact figure; the
+// benchmarks also report ns/op for the atomics.
+
+func TestHotPathZeroAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a_total", "t", "w").With("0")
+	g := reg.Gauge("b", "t", "w").With("0")
+	h := reg.Histogram("c", "t", []float64{1, 8, 32}, "w").With("0")
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.5) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(7) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op", n)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("a_total", "t", "w").With("0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("b", "t", "w").With("0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("c", "t", []float64{1, 2, 4, 8, 16, 32}, "w").With("0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 31))
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import "fmt"
+
+// Prediction-residual diagnosis. The paper's overload-diagnosis story
+// (Section 5) is that when delivered performance diverges from the SLA,
+// the same counters the predictor reads identify the aggressor. The
+// runtime applies that shape to its own model: every control window it
+// compares each app's observed drop against the predicted drop, and when
+// the residual exceeds tolerance, Diagnose attributes the divergence to
+// the evidence the counters actually show — L3 contention the curve
+// under-priced, hand-off ring backpressure the per-core model cannot
+// see, or remote NUMA references from displaced state.
+
+// Cause labels one residual's attributed explanation.
+type Cause string
+
+// Residual causes, ordered roughly by diagnostic specificity.
+const (
+	// CauseNone: |residual| within tolerance; prediction holds.
+	CauseNone Cause = "within-tolerance"
+	// CauseNUMA: the app pays remote-socket latency on its references —
+	// displaced state or a migrated flow without its tables.
+	CauseNUMA Cause = "numa-remote"
+	// CauseRing: input or hand-off rings are saturated — a downstream
+	// stage (or the admission delay) lags the source, a cost the
+	// per-core contention curve does not model.
+	CauseRing Cause = "ring-backpressure"
+	// CauseL3: co-runner L3 pressure beyond what the profiled curve
+	// priced at this operating point.
+	CauseL3 Cause = "l3-contention"
+	// CauseBetter: the app outperformed the prediction (negative
+	// residual) — typically a gated source draining its rings in
+	// off-phases, beating the saturation equilibrium.
+	CauseBetter Cause = "outperformed-prediction"
+	// CauseUnknown: the residual exceeds tolerance but no counter
+	// evidence clears its bar.
+	CauseUnknown Cause = "unexplained"
+)
+
+// WindowObs is the per-app evidence for one control window, everything
+// Diagnose weighs. The runtime fills it from the same counter deltas the
+// predictor consumes.
+type WindowObs struct {
+	App       string
+	Predicted float64 // mean predicted drop across the app's workers
+	Observed  float64 // per-replica observed drop this window
+
+	RingFill        float64 // worst input/hand-off ring occupancy [0,1]
+	NICDropRate     float64 // window NIC tail-drops / offered
+	RemotePerPacket float64 // remote refs per processed packet
+	HitRate         float64 // L3 hit fraction of the app's references
+	SoloRefsPerSec  float64 // profiled solo reference rate (0 when unprofiled)
+	CompetingRefs   float64 // other workers' L3 refs/sec on the app's socket(s)
+}
+
+// Residual is one (window, app) point of the prediction-residual time
+// series: the paper's accuracy metric as live telemetry, with a cause.
+type Residual struct {
+	Quantum   int     `json:"quantum"`
+	Time      float64 `json:"time"` // virtual seconds since measurement start
+	App       string  `json:"app"`
+	Predicted float64 `json:"predicted_drop"`
+	Observed  float64 `json:"observed_drop"`
+	Residual  float64 `json:"residual"` // observed − predicted
+	Cause     Cause   `json:"cause"`
+	Evidence  string  `json:"evidence,omitempty"`
+}
+
+// Diagnosis evidence thresholds: remote references per packet that mark
+// displaced state, ring occupancy that marks backpressure, and the
+// competing-reference fraction of the app's own solo rate that marks
+// significant L3 pressure.
+const (
+	remoteEvidence = 0.5
+	ringEvidence   = 0.9
+	l3Evidence     = 0.5
+)
+
+// Diagnose attributes one window's residual. tol is the tolerated
+// |observed − predicted|; within it the cause is CauseNone.
+func Diagnose(tol float64, o WindowObs) (Cause, string) {
+	r := o.Observed - o.Predicted
+	switch {
+	case r >= -tol && r <= tol:
+		return CauseNone, ""
+	case r < -tol:
+		return CauseBetter, fmt.Sprintf(
+			"observed drop %.1f%% under prediction %.1f%% — rings drained faster than the saturation model assumes (gated source or transient headroom)",
+			o.Observed*100, o.Predicted*100)
+	}
+	// Observed worse than predicted: rank the evidence, most specific
+	// first. Remote references name displaced state outright; saturated
+	// rings name a pipeline cost outside the per-core model; competing
+	// reference pressure names contention the curve under-priced.
+	if o.RemotePerPacket >= remoteEvidence {
+		return CauseNUMA, fmt.Sprintf(
+			"%.2f remote refs/pkt — state or buffers are homed on a remote socket; every table reference crosses the interconnect",
+			o.RemotePerPacket)
+	}
+	if o.RingFill >= ringEvidence || o.NICDropRate > tol {
+		return CauseRing, fmt.Sprintf(
+			"ring %.0f%% full, NIC drop rate %.1f%% — a downstream stage or admission delay lags the source; the per-core curve does not price queueing",
+			o.RingFill*100, o.NICDropRate*100)
+	}
+	if o.SoloRefsPerSec > 0 && o.CompetingRefs >= l3Evidence*o.SoloRefsPerSec {
+		return CauseL3, fmt.Sprintf(
+			"competing refs %.1fM/s vs solo %.1fM/s (hit rate %.0f%%) — co-runner L3 pressure beyond the profiled operating point",
+			o.CompetingRefs/1e6, o.SoloRefsPerSec/1e6, o.HitRate*100)
+	}
+	return CauseUnknown, fmt.Sprintf(
+		"residual %+.1f%% with no dominant counter evidence (rem/pkt %.2f, ring %.0f%%, competing refs %.1fM/s)",
+		r*100, o.RemotePerPacket, o.RingFill*100, o.CompetingRefs/1e6)
+}
+
+// NewResidual assembles one time-series point from a window's evidence.
+func NewResidual(quantum int, tsec, tol float64, o WindowObs) Residual {
+	cause, evidence := Diagnose(tol, o)
+	return Residual{
+		Quantum:   quantum,
+		Time:      tsec,
+		App:       o.App,
+		Predicted: o.Predicted,
+		Observed:  o.Observed,
+		Residual:  o.Observed - o.Predicted,
+		Cause:     cause,
+		Evidence:  evidence,
+	}
+}

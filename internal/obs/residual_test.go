@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagnoseWithinTolerance(t *testing.T) {
+	cause, _ := Diagnose(0.05, WindowObs{Predicted: 0.10, Observed: 0.12})
+	if cause != CauseNone {
+		t.Fatalf("cause = %s, want %s", cause, CauseNone)
+	}
+}
+
+func TestDiagnoseBetter(t *testing.T) {
+	cause, ev := Diagnose(0.05, WindowObs{Predicted: 0.30, Observed: 0.05})
+	if cause != CauseBetter {
+		t.Fatalf("cause = %s, want %s", cause, CauseBetter)
+	}
+	if ev == "" {
+		t.Fatal("no evidence string")
+	}
+}
+
+// TestDiagnosePriority checks the attribution ladder: remote references
+// outrank ring fill, ring fill outranks competing-reference pressure,
+// and bare divergence lands in unexplained.
+func TestDiagnosePriority(t *testing.T) {
+	base := WindowObs{
+		Predicted:      0.10,
+		Observed:       0.30,
+		SoloRefsPerSec: 10e6,
+	}
+
+	o := base
+	o.RemotePerPacket = 2.0
+	o.RingFill = 1.0
+	o.CompetingRefs = 20e6
+	if cause, ev := Diagnose(0.05, o); cause != CauseNUMA {
+		t.Fatalf("cause = %s, want %s", cause, CauseNUMA)
+	} else if !strings.Contains(ev, "remote") {
+		t.Fatalf("evidence %q does not mention remote refs", ev)
+	}
+
+	o = base
+	o.RingFill = 0.95
+	o.CompetingRefs = 20e6
+	if cause, _ := Diagnose(0.05, o); cause != CauseRing {
+		t.Fatalf("cause = %s, want %s", cause, CauseRing)
+	}
+
+	o = base
+	o.NICDropRate = 0.2
+	if cause, _ := Diagnose(0.05, o); cause != CauseRing {
+		t.Fatalf("nic drops: cause = %s, want %s", cause, CauseRing)
+	}
+
+	o = base
+	o.CompetingRefs = 20e6
+	o.HitRate = 0.4
+	if cause, ev := Diagnose(0.05, o); cause != CauseL3 {
+		t.Fatalf("cause = %s, want %s", cause, CauseL3)
+	} else if !strings.Contains(ev, "competing") {
+		t.Fatalf("evidence %q does not mention competition", ev)
+	}
+
+	o = base
+	if cause, _ := Diagnose(0.05, o); cause != CauseUnknown {
+		t.Fatalf("cause = %s, want %s", cause, CauseUnknown)
+	}
+}
+
+func TestNewResidual(t *testing.T) {
+	r := NewResidual(40, 0.003, 0.05, WindowObs{
+		App: "nat", Predicted: 0.1, Observed: 0.4, RemotePerPacket: 1.5,
+	})
+	if r.App != "nat" || r.Quantum != 40 || r.Cause != CauseNUMA {
+		t.Fatalf("unexpected residual: %+v", r)
+	}
+	if r.Residual < 0.29 || r.Residual > 0.31 {
+		t.Fatalf("residual = %g, want 0.3", r.Residual)
+	}
+}

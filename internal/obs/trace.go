@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Packet-sampled chain tracing. One in every N packets entering a staged
+// service chain is tagged with a trace ID that rides the packet through
+// the hand-off rings; each stage records an exec span in virtual time
+// (the stage worker's core clock before and after the packet's trace
+// executes), flagged with whether the span began by dequeuing from a
+// hand-off ring and/or ended by enqueuing into one. The gap between one
+// stage's enqueue and the next stage's dequeue is therefore exactly the
+// charged hand-off cost: descriptor-line traffic, spin-wait polls, and
+// ring residence time.
+//
+// Shards are single-writer: the runtime gives each worker its own
+// TraceShard, so recording is append-into-preallocated-slice with no
+// locks and no allocations until the shard's capacity is exhausted
+// (further events are counted as dropped, never blocking the worker).
+
+// TraceEvent is one recorded span: a stage's execution of one sampled
+// packet, in virtual cycles on the recording worker's core.
+type TraceEvent struct {
+	Trace    uint64 // sampled packet's trace ID (non-zero)
+	Pid      int    // trace process: one per flow replica (chain)
+	Tid      int    // trace thread: the recording worker
+	Stage    int
+	Start    uint64 // core clock when the span's trace began executing
+	End      uint64 // core clock when it finished
+	Dequeued bool   // span began by popping a hand-off ring
+	Enqueued bool   // span ended by pushing into a hand-off ring
+}
+
+// Tracer owns the per-worker shards and the ID sequence.
+type Tracer struct {
+	every  uint64
+	shards []*TraceShard
+	nextID atomic.Uint64
+
+	procNames   map[int]string
+	threadNames map[int]string
+}
+
+// TraceShard is one worker's private event buffer. Only that worker
+// writes; the tracer reads after the run (or at a barrier).
+type TraceShard struct {
+	t       *Tracer
+	events  []TraceEvent
+	n       int
+	dropped uint64
+	seen    uint64
+}
+
+// NewTracer builds a tracer sampling one in sampleEvery packets, with
+// shards single-writer buffers of perShardCap events each.
+func NewTracer(sampleEvery uint64, perShardCap, shards int) *Tracer {
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	if perShardCap <= 0 {
+		perShardCap = 4096
+	}
+	t := &Tracer{
+		every:       sampleEvery,
+		procNames:   map[int]string{},
+		threadNames: map[int]string{},
+	}
+	for i := 0; i < shards; i++ {
+		t.shards = append(t.shards, &TraceShard{t: t, events: make([]TraceEvent, perShardCap)})
+	}
+	return t
+}
+
+// Shard returns worker i's shard.
+func (t *Tracer) Shard(i int) *TraceShard { return t.shards[i] }
+
+// SetProcess names a trace process (a flow replica) for the export's
+// metadata. Setup path only.
+func (t *Tracer) SetProcess(pid int, name string) { t.procNames[pid] = name }
+
+// SetThread names a trace thread (a worker) for the export's metadata.
+// Setup path only.
+func (t *Tracer) SetThread(tid int, name string) { t.threadNames[tid] = name }
+
+// Dropped returns how many events did not fit in their shard's buffer.
+func (t *Tracer) Dropped() uint64 {
+	var n uint64
+	for _, s := range t.shards {
+		n += s.dropped
+	}
+	return n
+}
+
+// Sample decides whether the next packet is traced: every Nth call
+// returns a fresh non-zero trace ID, all others return 0. Hot path; the
+// per-shard counter means only sampled packets touch shared state.
+func (s *TraceShard) Sample() uint64 {
+	s.seen++
+	if s.seen%s.t.every != 0 {
+		return 0
+	}
+	return s.t.nextID.Add(1)
+}
+
+// Exec records one stage-execution span for a sampled packet.
+func (s *TraceShard) Exec(ev TraceEvent) {
+	if s.n >= len(s.events) {
+		s.dropped++
+		return
+	}
+	s.events[s.n] = ev
+	s.n++
+}
+
+// Events returns every recorded event across all shards, sorted by
+// (Start, Pid, Tid, Trace) for stable output. Call only while workers
+// are parked (after the run, or at a control barrier).
+func (t *Tracer) Events() []TraceEvent {
+	var out []TraceEvent
+	for _, s := range t.shards {
+		out = append(out, s.events[:s.n]...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.Trace < b.Trace
+	})
+	return out
+}
+
+// chromeEvent is one Chrome trace-event JSON object. Perfetto and
+// chrome://tracing load the {"traceEvents": [...]} envelope directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders the recorded spans as Chrome trace-event JSON:
+// process/thread metadata, one complete ("X") slice per stage span named
+// stageK, and flow arrows ("s"/"f") tying each enqueue to the matching
+// dequeue so the viewer draws the packet's path across workers. ts/dur
+// are microseconds of virtual time (cycles / clockHz).
+func (t *Tracer) WriteChrome(w io.Writer, clockHz float64) error {
+	if clockHz <= 0 {
+		return fmt.Errorf("obs: WriteChrome needs a positive clock rate, got %g", clockHz)
+	}
+	usPerCycle := 1e6 / clockHz
+	var evs []chromeEvent
+
+	// Metadata first, in sorted pid/tid order for stable output.
+	pids := make([]int, 0, len(t.procNames))
+	for pid := range t.procNames {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": t.procNames[pid]},
+		})
+	}
+	tids := make([]int, 0, len(t.threadNames))
+	for tid := range t.threadNames {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		for _, pid := range pids {
+			evs = append(evs, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": t.threadNames[tid]},
+			})
+		}
+	}
+
+	for _, ev := range t.Events() {
+		ts := float64(ev.Start) * usPerCycle
+		dur := float64(ev.End-ev.Start) * usPerCycle
+		evs = append(evs, chromeEvent{
+			Name: fmt.Sprintf("stage%d", ev.Stage), Cat: "chain", Ph: "X",
+			Ts: ts, Dur: &dur, Pid: ev.Pid, Tid: ev.Tid,
+			Args: map[string]any{"trace": ev.Trace, "stage": ev.Stage},
+		})
+		// Flow arrows: id encodes (trace, cut) so each hand-off is its own
+		// arrow from the producer's span end to the consumer's span start.
+		if ev.Enqueued {
+			evs = append(evs, chromeEvent{
+				Name: "handoff", Cat: "chain", Ph: "s",
+				Ts: ts + dur, Pid: ev.Pid, Tid: ev.Tid,
+				ID: fmt.Sprintf("%d.%d", ev.Trace, ev.Stage),
+			})
+		}
+		if ev.Dequeued {
+			evs = append(evs, chromeEvent{
+				Name: "handoff", Cat: "chain", Ph: "f", BP: "e",
+				Ts: ts, Pid: ev.Pid, Tid: ev.Tid,
+				ID: fmt.Sprintf("%d.%d", ev.Trace, ev.Stage-1),
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		Unit        string        `json:"displayTimeUnit"`
+	}{TraceEvents: evs, Unit: "ns"})
+}

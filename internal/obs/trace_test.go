@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// fixedTracer builds a deterministic two-stage, two-packet trace: the
+// shape a staged chain records, with known virtual timestamps.
+func fixedTracer() *Tracer {
+	tr := NewTracer(1, 64, 2)
+	tr.SetProcess(1, "nat/0")
+	tr.SetThread(0, "worker0@core0")
+	tr.SetThread(1, "worker1@core4")
+	// Packet 1: stage 0 exec [1000,1400] ending in an enqueue; stage 1
+	// exec [1700,2600] starting with the dequeue. Packet 2 follows.
+	tr.Shard(0).Exec(TraceEvent{Trace: 1, Pid: 1, Tid: 0, Stage: 0, Start: 1000, End: 1400, Enqueued: true})
+	tr.Shard(1).Exec(TraceEvent{Trace: 1, Pid: 1, Tid: 1, Stage: 1, Start: 1700, End: 2600, Dequeued: true})
+	tr.Shard(0).Exec(TraceEvent{Trace: 2, Pid: 1, Tid: 0, Stage: 0, Start: 1500, End: 1900, Enqueued: true})
+	tr.Shard(1).Exec(TraceEvent{Trace: 2, Pid: 1, Tid: 1, Stage: 1, Start: 2600, End: 3500, Dequeued: true})
+	return tr
+}
+
+// TestWriteChromeGolden locks the Chrome trace-event export byte for
+// byte: stable event ordering, metadata, span/flow shapes. Regenerate
+// with go test ./internal/obs -run TestWriteChromeGolden -update-golden.
+func TestWriteChromeGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := fixedTracer().WriteChrome(&b, 1e9); err != nil { // 1 GHz: 1000 cycles = 1 µs
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("Chrome trace export drifted from golden file.\ngot:\n%s\nwant:\n%s", b.Bytes(), want)
+	}
+}
+
+// TestWriteChromeSchema validates the export against the trace-event
+// schema Perfetto requires: a traceEvents array whose entries carry
+// name/ph/ts/pid/tid, X events a non-negative dur, and flow s/f pairs
+// sharing an id.
+func TestWriteChromeSchema(t *testing.T) {
+	var b bytes.Buffer
+	if err := fixedTracer().WriteChrome(&b, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	flows := map[string][2]int{} // id -> (starts, finishes)
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		for _, k := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event missing %q: %v", k, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			spans++
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 0 {
+				t.Fatalf("X event with bad dur: %v", ev)
+			}
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("X event with non-numeric ts: %v", ev)
+			}
+		case "s":
+			id := ev["id"].(string)
+			f := flows[id]
+			f[0]++
+			flows[id] = f
+		case "f":
+			id := ev["id"].(string)
+			f := flows[id]
+			f[1]++
+			flows[id] = f
+		}
+	}
+	if spans != 4 {
+		t.Errorf("expected 4 spans, got %d", spans)
+	}
+	for id, f := range flows {
+		if f[0] != 1 || f[1] != 1 {
+			t.Errorf("flow %s has %d starts / %d finishes, want 1/1", id, f[0], f[1])
+		}
+	}
+}
+
+// TestTracerSampling checks the 1-in-N decision and shard overflow
+// accounting.
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(4, 2, 1)
+	s := tr.Shard(0)
+	ids := 0
+	for i := 0; i < 16; i++ {
+		if s.Sample() != 0 {
+			ids++
+		}
+	}
+	if ids != 4 {
+		t.Fatalf("sampled %d of 16 at 1-in-4, want 4", ids)
+	}
+	for i := 0; i < 5; i++ {
+		s.Exec(TraceEvent{Trace: uint64(i + 1)})
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3 (capacity 2)", got)
+	}
+	if got := len(tr.Events()); got != 2 {
+		t.Fatalf("events = %d, want 2", got)
+	}
+}

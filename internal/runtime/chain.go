@@ -43,6 +43,10 @@ type chainStage struct {
 	src       *ringSource // stage 0 only, attached at bind
 	entry     int         // node index the stage enters the graph at (stage 0 only)
 	workerIdx int
+
+	// prevPolls is the out ring's poll count at the last control barrier
+	// (the observability layer's per-window delta cursor).
+	prevPolls uint64
 }
 
 // remoteRecycler routes a spent packet home through the stage's return
@@ -135,6 +139,9 @@ func (u *chainStage) step(w *worker) ([]hw.Op, int) {
 	// slot for; spin on the ring's state line instead.
 	if u.out != nil && u.out.Full() {
 		u.out.PollFull(ctx)
+		if w.mSpins != nil {
+			w.mSpins.Inc()
+		}
 		return ctx.Ops, 0
 	}
 
@@ -150,20 +157,38 @@ func (u *chainStage) step(w *worker) ([]hw.Op, int) {
 			return ctx.Ops, 0
 		}
 		u.fl.packets++
+		if w.shard != nil {
+			// Sample at chain entry: a non-zero ID rides the packet (and
+			// its hand-off descriptors) through every later stage.
+			p.Trace = w.shard.Sample()
+		}
 	} else {
 		var ok bool
 		p, entry, prior, ok = u.in.Pop(ctx)
 		if !ok {
 			// The producer may deliver mid-quantum: spin, don't idle.
 			u.in.PollEmpty(ctx)
+			if w.mSpins != nil {
+				w.mSpins.Inc()
+			}
 			return ctx.Ops, 0
 		}
 		u.in.ChargeHeaderMiss(ctx, p)
 		p.Recycler = u.rec
 	}
 
-	if next, fin := u.runner.Walk(p, entry, prior); next >= 0 {
+	next, fin := u.runner.Walk(p, entry, prior)
+	if next >= 0 {
 		u.out.Push(ctx, p, next, fin) // cannot fail: Full was checked above
+	}
+	if p.Trace != 0 && w.shard != nil {
+		// The stage's trace executes after step returns; leave the span's
+		// identity for runQuantum to timestamp around ExecOps.
+		w.pendTrace = p.Trace
+		w.pendPid = u.fl.id
+		w.pendStage = u.stage
+		w.pendDeq = u.in != nil
+		w.pendEnq = next >= 0
 	}
 	return ctx.Ops, 1
 }

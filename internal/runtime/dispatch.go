@@ -25,6 +25,16 @@ type appState struct {
 	nicDrops uint64
 	carry    float64
 	primed   bool
+
+	// Previous control window's cursor into each accumulator, so the
+	// observability layer can difference per-window deltas without a
+	// second set of counters on the hot path (see Runtime.publishWindow
+	// and Runtime.rollWindowAccounting). prevProcessed snapshots the sum
+	// of the group's flow.packets.
+	prevOffered   uint64
+	prevEnqueued  uint64
+	prevNICDrops  uint64
+	prevProcessed uint64
 }
 
 // burstActive reports whether quantum q falls in the app's on-phase.
@@ -50,6 +60,7 @@ func (a *appState) emitOne() {
 // resetAccounting zeroes offered-load counters at measurement start.
 func (a *appState) resetAccounting() {
 	a.offered, a.enqueued, a.nicDrops = 0, 0, 0
+	a.prevOffered, a.prevEnqueued, a.prevNICDrops, a.prevProcessed = 0, 0, 0, 0
 }
 
 // dispatcher feeds every rate-driven flow group at barrier points. It

@@ -1,0 +1,452 @@
+package runtime
+
+import (
+	"fmt"
+
+	"pktpredict/internal/hw"
+	"pktpredict/internal/obs"
+)
+
+// Observability glue: when Config.Metrics is set, the runtime publishes
+// its telemetry into an obs.Registry — worker hot-path counters updated
+// from inside the packet loop (single atomic adds, no allocations), and
+// control-window gauges/counters written at barriers from the same
+// counter deltas the predictor consumes. When Config.TraceSample is set,
+// staged chains tag one in N packets with a trace ID that rides the
+// hand-off descriptors; every stage records its exec span in virtual
+// time, exported as Chrome trace-event JSON (Runtime.Tracer).
+//
+// The control loop also maintains the prediction-residual time series:
+// each window, each profiled app's observed drop is compared against the
+// live prediction, and divergence beyond Config.ResidualTolerance is
+// attributed by obs.Diagnose to L3 contention, ring backpressure, or
+// remote NUMA references — the paper's overload-diagnosis shape turned
+// on the model itself.
+
+// rtObs holds the runtime's registered metric handles. All With lookups
+// happen here at build time; workers and the control loop only touch
+// resolved handles.
+type rtObs struct {
+	reg *obs.Registry
+
+	// Per-worker control-window gauges, indexed by worker id.
+	pps, refs, hits, remote, remotePkt, cycPkt []*obs.Gauge
+	ringDepth, ringFill, predDrop, delay       []*obs.Gauge
+
+	// Per-worker hardware-counter totals: hwTotals[worker][i] follows the
+	// enumeration order of hw.Counters.Each.
+	hwTotals [][]*obs.Counter
+
+	// Per-app accounting counters and drop/residual gauges.
+	appOffered, appEnqueued, appNICDrops   map[string]*obs.Counter
+	appProcessed                           map[string]*obs.Counter
+	appObserved, appPredicted, appResidual map[string]*obs.Gauge
+	appCause                               map[string]map[obs.Cause]*obs.Gauge
+
+	// Chain hand-off telemetry, one per (flow, cut).
+	handoffFill  map[*chainStage]*obs.Gauge
+	handoffPolls map[*chainStage]*obs.Counter
+
+	// Worker→app binding info gauges, so a scraper can join worker series
+	// to apps across live migrations.
+	binding    *obs.GaugeVec
+	lastBound  map[int]*obs.Gauge
+	migrations *obs.Counter
+	copyCycles *obs.Counter
+	throttles  *obs.Counter
+}
+
+// hwCounterNames enumerates hw.Counters.Each's stable name order once.
+func hwCounterNames() []string {
+	var names []string
+	hw.Counters{}.Each(func(name string, _ uint64) { names = append(names, name) })
+	return names
+}
+
+// residualCauses is the label universe of the cause info gauge.
+var residualCauses = []obs.Cause{
+	obs.CauseNone, obs.CauseNUMA, obs.CauseRing, obs.CauseL3,
+	obs.CauseBetter, obs.CauseUnknown,
+}
+
+// newRtObs registers every metric family and resolves the handles for
+// this runtime's workers and apps. It also hands each worker its
+// hot-path handles (packet counter, batch-fill histogram, spin-poll
+// counter).
+func newRtObs(reg *obs.Registry, r *Runtime) *rtObs {
+	m := &rtObs{
+		reg:          reg,
+		appOffered:   map[string]*obs.Counter{},
+		appEnqueued:  map[string]*obs.Counter{},
+		appNICDrops:  map[string]*obs.Counter{},
+		appProcessed: map[string]*obs.Counter{},
+		appObserved:  map[string]*obs.Gauge{},
+		appPredicted: map[string]*obs.Gauge{},
+		appResidual:  map[string]*obs.Gauge{},
+		appCause:     map[string]map[obs.Cause]*obs.Gauge{},
+		handoffFill:  map[*chainStage]*obs.Gauge{},
+		handoffPolls: map[*chainStage]*obs.Counter{},
+		lastBound:    map[int]*obs.Gauge{},
+	}
+
+	packets := reg.Counter("dataplane_worker_packets_total",
+		"packets fully processed, incremented from the worker hot path", "worker")
+	batch := reg.Histogram("dataplane_worker_batch_fill",
+		"packets per ring poll (batch occupancy)", []float64{0, 1, 2, 4, 8, 16, 32}, "worker")
+	spins := reg.Counter("dataplane_worker_spin_polls_total",
+		"hand-off ring spin-wait iterations charged by this worker", "worker")
+
+	gv := func(name, help string) *obs.GaugeVec { return reg.Gauge(name, help, "worker") }
+	ppsV := gv("dataplane_worker_pps", "packets per virtual second, last control window")
+	refsV := gv("dataplane_worker_l3_refs_per_sec", "L3 references per virtual second (aggressiveness)")
+	hitsV := gv("dataplane_worker_l3_hits_per_sec", "L3 hits per virtual second (sensitivity)")
+	remV := gv("dataplane_worker_remote_refs_per_sec", "remote-socket L3 misses per virtual second")
+	remPkV := gv("dataplane_worker_remote_per_packet", "remote references per processed packet (locality)")
+	cycV := gv("dataplane_worker_cycles_per_packet", "core cycles per processed packet")
+	depthV := gv("dataplane_worker_ring_depth", "input or hand-off ring occupancy at the barrier")
+	fillV := gv("dataplane_worker_ring_fill", "ring occupancy fraction at the barrier")
+	predV := gv("dataplane_worker_predicted_drop", "live curve-predicted drop for the bound flow")
+	delayV := gv("dataplane_worker_delay_cycles", "admission-control delay applied to the bound flow")
+	hwV := reg.Counter("dataplane_worker_hw_total",
+		"per-core hardware counter totals since measurement start", "worker", "counter")
+
+	hwNames := hwCounterNames()
+	for i, w := range r.workers {
+		id := fmt.Sprint(i)
+		w.mPackets = packets.With(id)
+		w.mBatch = batch.With(id)
+		w.mSpins = spins.With(id)
+		m.pps = append(m.pps, ppsV.With(id))
+		m.refs = append(m.refs, refsV.With(id))
+		m.hits = append(m.hits, hitsV.With(id))
+		m.remote = append(m.remote, remV.With(id))
+		m.remotePkt = append(m.remotePkt, remPkV.With(id))
+		m.cycPkt = append(m.cycPkt, cycV.With(id))
+		m.ringDepth = append(m.ringDepth, depthV.With(id))
+		m.ringFill = append(m.ringFill, fillV.With(id))
+		m.predDrop = append(m.predDrop, predV.With(id))
+		m.delay = append(m.delay, delayV.With(id))
+		hwRow := make([]*obs.Counter, len(hwNames))
+		for j, n := range hwNames {
+			hwRow[j] = hwV.With(id, n)
+		}
+		m.hwTotals = append(m.hwTotals, hwRow)
+	}
+
+	offV := reg.Counter("dataplane_app_offered_total", "packets the traffic source generated", "app")
+	enqV := reg.Counter("dataplane_app_enqueued_total", "packets accepted into input rings", "app")
+	nicV := reg.Counter("dataplane_app_nic_drops_total", "packets tail-dropped at full input rings", "app")
+	procV := reg.Counter("dataplane_app_processed_total", "packets that entered a worker's pipeline", "app")
+	obsV := reg.Gauge("dataplane_app_observed_drop", "per-replica observed drop, last control window", "app")
+	apV := reg.Gauge("dataplane_app_predicted_drop", "mean live-predicted drop, last control window", "app")
+	resV := reg.Gauge("dataplane_app_residual", "observed minus predicted drop, last control window", "app")
+	causeV := reg.Gauge("dataplane_app_residual_cause",
+		"1 on the residual cause attributed this window, 0 elsewhere", "app", "cause")
+	for _, a := range r.disp.apps {
+		name := a.spec.Name
+		m.appOffered[name] = offV.With(name)
+		m.appEnqueued[name] = enqV.With(name)
+		m.appNICDrops[name] = nicV.With(name)
+		m.appProcessed[name] = procV.With(name)
+		m.appObserved[name] = obsV.With(name)
+		m.appPredicted[name] = apV.With(name)
+		m.appResidual[name] = resV.With(name)
+		causes := map[obs.Cause]*obs.Gauge{}
+		for _, c := range residualCauses {
+			causes[c] = causeV.With(name, string(c))
+		}
+		m.appCause[name] = causes
+	}
+
+	hofV := reg.Gauge("dataplane_handoff_fill",
+		"forward hand-off ring occupancy fraction at the barrier", "app", "replica", "cut")
+	hopV := reg.Counter("dataplane_handoff_polls_total",
+		"spin-wait iterations on the cut's forward ring (producer + consumer)", "app", "replica", "cut")
+	for _, f := range r.flows {
+		for _, u := range f.stages {
+			if u.out == nil {
+				continue
+			}
+			app, rep, cut := f.app.spec.Name, fmt.Sprint(f.replica), fmt.Sprint(u.stage)
+			m.handoffFill[u] = hofV.With(app, rep, cut)
+			m.handoffPolls[u] = hopV.With(app, rep, cut)
+		}
+	}
+
+	m.binding = reg.Gauge("dataplane_worker_app",
+		"1 while the worker runs the labelled app stage; rebound on live migration", "worker", "app", "stage")
+	m.migrations = reg.Counter("dataplane_migrations_total",
+		"live cross-socket re-placements performed").With()
+	m.copyCycles = reg.Counter("dataplane_state_copy_cycles_total",
+		"destination-core cycles spent copying migrated state").With()
+	m.throttles = reg.Counter("dataplane_throttle_events_total",
+		"control windows in which admission tightened a delay").With()
+	return m
+}
+
+// publishWindow writes one control window's telemetry into the registry:
+// per-worker gauges from the sample, hardware-counter deltas, app
+// accounting deltas, hand-off ring state, and binding info. Runs at the
+// barrier (workers parked), so plain reads of owner-written state are
+// safe; all registry writes are atomics, so a concurrent scrape sees a
+// consistent-enough page without stopping the dataplane.
+func (r *Runtime) publishWindow(sample ControlSample, deltas []hw.Counters) {
+	m := r.obsm
+	if m == nil {
+		return
+	}
+	for _, t := range sample.Workers {
+		i := t.Worker
+		m.pps[i].Set(t.PPS)
+		m.refs[i].Set(t.RefsPerSec)
+		m.hits[i].Set(t.HitsPerSec)
+		m.remote[i].Set(t.RemoteRefsPerSec)
+		m.remotePkt[i].Set(t.RemotePerPacket)
+		m.cycPkt[i].Set(t.CyclesPerPacket)
+		m.ringDepth[i].Set(float64(t.RingDepth))
+		if t.RingCap > 0 {
+			m.ringFill[i].Set(float64(t.RingDepth) / float64(t.RingCap))
+		}
+		m.predDrop[i].Set(t.PredictedDrop)
+		m.delay[i].Set(float64(t.DelayCycles))
+		for j, v := range eachValues(deltas[i]) {
+			m.hwTotals[i][j].Add(v)
+		}
+		// Binding info: flip the gauge when a migration rebound the worker.
+		if t.App == "" {
+			if old := m.lastBound[i]; old != nil {
+				old.Set(0)
+				delete(m.lastBound, i)
+			}
+			continue
+		}
+		g := m.binding.With(fmt.Sprint(i), t.App, fmt.Sprint(t.Stage))
+		if old := m.lastBound[i]; old != nil && old != g {
+			old.Set(0)
+		}
+		g.Set(1)
+		m.lastBound[i] = g
+	}
+
+	for _, a := range r.disp.apps {
+		name := a.spec.Name
+		m.appOffered[name].Add(a.offered - a.prevOffered)
+		m.appEnqueued[name].Add(a.enqueued - a.prevEnqueued)
+		m.appNICDrops[name].Add(a.nicDrops - a.prevNICDrops)
+		var processed uint64
+		for _, f := range a.flows {
+			processed += f.packets
+		}
+		m.appProcessed[name].Add(processed - a.prevProcessed)
+	}
+
+	for _, f := range r.flows {
+		for _, u := range f.stages {
+			if u.out == nil {
+				continue
+			}
+			m.handoffFill[u].Set(float64(u.out.Len()) / float64(u.out.Cap()))
+			polls := u.out.Polls()
+			m.handoffPolls[u].Add(polls - u.prevPolls)
+			u.prevPolls = polls
+		}
+	}
+}
+
+// eachValues flattens a counter delta in hw.Counters.Each order.
+func eachValues(c hw.Counters) []uint64 {
+	out := make([]uint64, 0, 13)
+	c.Each(func(_ string, v uint64) { out = append(out, v) })
+	return out
+}
+
+// windowResiduals computes the window's per-app prediction residuals and
+// diagnoses each divergence from the same counter evidence the
+// predictor reads. winSec is the window's wall length in virtual
+// seconds. Apps without a solo profile (synthetic probes, unprofiled
+// customs) produce no residual — there is no prediction to diverge from.
+func (r *Runtime) windowResiduals(q int, tsec, winSec float64, sample ControlSample, deltas []hw.Counters) []obs.Residual {
+	if winSec <= 0 {
+		return nil
+	}
+	var out []obs.Residual
+	for _, a := range r.disp.apps {
+		// Hidden-trigger aggressors keep their residual series on purpose:
+		// the moment the flow's behaviour departs its profiled type, the
+		// residual spikes and the diagnoser names the evidence — the
+		// Section 4 detection story as live telemetry.
+		prof, ok := r.cfg.Profiles[a.spec.Type]
+		if !ok || prof.SoloPPS <= 0 || a.spec.Type.Synthetic() {
+			continue
+		}
+		var processed uint64
+		for _, f := range a.flows {
+			processed += f.packets
+		}
+		winProcessed := processed - a.prevProcessed
+		winOffered := a.offered - a.prevOffered
+		winNIC := a.nicDrops - a.prevNICDrops
+		if winProcessed == 0 && winOffered == 0 {
+			continue // idle window (burst off-phase): nothing measured
+		}
+
+		// Expected per-replica throughput: the solo baseline, capped at the
+		// offered rate for paced sources — the same comparison the
+		// whole-run report makes, one window at a time.
+		expected := prof.SoloPPS
+		if a.rate > 0 && winOffered > 0 {
+			offPPS := float64(winOffered) / winSec / float64(len(a.flows))
+			if offPPS < expected {
+				expected = offPPS
+			}
+		}
+		if expected <= 0 {
+			continue
+		}
+		perReplica := float64(winProcessed) / winSec / float64(len(a.flows))
+		observed := 1 - perReplica/expected
+
+		// Evidence across the app's workers: predicted drop averaged, ring
+		// fill worst-case, locality and hit rate packet-weighted, and the
+		// competing reference pressure on the app's busiest socket.
+		var predSum float64
+		var predN int
+		var ringFill float64
+		var remRefs, pkts, l3Refs, l3Hits uint64
+		sockets := map[int]bool{}
+		for _, t := range sample.Workers {
+			if t.App != a.spec.Name {
+				continue
+			}
+			predSum += t.PredictedDrop
+			predN++
+			if t.RingCap > 0 {
+				if f := float64(t.RingDepth) / float64(t.RingCap); f > ringFill {
+					ringFill = f
+				}
+			}
+			d := deltas[t.Worker]
+			remRefs += d.RemoteRefs
+			pkts += d.Packets
+			l3Refs += d.L3Refs
+			l3Hits += d.L3Hits
+			sockets[t.Socket] = true
+		}
+		if predN == 0 {
+			continue
+		}
+		var competing float64
+		for sock := range sockets {
+			var refs float64
+			for _, t := range sample.Workers {
+				if t.Socket == sock && t.App != a.spec.Name {
+					refs += t.RefsPerSec
+				}
+			}
+			if refs > competing {
+				competing = refs
+			}
+		}
+		o := obs.WindowObs{
+			App:            a.spec.Name,
+			Predicted:      predSum / float64(predN),
+			Observed:       observed,
+			RingFill:       ringFill,
+			SoloRefsPerSec: prof.SoloRefsPerSec,
+			CompetingRefs:  competing,
+		}
+		if winOffered > 0 {
+			o.NICDropRate = float64(winNIC) / float64(winOffered)
+		}
+		if pkts > 0 {
+			o.RemotePerPacket = float64(remRefs) / float64(pkts)
+		}
+		if l3Refs > 0 {
+			o.HitRate = float64(l3Hits) / float64(l3Refs)
+		}
+		out = append(out, obs.NewResidual(q, tsec, r.cfg.ResidualTolerance, o))
+	}
+	return out
+}
+
+// recordResiduals publishes the window's residuals into the registry and
+// appends them to the retained series (same retention policy as Stats).
+func (r *Runtime) recordResiduals(res []obs.Residual) {
+	for _, rr := range res {
+		if m := r.obsm; m != nil {
+			m.appObserved[rr.App].Set(rr.Observed)
+			m.appPredicted[rr.App].Set(rr.Predicted)
+			m.appResidual[rr.App].Set(rr.Residual)
+			for c, g := range m.appCause[rr.App] {
+				if c == rr.Cause {
+					g.Set(1)
+				} else {
+					g.Set(0)
+				}
+			}
+		}
+	}
+	retain := r.cfg.StatsRetention
+	if retain <= 0 {
+		retain = DefaultStatsRetention
+	}
+	capN := retain * len(r.disp.apps)
+	for _, rr := range res {
+		if len(r.residuals) < capN {
+			r.residuals = append(r.residuals, rr)
+			continue
+		}
+		r.residuals[r.residualHead] = rr
+		r.residualHead = (r.residualHead + 1) % len(r.residuals)
+	}
+}
+
+// rollWindowAccounting advances every app's previous-window cursors
+// after a control window's deltas have been consumed (publishWindow and
+// windowResiduals both read them).
+func (r *Runtime) rollWindowAccounting() {
+	for _, a := range r.disp.apps {
+		a.prevOffered, a.prevEnqueued, a.prevNICDrops = a.offered, a.enqueued, a.nicDrops
+		var processed uint64
+		for _, f := range a.flows {
+			processed += f.packets
+		}
+		a.prevProcessed = processed
+	}
+}
+
+// Residuals returns the retained prediction-residual series, oldest
+// first. Call after Run (or from OnWindow, where workers are parked).
+func (r *Runtime) Residuals() []obs.Residual {
+	out := make([]obs.Residual, 0, len(r.residuals))
+	for i := 0; i < len(r.residuals); i++ {
+		out = append(out, r.residuals[(r.residualHead+i)%len(r.residuals)])
+	}
+	return out
+}
+
+// Tracer returns the packet tracer, nil unless Config.TraceSample is
+// set. Export its events (WriteChrome) only after Run returns.
+func (r *Runtime) Tracer() *obs.Tracer { return r.tracer }
+
+// buildTracer sizes the tracer to the worker set and names its trace
+// processes (one per staged flow replica) and threads (one per worker).
+func (r *Runtime) buildTracer() {
+	if r.cfg.TraceSample <= 0 {
+		return
+	}
+	capN := r.cfg.TraceCap
+	if capN <= 0 {
+		capN = 8192
+	}
+	r.tracer = obs.NewTracer(uint64(r.cfg.TraceSample), capN, len(r.workers))
+	for i, w := range r.workers {
+		w.shard = r.tracer.Shard(i)
+		r.tracer.SetThread(i, fmt.Sprintf("worker%d@core%d", i, w.core.ID))
+	}
+	for _, f := range r.flows {
+		if f.stages != nil {
+			r.tracer.SetProcess(f.id, fmt.Sprintf("%s/%d", f.app.spec.Name, f.replica))
+		}
+	}
+}

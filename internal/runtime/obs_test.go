@@ -1,0 +1,349 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pktpredict/internal/apps"
+	"pktpredict/internal/obs"
+)
+
+func TestStatsRetention(t *testing.T) {
+	s := &Stats{}
+	s.setRetention(4)
+	for q := 0; q < 10; q++ {
+		s.record(ControlSample{Quantum: q})
+	}
+	if s.Total() != 10 {
+		t.Fatalf("total = %d, want 10", s.Total())
+	}
+	got := s.Samples()
+	if len(got) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(got))
+	}
+	for i, cs := range got {
+		if cs.Quantum != 6+i {
+			t.Fatalf("sample %d is quantum %d, want %d (oldest-first tail)", i, cs.Quantum, 6+i)
+		}
+	}
+	if s.Latest().Quantum != 9 {
+		t.Fatalf("latest = %d, want 9", s.Latest().Quantum)
+	}
+}
+
+// TestRuntimeMetricsScrapeMidRun scrapes the exposition endpoint while
+// the dataplane is running (workers mid-quantum) and checks the page
+// carries the runtime's families. Run under -race this also proves the
+// hot-path publication and the snapshot reader do not race.
+func TestRuntimeMetricsScrapeMidRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig([]AppSpec{
+		{Name: "ipfwd", Type: apps.IP, Workers: 2},
+		{Name: "mon", Type: apps.MON, Workers: 1},
+	})
+	cfg.Metrics = reg
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(obs.Handler(reg))
+	defer srv.Close()
+
+	scrape := func(path string) []byte {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("scrape %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+		return body
+	}
+
+	done := make(chan *Report, 1)
+	go func() {
+		rep, err := r.Run(0.004)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	// Scrape continuously until the run finishes: most scrapes land while
+	// workers are actively publishing.
+	var last []byte
+	var rep *Report
+	for rep == nil {
+		select {
+		case rep = <-done:
+		default:
+			last = scrape("/metrics")
+		}
+	}
+	if rep == nil {
+		t.Fatal("run produced no report")
+	}
+	checkConservation(t, rep)
+	if len(last) == 0 {
+		t.Fatal("no scrape completed during the run")
+	}
+
+	final := string(scrape("/metrics"))
+	for _, want := range []string{
+		"# TYPE dataplane_worker_packets_total counter",
+		"# TYPE dataplane_worker_batch_fill histogram",
+		"# TYPE dataplane_worker_pps gauge",
+		`dataplane_worker_packets_total{worker="0"}`,
+		`dataplane_worker_hw_total{worker="0",counter="l3_refs"}`,
+		`dataplane_app_offered_total{app="ipfwd"}`,
+		`dataplane_worker_app{worker="2",app="mon",stage="0"} 1`,
+	} {
+		if !strings.Contains(final, want) {
+			t.Fatalf("final scrape missing %q:\n%s", want, final)
+		}
+	}
+
+	// JSON endpoint agrees and is valid.
+	var snap obs.Snapshot
+	if err := json.Unmarshal(scrape("/metrics.json"), &snap); err != nil {
+		t.Fatalf("metrics.json did not parse: %v", err)
+	}
+	var packets float64
+	for _, f := range snap.Families {
+		if f.Name != "dataplane_worker_packets_total" {
+			continue
+		}
+		for _, s := range f.Series {
+			packets += s.Value
+		}
+	}
+	// The counter includes warmup packets; the report excludes them.
+	var total uint64
+	for _, w := range rep.Workers {
+		total += w.TotalPackets
+	}
+	if uint64(packets) < total {
+		t.Fatalf("packet counter %v below reported total %d", packets, total)
+	}
+}
+
+// TestRuntimeChainTraceExport runs a staged chain with packet sampling
+// and checks the recorded spans: every sampled packet has a span per
+// stage, the consumer's span starts after the producer's ends (the gap
+// is the charged hand-off cost), and the Chrome export is valid JSON
+// with the expected event shapes.
+func TestRuntimeChainTraceExport(t *testing.T) {
+	params := withCustom(apps.Small(), "MONC", monStyleGraph(apps.Small()), map[string]int{"nf": 1})
+	cfg := testConfig([]AppSpec{{Name: "monc", Type: "MONC", Workers: 1}})
+	cfg.Params = params
+	cps := testCfg().CoresPerSocket
+	cfg.Cores = []int{0, cps}
+	cfg.TraceSample = 64
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, rep)
+
+	tr := r.Tracer()
+	if tr == nil {
+		t.Fatal("TraceSample set but Tracer() is nil")
+	}
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("staged run recorded no trace spans")
+	}
+	byTrace := map[uint64]map[int]obs.TraceEvent{}
+	for _, ev := range events {
+		if ev.Trace == 0 {
+			t.Fatalf("recorded span without trace ID: %+v", ev)
+		}
+		if ev.End < ev.Start {
+			t.Fatalf("span ends before it starts: %+v", ev)
+		}
+		if byTrace[ev.Trace] == nil {
+			byTrace[ev.Trace] = map[int]obs.TraceEvent{}
+		}
+		byTrace[ev.Trace][ev.Stage] = ev
+	}
+	complete := 0
+	for id, stages := range byTrace {
+		s0, ok0 := stages[0]
+		s1, ok1 := stages[1]
+		if !ok0 {
+			t.Fatalf("trace %d has a stage-1 span but no stage-0 span", id)
+		}
+		if !ok1 {
+			continue // sampled packet still in flight at run end
+		}
+		complete++
+		if s0.Tid == s1.Tid {
+			t.Fatalf("trace %d executed both stages on worker %d", id, s0.Tid)
+		}
+		if !s0.Enqueued || !s1.Dequeued {
+			t.Fatalf("trace %d hand-off flags wrong: stage0 enq=%v, stage1 deq=%v",
+				id, s0.Enqueued, s1.Dequeued)
+		}
+		// The virtual-time gap between the producer's span end and the
+		// consumer's span start is the packet's hand-off: ring residence
+		// plus the charged descriptor traffic. With lax clock sync the two
+		// core clocks can skew by at most one quantum, so the consumer
+		// must start no earlier than one quantum before the producer ends.
+		if s1.Start+cfg.QuantumCycles < s0.End {
+			t.Fatalf("trace %d: stage 1 starts at %d, more than a quantum before stage 0 ends at %d",
+				id, s1.Start, s0.End)
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no sampled packet completed both stages")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf, cfg.Cfg.ClockHz); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	kinds := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		kinds[ev["ph"].(string)]++
+	}
+	if kinds["X"] != len(events) {
+		t.Fatalf("export has %d spans for %d recorded events", kinds["X"], len(events))
+	}
+	if kinds["M"] == 0 || kinds["s"] == 0 || kinds["f"] == 0 {
+		t.Fatalf("export missing metadata or flow events: %v", kinds)
+	}
+}
+
+// TestRuntimeResidualSeries runs a profiled mix and checks the
+// prediction-residual time series: one point per (window, profiled app),
+// internally consistent, with causes from the diagnoser's vocabulary.
+func TestRuntimeResidualSeries(t *testing.T) {
+	params := apps.Small()
+	ipSolo := soloStats(t, apps.IP, params)
+	monSolo := soloStats(t, apps.MON, params)
+	cfg := testConfig([]AppSpec{
+		{Name: "ipfwd", Type: apps.IP, Workers: 2},
+		{Name: "mon", Type: apps.MON, Workers: 1},
+	})
+	cfg.Profiles = map[apps.FlowType]FlowProfile{
+		apps.IP:  {SoloPPS: ipSolo.Throughput(), SoloRefsPerSec: ipSolo.L3RefsPerSec()},
+		apps.MON: {SoloPPS: monSolo.Throughput(), SoloRefsPerSec: monSolo.L3RefsPerSec()},
+	}
+	windows := 0
+	cfg.OnWindow = func(cs ControlSample, res []obs.Residual) {
+		windows++
+		if len(res) != 2 {
+			t.Errorf("window at q%d has %d residuals, want 2 (one per profiled app)", cs.Quantum, len(res))
+		}
+	}
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, rep)
+	if windows == 0 {
+		t.Fatal("OnWindow never fired")
+	}
+	if len(rep.Residuals) != 2*windows {
+		t.Fatalf("report retains %d residuals, want %d (2 apps x %d windows)",
+			len(rep.Residuals), 2*windows, windows)
+	}
+	valid := map[obs.Cause]bool{
+		obs.CauseNone: true, obs.CauseNUMA: true, obs.CauseRing: true,
+		obs.CauseL3: true, obs.CauseBetter: true, obs.CauseUnknown: true,
+	}
+	seen := map[string]bool{}
+	for _, rr := range rep.Residuals {
+		seen[rr.App] = true
+		if !valid[rr.Cause] {
+			t.Fatalf("residual carries unknown cause %q", rr.Cause)
+		}
+		if got := rr.Observed - rr.Predicted; got != rr.Residual {
+			t.Fatalf("residual %v != observed %v - predicted %v", rr.Residual, rr.Observed, rr.Predicted)
+		}
+		if rr.Cause != obs.CauseNone && rr.Evidence == "" {
+			t.Fatalf("diagnosed cause %s has no evidence string", rr.Cause)
+		}
+	}
+	if !seen["ipfwd"] || !seen["mon"] {
+		t.Fatalf("residual series missing an app: %v", seen)
+	}
+
+	// Retention bounds the series: a tiny retention keeps only the tail.
+	cfg2 := cfg
+	cfg2.OnWindow = nil
+	cfg2.StatsRetention = 2
+	r2, err := NewRuntime(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := r2.Run(0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Residuals) > 2*len(cfg2.Apps) {
+		t.Fatalf("retention 2 kept %d residuals, want at most %d", len(rep2.Residuals), 2*len(cfg2.Apps))
+	}
+	if got := len(r2.Stats().Samples()); got > 2 {
+		t.Fatalf("retention 2 kept %d control samples", got)
+	}
+}
+
+// TestHandoffPollCounter: the ring's poll counter observes spin-waits.
+func TestHandoffPollCounter(t *testing.T) {
+	params := withCustom(apps.Small(), "MONC", monStyleGraph(apps.Small()), map[string]int{"nf": 1})
+	reg := obs.NewRegistry()
+	cfg := testConfig([]AppSpec{{Name: "monc", Type: "MONC", Workers: 1}})
+	cfg.Params = params
+	cfg.Metrics = reg
+	cps := testCfg().CoresPerSocket
+	cfg.Cores = []int{0, cps}
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(0.004); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	page := out.String()
+	for _, want := range []string{
+		"dataplane_handoff_fill{", "dataplane_handoff_polls_total{",
+		"dataplane_worker_spin_polls_total{",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, firstLines(page, 40))
+		}
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

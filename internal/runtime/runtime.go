@@ -27,6 +27,7 @@ import (
 	"pktpredict/internal/core"
 	"pktpredict/internal/hw"
 	"pktpredict/internal/mem"
+	"pktpredict/internal/obs"
 	"pktpredict/internal/trafficgen"
 )
 
@@ -138,6 +139,28 @@ type Config struct {
 
 	// Scenario names the run in reports.
 	Scenario string
+
+	// Metrics, when non-nil, is the registry the runtime publishes into:
+	// per-packet worker counters from the hot path (single atomic adds),
+	// control-window telemetry at barriers. An HTTP endpoint scraping the
+	// registry (obs.Serve) can read concurrently with the run.
+	Metrics *obs.Registry
+	// TraceSample, when positive, samples one in N packets entering each
+	// staged chain for per-stage exec-span tracing (Runtime.Tracer).
+	TraceSample int
+	// TraceCap bounds each worker's trace buffer in events (default 8192;
+	// overflow counts as dropped, never blocks the worker).
+	TraceCap int
+	// StatsRetention caps the retained control samples and the residual
+	// series per app (default DefaultStatsRetention).
+	StatsRetention int
+	// ResidualTolerance is the |observed − predicted| drop within which a
+	// window's prediction is considered to hold (default 0.05).
+	ResidualTolerance float64
+	// OnWindow, when non-nil, is called at every control barrier with the
+	// window's sample and residuals. Workers are parked while it runs;
+	// keep it brief.
+	OnWindow func(ControlSample, []obs.Residual)
 }
 
 // DefaultMaxQueueWait is the default finite-queue bound in cycles, tuned
@@ -177,6 +200,9 @@ func (c Config) withDefaults() Config {
 	if c.RebalanceMargin == 0 {
 		c.RebalanceMargin = 0.02
 	}
+	if c.ResidualTolerance == 0 {
+		c.ResidualTolerance = 0.05
+	}
 	return c
 }
 
@@ -195,6 +221,18 @@ type Runtime struct {
 	pendingPost    []pendingPost
 	throttleEvents int
 	finished       bool
+
+	// Observability state (see obs.go): registered metric handles, the
+	// packet tracer, the retained residual ring, running prediction
+	// accumulators for the whole-run report (independent of Stats
+	// retention), and the previous control barrier's quantum.
+	obsm         *rtObs
+	tracer       *obs.Tracer
+	residuals    []obs.Residual
+	residualHead int
+	predSum      map[string]float64
+	predCnt      map[string]int
+	lastControlQ int
 }
 
 // pendingPost marks one side of a recorded migration whose post-copy
@@ -255,7 +293,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		stats:      &Stats{},
 		curves:     map[apps.FlowType]core.Curve{},
 		quantumSec: cfg.Cfg.CyclesToSeconds(cfg.QuantumCycles),
+		predSum:    map[string]float64{},
+		predCnt:    map[string]int{},
 	}
+	r.stats.setRetention(cfg.StatsRetention)
 	r.platform.BoundChannelWaits(cfg.MaxQueueWait)
 	for t, p := range cfg.Profiles {
 		if len(p.Curve.Points) > 0 {
@@ -368,6 +409,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		states = append(states, st)
 	}
 	r.disp = &dispatcher{apps: states, quantumSec: r.quantumSec}
+	r.buildTracer()
+	if cfg.Metrics != nil {
+		r.obsm = newRtObs(cfg.Metrics, r)
+	}
 	return r, nil
 }
 
@@ -498,6 +543,7 @@ func (r *Runtime) run(stop func(doneQuanta int, processed uint64) bool) (*Report
 	for q := 0; ; q++ {
 		if q == warmQ {
 			r.resetMeasurement()
+			r.lastControlQ = q - 1
 		}
 		r.disp.enqueue(q)
 		limit := uint64(q+1) * r.cfg.QuantumCycles
@@ -593,9 +639,11 @@ func (r *Runtime) controlStep(q int) {
 	clockHz := r.cfg.Cfg.ClockHz
 	sample := ControlSample{Quantum: q, Time: float64(q+1) * r.quantumSec}
 	live := make([]core.LiveFlow, 0, len(r.workers))
+	deltas := make([]hw.Counters, len(r.workers))
 	for i, w := range r.workers {
 		cur := w.core.Counters
 		delta := cur.Sub(w.prevCounters)
+		deltas[i] = delta
 		elapsed := w.core.Clock() - w.prevClock
 		w.prevCounters = cur
 		w.prevClock = w.core.Clock()
@@ -712,6 +760,9 @@ func (r *Runtime) controlStep(q int) {
 			tele.Throttled = throttled
 			if throttled {
 				r.throttleEvents++
+				if r.obsm != nil {
+					r.obsm.throttles.Inc()
+				}
 			}
 		}
 	}
@@ -730,6 +781,27 @@ func (r *Runtime) controlStep(q int) {
 	}
 
 	r.stats.record(sample)
+
+	// Whole-run prediction accumulators for the report, decoupled from the
+	// Stats retention ring so a long run's averages cover every window.
+	for _, t := range sample.Workers {
+		if t.App != "" {
+			r.predSum[t.App] += t.PredictedDrop
+			r.predCnt[t.App]++
+		}
+	}
+
+	// Observability: this window's residual series and metric publication
+	// consume the same deltas, then the window cursors roll forward.
+	winSec := float64(q-r.lastControlQ) * r.quantumSec
+	res := r.windowResiduals(q, sample.Time, winSec, sample, deltas)
+	r.publishWindow(sample, deltas)
+	r.recordResiduals(res)
+	r.rollWindowAccounting()
+	r.lastControlQ = q
+	if r.cfg.OnWindow != nil {
+		r.cfg.OnWindow(sample, res)
+	}
 }
 
 // swap exchanges the flows of two workers: live migration at a barrier.
@@ -767,6 +839,10 @@ func (r *Runtime) swap(a, b, q int, worstBefore float64) {
 	wa.bind(fb)
 	wb.bind(fa)
 	r.migrations = append(r.migrations, m)
+	if r.obsm != nil {
+		r.obsm.migrations.Inc()
+		r.obsm.copyCycles.Add(m.StateCopyCycles)
+	}
 	// A measurement still pending on either worker now belongs to a
 	// superseded binding: drop it (its migration keeps the NaN sentinel)
 	// before scheduling this swap's.
@@ -902,17 +978,11 @@ func (r *Runtime) buildReport(measQ int) *Report {
 		rep.Workers = append(rep.Workers, wr)
 	}
 
-	// Per-app prediction averages from the recorded control samples.
-	predSum := map[string]float64{}
-	predCnt := map[string]int{}
-	for _, cs := range r.stats.Samples() {
-		for _, t := range cs.Workers {
-			if t.App != "" {
-				predSum[t.App] += t.PredictedDrop
-				predCnt[t.App]++
-			}
-		}
-	}
+	// Per-app prediction averages from the running accumulators: every
+	// control window since measurement start contributes, regardless of
+	// how many samples the Stats retention ring still holds.
+	predSum, predCnt := r.predSum, r.predCnt
+	rep.Residuals = r.Residuals()
 
 	for _, a := range r.disp.apps {
 		stages := 1

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"pktpredict/internal/apps"
+	"pktpredict/internal/obs"
 )
 
 // WorkerTelemetry is one worker's live measurements over the last control
@@ -46,19 +47,48 @@ type ControlSample struct {
 	Workers []WorkerTelemetry
 }
 
-// Stats aggregates per-core telemetry across control intervals. The
-// runtime's control loop records into it at barrier points; any goroutine
-// may concurrently read the latest snapshot, which is how a CLI progress
-// display or an external scraper observes a live dataplane.
+// DefaultStatsRetention is how many control samples Stats keeps when no
+// retention was configured: enough for any interactive run's full
+// telemetry at the default control period, while bounding a long-lived
+// dataplane's memory (the previous unbounded append leaked on long
+// runs). Whole-run aggregates (prediction averages, residual series) do
+// not depend on the retained window.
+const DefaultStatsRetention = 1024
+
+// Stats aggregates per-core telemetry across control intervals, keeping
+// the most recent samples in a fixed-size ring. The runtime's control
+// loop records into it at barrier points; any goroutine may concurrently
+// read the latest snapshot, which is how a CLI progress display or an
+// external scraper observes a live dataplane.
 type Stats struct {
 	mu      sync.Mutex
-	samples []ControlSample
+	retain  int             // ring capacity; 0 means DefaultStatsRetention
+	samples []ControlSample // ring storage, at most retain entries
+	head    int             // index of the oldest sample once the ring wrapped
+	total   int             // samples recorded since construction
+}
+
+// setRetention fixes the ring capacity; it must run before any record.
+func (s *Stats) setRetention(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retain = n
 }
 
 func (s *Stats) record(cs ControlSample) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.samples = append(s.samples, cs)
+	retain := s.retain
+	if retain <= 0 {
+		retain = DefaultStatsRetention
+	}
+	s.total++
+	if len(s.samples) < retain {
+		s.samples = append(s.samples, cs)
+		return
+	}
+	s.samples[s.head] = cs
+	s.head = (s.head + 1) % len(s.samples)
 }
 
 // Latest returns the most recent control sample (zero value when none).
@@ -68,16 +98,28 @@ func (s *Stats) Latest() ControlSample {
 	if len(s.samples) == 0 {
 		return ControlSample{}
 	}
-	return s.samples[len(s.samples)-1]
+	return s.samples[(s.head+len(s.samples)-1)%len(s.samples)]
 }
 
-// Samples returns a copy of all recorded control samples.
+// Samples returns a copy of the retained control samples, oldest first.
+// A run longer than the retention window keeps only the tail; Total
+// reports how many samples were recorded overall.
 func (s *Stats) Samples() []ControlSample {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]ControlSample, len(s.samples))
-	copy(out, s.samples)
+	out := make([]ControlSample, 0, len(s.samples))
+	for i := 0; i < len(s.samples); i++ {
+		out = append(out, s.samples[(s.head+i)%len(s.samples)])
+	}
 	return out
+}
+
+// Total returns how many control samples have been recorded since the
+// start, including any the retention ring has already evicted.
+func (s *Stats) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
 }
 
 // Migration records one live re-placement: two workers exchanged their
@@ -233,6 +275,11 @@ type Report struct {
 
 	Migrations     []Migration
 	ThrottleEvents int // control windows in which admission tightened a delay
+
+	// Residuals is the retained per-window prediction-residual series
+	// (oldest first): each profiled app's observed versus predicted drop
+	// with a diagnosed cause. Bounded by Config.StatsRetention per app.
+	Residuals []obs.Residual
 }
 
 // fmtRemRate renders a migration-window remote rate, NaN as unmeasured.

@@ -7,6 +7,7 @@ import (
 	"pktpredict/internal/hw"
 	"pktpredict/internal/mem"
 	"pktpredict/internal/nic"
+	"pktpredict/internal/obs"
 )
 
 // Receive-path attribution matches elements.FromDevice, so a runtime
@@ -214,6 +215,24 @@ type worker struct {
 	bindPackets uint64
 	bindClock   uint64
 
+	// Hot-path metric handles, resolved at build time (nil when no
+	// registry is configured): per-worker packet counter, batch-fill
+	// histogram, and spin-poll counter — each update one atomic op.
+	mPackets *obs.Counter
+	mBatch   *obs.Histogram
+	mSpins   *obs.Counter
+
+	// shard is the worker's private trace buffer (nil when tracing is
+	// off). A chain stage that processes a sampled packet leaves the
+	// span's identity in the pend fields; runQuantum brackets the trace's
+	// execution with core-clock reads and records the span.
+	shard     *obs.TraceShard
+	pendTrace uint64
+	pendPid   int
+	pendStage int
+	pendDeq   bool
+	pendEnq   bool
+
 	startC chan uint64
 	doneC  chan struct{}
 }
@@ -281,8 +300,25 @@ func (w *worker) runQuantum(limit uint64) {
 			}
 			progressed = true
 			if pkts > 0 {
-				w.core.ExecOps(ops)
+				if w.pendTrace != 0 {
+					// A sampled packet's stage work: bracket its execution
+					// with core-clock reads so the span is the charged
+					// virtual time, hand-off costs included.
+					start := w.core.Clock()
+					w.core.ExecOps(ops)
+					w.shard.Exec(obs.TraceEvent{
+						Trace: w.pendTrace, Pid: w.pendPid, Tid: w.id,
+						Stage: w.pendStage, Start: start, End: w.core.Clock(),
+						Dequeued: w.pendDeq, Enqueued: w.pendEnq,
+					})
+					w.pendTrace = 0
+				} else {
+					w.core.ExecOps(ops)
+				}
 				w.packets++
+				if w.mPackets != nil {
+					w.mPackets.Inc()
+				}
 				n++
 			} else {
 				w.core.ExecStall(ops)
@@ -292,6 +328,9 @@ func (w *worker) runQuantum(limit uint64) {
 		w.winBatchCnt++
 		w.totBatchSum += uint64(n)
 		w.totBatchCnt++
+		if w.mBatch != nil {
+			w.mBatch.Observe(float64(n))
+		}
 		if !progressed {
 			w.core.AdvanceTo(limit)
 			return

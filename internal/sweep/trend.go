@@ -1,0 +1,164 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Trend is a persistent prediction-error history: one entry per
+// (git revision, scenario), appended by each sweep run (cmd/sweep
+// -trend). It turns the per-PR smoke sweep into a time series — did this
+// change move the model's accuracy on any scenario? — without anyone
+// diffing JSON artifacts by hand.
+type Trend struct {
+	Entries []TrendEntry `json:"entries"`
+}
+
+// TrendEntry is one (revision, scenario) accuracy measurement. Re-running
+// the same revision overwrites its entry (the measurement is refreshed,
+// not duplicated).
+type TrendEntry struct {
+	GitRev   string `json:"git_rev"`
+	When     string `json:"when"` // RFC3339, recorded by the caller
+	Scale    string `json:"scale"`
+	Sweep    string `json:"sweep"`
+	Scenario string `json:"scenario"`
+
+	// MaxAbsErr/MeanAbsErr aggregate |prediction error| over the
+	// scenario's validated app rows across every grid point that ran it.
+	MaxAbsErr  float64 `json:"max_abs_error"`
+	MeanAbsErr float64 `json:"mean_abs_error"`
+	Points     int     `json:"points"`
+	Failed     int     `json:"failed_points"`
+}
+
+// LoadTrend reads a trend store; a missing file is an empty store.
+func LoadTrend(path string) (*Trend, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Trend{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trend: %w", err)
+	}
+	var t Trend
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("trend %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// Save writes the store back, stable-sorted so diffs stay readable:
+// scenario first, then insertion order (the revision time series).
+func (t *Trend) Save(path string) error {
+	sort.SliceStable(t.Entries, func(i, j int) bool {
+		return t.Entries[i].Scenario < t.Entries[j].Scenario
+	})
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Append folds one sweep report into the store: per scenario, the
+// max/mean |prediction error| over that scenario's validated app rows.
+// An existing entry for the same (rev, scenario) is replaced.
+func (t *Trend) Append(rep *Report, rev, when string) {
+	type agg struct {
+		max, sum float64
+		n        int
+		points   int
+		failed   int
+	}
+	byScenario := map[string]*agg{}
+	for _, p := range rep.Points {
+		a := byScenario[p.Scenario]
+		if a == nil {
+			a = &agg{}
+			byScenario[p.Scenario] = a
+		}
+		a.points++
+		if p.Error != "" || !p.Pass {
+			a.failed++
+		}
+		if p.Error != "" {
+			continue // broken accounting must not shape the trend
+		}
+		for _, ar := range p.Apps {
+			if !ar.Validated {
+				continue
+			}
+			e := math.Abs(ar.PredErr)
+			a.sum += e
+			a.n++
+			if e > a.max {
+				a.max = e
+			}
+		}
+	}
+	names := make([]string, 0, len(byScenario))
+	for s := range byScenario {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		a := byScenario[s]
+		e := TrendEntry{
+			GitRev: rev, When: when, Scale: rep.Scale, Sweep: rep.Name,
+			Scenario: s, MaxAbsErr: a.max, Points: a.points, Failed: a.failed,
+		}
+		if a.n > 0 {
+			e.MeanAbsErr = a.sum / float64(a.n)
+		}
+		t.upsert(e)
+	}
+}
+
+// upsert replaces the entry matching (rev, scenario) or appends.
+func (t *Trend) upsert(e TrendEntry) {
+	for i, old := range t.Entries {
+		if old.GitRev == e.GitRev && old.Scenario == e.Scenario {
+			t.Entries[i] = e
+			return
+		}
+	}
+	t.Entries = append(t.Entries, e)
+}
+
+// Markdown renders the trend table, grouped by scenario with revisions
+// in recorded order — the accuracy time series a reviewer reads to spot
+// a regression the pass/fail gate's tolerance still admits.
+func (t *Trend) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# prediction-error trend\n\n")
+	if len(t.Entries) == 0 {
+		b.WriteString("no entries yet\n")
+		return b.String()
+	}
+	b.WriteString("| scenario | rev | when | scale | max \\|err\\| | mean \\|err\\| | points | failed |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	order, seen := []string{}, map[string]bool{}
+	for _, e := range t.Entries {
+		if !seen[e.Scenario] {
+			seen[e.Scenario] = true
+			order = append(order, e.Scenario)
+		}
+	}
+	sort.Strings(order)
+	for _, s := range order {
+		for _, e := range t.Entries {
+			if e.Scenario != s {
+				continue
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %.1f%% | %.1f%% | %d | %d |\n",
+				mdCell(e.Scenario), mdCell(e.GitRev), mdCell(e.When), mdCell(e.Scale),
+				e.MaxAbsErr*100, e.MeanAbsErr*100, e.Points, e.Failed)
+		}
+	}
+	return b.String()
+}

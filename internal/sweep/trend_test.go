@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trendReport(scale string, errA, errB float64) *Report {
+	rep := &Report{
+		Name:  "smoke",
+		Scale: scale,
+		Points: []PointResult{
+			{
+				Scenario: "mixed.click", Pass: true,
+				Apps: []AppResult{
+					{App: "ipfwd", PredErr: errA, Validated: true, Pass: true},
+					{App: "probe", PredErr: 0.9, Validated: false},
+				},
+			},
+			{
+				Scenario: "mixed.click", Pass: true,
+				Apps: []AppResult{
+					{App: "ipfwd", PredErr: -errB, Validated: true, Pass: true},
+				},
+			},
+			{
+				Scenario: "bursty.click", Pass: false,
+				Error: "platform invalid",
+				Apps: []AppResult{
+					{App: "stale", PredErr: 0.5, Validated: true},
+				},
+			},
+		},
+	}
+	return rep
+}
+
+func TestTrendAppendAggregatesPerScenario(t *testing.T) {
+	tr := &Trend{}
+	tr.Append(trendReport("quick", 0.02, 0.04), "abc1234", "2026-08-08T00:00:00Z")
+
+	if len(tr.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (one per scenario): %+v", len(tr.Entries), tr.Entries)
+	}
+	byScenario := map[string]TrendEntry{}
+	for _, e := range tr.Entries {
+		byScenario[e.Scenario] = e
+	}
+	mixed := byScenario["mixed.click"]
+	if mixed.GitRev != "abc1234" || mixed.Scale != "quick" || mixed.Sweep != "smoke" {
+		t.Fatalf("mixed entry keys wrong: %+v", mixed)
+	}
+	if mixed.MaxAbsErr != 0.04 {
+		t.Fatalf("mixed max err = %v, want 0.04 (|−0.04|, unvalidated rows excluded)", mixed.MaxAbsErr)
+	}
+	if got, want := mixed.MeanAbsErr, (0.02+0.04)/2; got != want {
+		t.Fatalf("mixed mean err = %v, want %v", got, want)
+	}
+	if mixed.Points != 2 || mixed.Failed != 0 {
+		t.Fatalf("mixed points/failed = %d/%d, want 2/0", mixed.Points, mixed.Failed)
+	}
+	// An errored point contributes its failure but not its stale app rows.
+	bursty := byScenario["bursty.click"]
+	if bursty.MaxAbsErr != 0 || bursty.Failed != 1 || bursty.Points != 1 {
+		t.Fatalf("errored point leaked into aggregates: %+v", bursty)
+	}
+}
+
+func TestTrendUpsertAndPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trend.json")
+	tr, err := LoadTrend(path) // missing file: empty store
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Append(trendReport("quick", 0.02, 0.04), "rev1", "2026-08-07T00:00:00Z")
+	tr.Append(trendReport("quick", 0.01, 0.03), "rev2", "2026-08-08T00:00:00Z")
+	// Re-running rev2 refreshes its entries instead of duplicating them.
+	tr.Append(trendReport("quick", 0.05, 0.05), "rev2", "2026-08-08T01:00:00Z")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadTrend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 4 {
+		t.Fatalf("got %d entries, want 4 (2 scenarios x 2 revs): %+v", len(got.Entries), got.Entries)
+	}
+	revs := map[string]int{}
+	for _, e := range got.Entries {
+		revs[e.GitRev]++
+		if e.GitRev == "rev2" && e.Scenario == "mixed.click" && e.MaxAbsErr != 0.05 {
+			t.Fatalf("rev2 re-run did not refresh the entry: %+v", e)
+		}
+	}
+	if revs["rev1"] != 2 || revs["rev2"] != 2 {
+		t.Fatalf("rev entry counts wrong: %v", revs)
+	}
+
+	md := got.Markdown()
+	for _, want := range []string{"| scenario |", "mixed.click", "bursty.click", "rev1", "rev2"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("trend markdown missing %q:\n%s", want, md)
+		}
+	}
+	// Grouped by scenario: every bursty row precedes the first mixed row.
+	if strings.Index(md, "bursty.click") > strings.Index(md, "mixed.click") {
+		t.Fatalf("trend table not grouped by scenario:\n%s", md)
+	}
+}
