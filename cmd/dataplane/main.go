@@ -28,9 +28,13 @@
 //
 // Observability: -metrics-addr serves the live metrics registry over
 // HTTP while the dataplane runs (/metrics Prometheus text, /metrics.json
-// JSON) — scrape-safe mid-run. -residuals prints the per-window
-// prediction-residual series (predicted vs observed drop per app, with a
-// diagnosed cause) after the run. -trace-sample N tags one in N packets
+// JSON) — scrape-safe mid-run, including per-element cost counters,
+// end-to-end latency quantiles, and SLO burn gauges. -residuals prints
+// the per-window prediction-residual series (predicted vs observed drop
+// per app, with a diagnosed cause — profile drift names the specific
+// element whose live cost diverged from its offline baseline). The
+// final report includes a per-app latency table (p50/p99/p999 in
+// virtual µs, with SLO breach counts) whenever latencies were recorded. -trace-sample N tags one in N packets
 // entering each staged chain and records per-stage exec spans in virtual
 // time; -trace-out writes them as Chrome trace-event JSON loadable in
 // Perfetto (https://ui.perfetto.dev) or chrome://tracing.
@@ -155,8 +159,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "dataplane: profiling done in %.1fs\n", time.Since(start).Seconds())
 		for t, p := range profiles {
-			fmt.Fprintf(os.Stderr, "  %-8s solo %.2fM pps, %.1fM refs/s, curve %s\n",
-				t, p.SoloPPS/1e6, p.SoloRefsPerSec/1e6, p.Curve)
+			extra := ""
+			if len(p.Elements) > 0 {
+				extra = fmt.Sprintf(", %d element baselines", len(p.Elements))
+			}
+			fmt.Fprintf(os.Stderr, "  %-8s solo %.2fM pps, %.1fM refs/s, curve %s%s\n",
+				t, p.SoloPPS/1e6, p.SoloRefsPerSec/1e6, p.Curve, extra)
 		}
 		cfg.Profiles = profiles
 	}

@@ -9,19 +9,22 @@
 //	sweep -config examples/sweeps/paper_mixes.sweep
 //	      [-scale quick|full] [-platform "KEY VALUE, ..."]
 //	      [-parallel N] [-json report.json] [-md report.md] [-q]
-//	      [-trend trend.json]
+//	      [-trend trend.json] [-trend-md trend.md] [-trend-svg dir]
 //
-// -trend appends this run's per-scenario max/mean prediction error to a
-// persistent store keyed by git revision and scenario, and prints the
-// accumulated trend table — the accuracy time series across commits that
-// catches a slow regression the per-run tolerance gate still admits.
+// -trend appends this run's per-scenario max/mean prediction error and
+// worst p99 latency to a persistent store keyed by git revision and
+// scenario, and prints the accumulated trend table — the accuracy time
+// series across commits that catches a slow regression the per-run
+// tolerance gate still admits. -trend-md writes that table to a file
+// and -trend-svg renders one sparkline SVG per scenario, the artifacts
+// the nightly full-scale job uploads.
 //
 // The markdown report is printed to stdout (and to -md when given); the
 // JSON report is written to -json. The exit status is the gate: 0 when
 // every point's validated apps are within the scenario's prediction-
-// error tolerance, 1 otherwise — which is how CI turns the smoke grid
-// into a per-PR data point (the JSON report is uploaded as an
-// artifact).
+// error tolerance AND every declared latency SLO held, 1 otherwise —
+// which is how CI turns the smoke grid into a per-PR data point (the
+// JSON report is uploaded as an artifact).
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -57,6 +61,8 @@ func main() {
 	mdPath := flag.String("md", "", "write the markdown report here (stdout always gets it)")
 	trendPath := flag.String("trend", "",
 		"append per-scenario prediction error to this JSON trend store (keyed by git rev + scenario) and print the trend table")
+	trendMD := flag.String("trend-md", "", "write the trend markdown table here (requires -trend)")
+	trendSVG := flag.String("trend-svg", "", "write one per-scenario sparkline SVG into this directory (requires -trend)")
 	quiet := flag.Bool("q", false, "suppress per-point progress on stderr")
 	flag.Parse()
 
@@ -114,6 +120,12 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+	if *trendMD != "" && *trendPath == "" {
+		fatalf("-trend-md requires -trend")
+	}
+	if *trendSVG != "" && *trendPath == "" {
+		fatalf("-trend-svg requires -trend")
+	}
 	if *trendPath != "" {
 		trend, err := sweep.LoadTrend(*trendPath)
 		if err != nil {
@@ -124,6 +136,26 @@ func main() {
 			fatalf("trend: %v", err)
 		}
 		fmt.Print("\n" + trend.Markdown())
+		if *trendMD != "" {
+			if err := os.WriteFile(*trendMD, []byte(trend.Markdown()), 0o644); err != nil {
+				fatalf("trend: %v", err)
+			}
+		}
+		if *trendSVG != "" {
+			if err := os.MkdirAll(*trendSVG, 0o755); err != nil {
+				fatalf("trend: %v", err)
+			}
+			for _, scen := range trend.Scenarios() {
+				svg := trend.SparklineSVG(scen)
+				if svg == "" {
+					continue
+				}
+				path := filepath.Join(*trendSVG, "trend-"+scen+".svg")
+				if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+					fatalf("trend: %v", err)
+				}
+			}
+		}
 	}
 	if !rep.Pass {
 		fmt.Fprintf(os.Stderr, "sweep: FAIL — %d/%d points outside tolerance (max |err| %.1f%%)\n",

@@ -1,0 +1,11 @@
+// latency_slo — the mixed middlebox mix with end-to-end latency
+// objectives on its paced flows: the runtime tracks each flow's
+// virtual-time p50/p99/p999 and burn rate against the declared budget,
+// and cmd/sweep exits non-zero when a whole-run p99 misses it. The
+// saturating forwarding flow carries no objective — a flow pushed to
+// its drop point has unbounded queueing delay by construction.
+scenario :: Scenario(NAME latency_slo, MIN_CORES_PER_SOCKET 4, FIT 6);
+
+ipfwd :: Flow(TYPE IP, WORKERS 2);
+mon   :: Flow(TYPE MON, WORKERS 1, RATE_FRACTION 0.7, SLO_P99_US 500);
+vpn   :: Flow(TYPE VPN, WORKERS 1, RATE_FRACTION 0.7, SLO_P99_US 800);

@@ -5,10 +5,15 @@ import "pktpredict/internal/hw"
 // Ctx accumulates the micro-operation trace of one packet's processing.
 // Elements call Load/Store/Compute as they perform the corresponding real
 // work; each op is attributed to the current function for per-function
-// profiling (Figure 7 of the paper).
+// profiling (Figure 7 of the paper) and to the current element slot for
+// per-element online cost accounting (hw.ElemCell). The pipeline walker
+// brackets every Process call with SetElem, so element authors never
+// touch the slot; ops emitted outside a bracket carry slot 0, the flow's
+// overhead slot.
 type Ctx struct {
-	Ops []hw.Op
-	fn  hw.FuncID
+	Ops  []hw.Op
+	fn   hw.FuncID
+	elem uint16
 }
 
 // SetFunc switches the attribution function and returns the previous one,
@@ -24,14 +29,26 @@ func (c *Ctx) SetFunc(f hw.FuncID) hw.FuncID {
 // Func returns the current attribution function.
 func (c *Ctx) Func() hw.FuncID { return c.fn }
 
+// SetElem switches the element attribution slot and returns the previous
+// one, mirroring SetFunc's restore idiom. Slot 0 is the flow's overhead
+// slot.
+func (c *Ctx) SetElem(e uint16) uint16 {
+	old := c.elem
+	c.elem = e
+	return old
+}
+
+// Elem returns the current element attribution slot.
+func (c *Ctx) Elem() uint16 { return c.elem }
+
 // Load emits one memory read of the line containing a.
 func (c *Ctx) Load(a hw.Addr) {
-	c.Ops = append(c.Ops, hw.Op{Kind: hw.OpLoad, Addr: a, Func: c.fn})
+	c.Ops = append(c.Ops, hw.Op{Kind: hw.OpLoad, Addr: a, Func: c.fn, Elem: c.elem})
 }
 
 // Store emits one memory write of the line containing a.
 func (c *Ctx) Store(a hw.Addr) {
-	c.Ops = append(c.Ops, hw.Op{Kind: hw.OpStore, Addr: a, Func: c.fn})
+	c.Ops = append(c.Ops, hw.Op{Kind: hw.OpStore, Addr: a, Func: c.fn, Elem: c.elem})
 }
 
 // LoadBytes emits one read per cache line of [a, a+n).
@@ -61,7 +78,7 @@ func (c *Ctx) DMABytes(a hw.Addr, n int) {
 		return
 	}
 	for line, last := hw.LineOf(a), hw.LineOf(a+hw.Addr(n)-1); line <= last; line += hw.LineSize {
-		c.Ops = append(c.Ops, hw.Op{Kind: hw.OpDMAWrite, Addr: line, Func: c.fn})
+		c.Ops = append(c.Ops, hw.Op{Kind: hw.OpDMAWrite, Addr: line, Func: c.fn, Elem: c.elem})
 	}
 }
 
@@ -70,5 +87,5 @@ func (c *Ctx) Compute(cycles, instrs uint32) {
 	if cycles == 0 && instrs == 0 {
 		return
 	}
-	c.Ops = append(c.Ops, hw.Op{Kind: hw.OpCompute, Cycles: cycles, Instrs: instrs, Func: c.fn})
+	c.Ops = append(c.Ops, hw.Op{Kind: hw.OpCompute, Cycles: cycles, Instrs: instrs, Func: c.fn, Elem: c.elem})
 }

@@ -27,6 +27,11 @@ type Packet struct {
 	// rides the hand-off descriptors so every stage attributes its exec
 	// span to the same trace (see internal/obs).
 	Trace uint64
+	// Enq is the core-clock timestamp (virtual cycles) at which the packet
+	// was enqueued into its flow's receive ring — the start of its
+	// end-to-end latency. It rides the packet through hand-off rings so
+	// the terminal stage can record finish − Enq.
+	Enq uint64
 	// pool-internal handle, opaque to elements.
 	PoolIndex int
 }

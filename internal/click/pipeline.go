@@ -22,6 +22,12 @@ type Node struct {
 	// cut across cores (see AssignStages); 0 for run-to-completion graphs.
 	Stage int
 
+	// Elem is the node's slot in its flow's per-element attribution table
+	// (hw.ElemCell); the walker brackets Process with Ctx.SetElem so every
+	// op the element emits carries it. 0 — the flow overhead slot — until
+	// the runtime assigns slots after graph surgery is done.
+	Elem uint16
+
 	Dropped  uint64 // packet branches whose walk terminated here with a drop
 	Finished uint64 // packet branches consumed here or past the last element
 }
@@ -277,7 +283,9 @@ func walkNodes(ctx *Ctx, stack []*Node, entry *Node, p *Packet, stage int) (walk
 			}
 			continue
 		}
+		oldElem := ctx.SetElem(n.Elem)
 		v := n.El.Process(ctx, p)
+		ctx.SetElem(oldElem)
 		switch {
 		case v == Drop:
 			n.Dropped++

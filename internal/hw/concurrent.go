@@ -42,7 +42,11 @@ func (c *Core) execTrace(ops []Op) {
 			cnt.Cycles += uint64(op.Cycles)
 			cnt.Instructions += uint64(op.Instrs)
 			cnt.Func[op.Func].Cycles += uint64(op.Cycles)
+			if c.elems != nil {
+				c.elems[op.Elem].Cycles += uint64(op.Cycles)
+			}
 		case OpLoad, OpStore:
+			c.curElem = op.Elem
 			c.Socket.mu.Lock()
 			lat := c.Access(c.clock, op.Addr, op.Kind == OpStore, op.Func)
 			c.Socket.mu.Unlock()
@@ -50,7 +54,11 @@ func (c *Core) execTrace(ops []Op) {
 			cnt.Cycles += lat
 			cnt.Instructions++
 			cnt.Func[op.Func].Cycles += lat
+			if c.elems != nil {
+				c.elems[op.Elem].Cycles += lat
+			}
 		case OpLoadStream:
+			c.curElem = op.Elem
 			c.Socket.mu.Lock()
 			lat := c.Access(c.clock, op.Addr, false, op.Func)
 			c.Socket.mu.Unlock()
@@ -61,6 +69,9 @@ func (c *Core) execTrace(ops []Op) {
 			cnt.Cycles += lat
 			cnt.Instructions++
 			cnt.Func[op.Func].Cycles += lat
+			if c.elems != nil {
+				c.elems[op.Elem].Cycles += lat
+			}
 		case OpDMAWrite:
 			c.Socket.mu.Lock()
 			c.DMAWrite(c.clock, op.Addr)

@@ -72,13 +72,21 @@ func (e *Engine) step(f *Flow) bool {
 		core.Counters.Cycles += uint64(op.Cycles)
 		core.Counters.Instructions += uint64(op.Instrs)
 		core.Counters.Func[op.Func].Cycles += uint64(op.Cycles)
+		if core.elems != nil {
+			core.elems[op.Elem].Cycles += uint64(op.Cycles)
+		}
 	case OpLoad, OpStore:
+		core.curElem = op.Elem
 		lat := core.Access(core.clock, op.Addr, op.Kind == OpStore, op.Func)
 		core.clock += lat
 		core.Counters.Cycles += lat
 		core.Counters.Instructions++
 		core.Counters.Func[op.Func].Cycles += lat
+		if core.elems != nil {
+			core.elems[op.Elem].Cycles += lat
+		}
 	case OpLoadStream:
+		core.curElem = op.Elem
 		lat := core.Access(core.clock, op.Addr, false, op.Func)
 		if mlp := e.Platform.Cfg.StreamMLP; mlp > 1 {
 			lat = (lat + mlp - 1) / mlp
@@ -87,6 +95,9 @@ func (e *Engine) step(f *Flow) bool {
 		core.Counters.Cycles += lat
 		core.Counters.Instructions++
 		core.Counters.Func[op.Func].Cycles += lat
+		if core.elems != nil {
+			core.elems[op.Elem].Cycles += lat
+		}
 	case OpDMAWrite:
 		core.DMAWrite(core.clock, op.Addr)
 	default:

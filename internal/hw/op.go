@@ -31,13 +31,17 @@ const (
 
 // Op is one micro-operation of a flow's execution trace. Compute ops use
 // Cycles and Instrs; memory ops use Addr. Every op is attributed to Func
-// for per-function accounting.
+// for per-function accounting, and to Elem — a slot in the executing
+// core's per-element table (see SetElemTable) — for per-element online
+// cost attribution. Elem 0 is the flow's overhead slot, so untagged ops
+// still land in a well-defined cell.
 type Op struct {
 	Addr   Addr
 	Cycles uint32
 	Instrs uint32
 	Kind   OpKind
 	Func   FuncID
+	Elem   uint16
 }
 
 // PacketSource produces the execution trace of a packet-processing flow,

@@ -17,6 +17,13 @@ type Core struct {
 	Counters Counters
 
 	clock uint64 // local virtual time in cycles
+
+	// elems is the per-element attribution table installed by
+	// SetElemTable (nil = attribution off); curElem is the slot of the op
+	// currently executing, so Access can attribute L3 traffic without a
+	// wider signature. Both are touched only by the core's own goroutine.
+	elems   []ElemCell
+	curElem uint16
 }
 
 // Clock returns the core's local virtual time in cycles.
@@ -157,9 +164,15 @@ func (c *Core) Access(now uint64, addr Addr, write bool, fn FuncID) uint64 {
 	lat += cfg.L3Latency
 	cnt.L3Refs++
 	cnt.Func[fn].L3Refs++
+	if c.elems != nil {
+		c.elems[c.curElem].L3Refs++
+	}
 	if sock.L3.Access(addr, false) {
 		cnt.L3Hits++
 		cnt.Func[fn].L3Hits++
+		if c.elems != nil {
+			c.elems[c.curElem].L3Hits++
+		}
 		c.fillL2(now, addr)
 		c.fillL1(now, addr)
 		if write {
@@ -171,6 +184,9 @@ func (c *Core) Access(now uint64, addr Addr, write bool, fn FuncID) uint64 {
 	}
 	cnt.L3Misses++
 	cnt.Func[fn].L3Misses++
+	if c.elems != nil {
+		c.elems[c.curElem].L3Misses++
+	}
 
 	// Memory access, possibly across the interconnect.
 	home := sock.platform.HomeSocket(addr)

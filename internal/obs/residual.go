@@ -19,6 +19,11 @@ type Cause string
 const (
 	// CauseNone: |residual| within tolerance; prediction holds.
 	CauseNone Cause = "within-tolerance"
+	// CauseProfileDrift: one element's live per-packet cost diverged from
+	// its offline profile — the workload changed behaviour (a hidden
+	// trigger flipping a cheap path expensive, a table outgrowing its
+	// working set), so the prediction's inputs are stale, not its model.
+	CauseProfileDrift Cause = "profile-drift"
 	// CauseNUMA: the app pays remote-socket latency on its references —
 	// displaced state or a migrated flow without its tables.
 	CauseNUMA Cause = "numa-remote"
@@ -52,6 +57,16 @@ type WindowObs struct {
 	HitRate         float64 // L3 hit fraction of the app's references
 	SoloRefsPerSec  float64 // profiled solo reference rate (0 when unprofiled)
 	CompetingRefs   float64 // other workers' L3 refs/sec on the app's socket(s)
+
+	// Per-element profile-drift evidence, filled by the runtime's online
+	// cost attribution when an element's live cost diverged from its
+	// offline baseline. DriftElement is empty when no element drifted.
+	DriftElement   string  // name of the most-drifted element
+	DriftRefRatio  float64 // live refs/pkt over baseline refs/pkt
+	DriftLiveRefs  float64 // live refs/pkt of that element
+	DriftBaseRefs  float64 // offline baseline refs/pkt (0 when unprofiled)
+	DriftLiveCycPP float64 // live cycles/pkt of that element
+	DriftKnown     bool    // the element exists in the offline profile (its baseline may still be ~0)
 }
 
 // Residual is one (window, app) point of the prediction-residual time
@@ -90,9 +105,21 @@ func Diagnose(tol float64, o WindowObs) (Cause, string) {
 			o.Observed*100, o.Predicted*100)
 	}
 	// Observed worse than predicted: rank the evidence, most specific
-	// first. Remote references name displaced state outright; saturated
-	// rings name a pipeline cost outside the per-core model; competing
-	// reference pressure names contention the curve under-priced.
+	// first. A drifted element profile names the exact element whose
+	// behaviour changed; remote references name displaced state outright;
+	// saturated rings name a pipeline cost outside the per-core model;
+	// competing reference pressure names contention the curve
+	// under-priced.
+	if o.DriftElement != "" {
+		if o.DriftKnown {
+			return CauseProfileDrift, fmt.Sprintf(
+				"element %s runs at %.1f refs/pkt vs %.2f profiled (%.1fx, %.0f cyc/pkt) — its behaviour changed since profiling; the offline profile is stale",
+				o.DriftElement, o.DriftLiveRefs, o.DriftBaseRefs, o.DriftRefRatio, o.DriftLiveCycPP)
+		}
+		return CauseProfileDrift, fmt.Sprintf(
+			"element %s runs at %.1f refs/pkt (%.0f cyc/pkt) with no offline baseline — it appeared after profiling; the offline profile is stale",
+			o.DriftElement, o.DriftLiveRefs, o.DriftLiveCycPP)
+	}
 	if o.RemotePerPacket >= remoteEvidence {
 		return CauseNUMA, fmt.Sprintf(
 			"%.2f remote refs/pkt — state or buffers are homed on a remote socket; every table reference crosses the interconnect",

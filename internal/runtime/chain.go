@@ -7,6 +7,7 @@ import (
 	"pktpredict/internal/handoff"
 	"pktpredict/internal/hw"
 	"pktpredict/internal/mem"
+	"pktpredict/internal/obs"
 )
 
 // Cross-worker service chains: a staged Click graph (click.AssignStages)
@@ -47,6 +48,18 @@ type chainStage struct {
 	// prevPolls is the out ring's poll count at the last control barrier
 	// (the observability layer's per-window delta cursor).
 	prevPolls uint64
+
+	// elems is this stage's per-element cost table (same slot layout as
+	// flow.elems: slot 0 overhead, slot i+1 = pipe.Nodes()[i]). Chains
+	// keep one table per stage because each stage runs on its own core;
+	// a node's cost lands in the table of the stage that executes it, and
+	// the control loop sums the stages at barriers.
+	elems, prevElems, baseElems []hw.ElemCell
+
+	// lat is this stage's end-to-end latency shard: a packet's latency is
+	// recorded by whichever stage terminates its walk, so each stage owns
+	// a single-writer histogram and the control loop merges them.
+	lat, prevLat, baseLat obs.LatHist
 }
 
 // remoteRecycler routes a spent packet home through the stage's return
@@ -78,7 +91,8 @@ func (r *Runtime) buildChain(f *flow, lead, stages int, arena func(int) *mem.Are
 		if err != nil {
 			return fmt.Errorf("runtime: app %q replica %d: %w", f.app.spec.Name, f.replica, err)
 		}
-		u := &chainStage{fl: f, stage: s, runner: runner, in: prev}
+		u := &chainStage{fl: f, stage: s, runner: runner, in: prev,
+			elems: make([]hw.ElemCell, len(f.pipe.Nodes())+1)}
 		if s == 0 {
 			u.entry = f.pipe.HeadIndex()
 		}
@@ -180,6 +194,11 @@ func (u *chainStage) step(w *worker) ([]hw.Op, int) {
 	next, fin := u.runner.Walk(p, entry, prior)
 	if next >= 0 {
 		u.out.Push(ctx, p, next, fin) // cannot fail: Full was checked above
+	} else {
+		// The walk terminated here: this stage records the packet's
+		// end-to-end latency (finished or dropped — either way the packet
+		// left the system) once runQuantum has executed its trace.
+		w.pendLat, w.pendHist = p.Enq, &u.lat
 	}
 	if p.Trace != 0 && w.shard != nil {
 		// The stage's trace executes after step returns; leave the span's

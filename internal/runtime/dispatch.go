@@ -35,6 +35,12 @@ type appState struct {
 	prevEnqueued  uint64
 	prevNICDrops  uint64
 	prevProcessed uint64
+
+	// Latency-SLO evaluation state (see Runtime.publishLatency): control
+	// windows in which the window p99 exceeded the declared target, and
+	// the most recent window's burn rate.
+	sloBreaches int
+	lastBurn    float64
 }
 
 // burstActive reports whether quantum q falls in the app's on-phase.
@@ -45,12 +51,14 @@ func (a *appState) burstActive(q int) bool {
 	return q%(a.spec.BurstOn+a.spec.BurstOff) < a.spec.BurstOn
 }
 
-// emitOne generates the next packet and offers it to its RSS ring.
-func (a *appState) emitOne() {
+// emitOne generates the next packet and offers it to its RSS ring,
+// stamped with the barrier's virtual time (the enqueue side of the
+// packet's end-to-end latency).
+func (a *appState) emitOne(stamp uint64) {
 	sz := a.gen.Next(a.scratch)
 	a.offered++
 	ring := a.flows[trafficgen.RSSQueue(trafficgen.RSSHash(a.scratch[:sz]), len(a.flows))].ring
-	if ring.Push(a.scratch[:sz]) {
+	if ring.Push(a.scratch[:sz], stamp) {
 		a.enqueued++
 	} else {
 		a.nicDrops++
@@ -61,6 +69,7 @@ func (a *appState) emitOne() {
 func (a *appState) resetAccounting() {
 	a.offered, a.enqueued, a.nicDrops = 0, 0, 0
 	a.prevOffered, a.prevEnqueued, a.prevNICDrops, a.prevProcessed = 0, 0, 0, 0
+	a.sloBreaches, a.lastBurn = 0, 0
 }
 
 // dispatcher feeds every rate-driven flow group at barrier points. It
@@ -68,12 +77,18 @@ func (a *appState) resetAccounting() {
 // pushes never race with pops; the SPSC discipline additionally keeps the
 // rings correct if dispatch ever moves off the barrier.
 type dispatcher struct {
-	apps       []*appState
-	quantumSec float64
+	apps          []*appState
+	quantumSec    float64
+	quantumCycles uint64
 }
 
-// enqueue generates quantum q's worth of traffic for every app.
+// enqueue generates quantum q's worth of traffic for every app. Every
+// packet enqueued here is stamped with the barrier's virtual time — all
+// cores sit at exactly q × quantum cycles when the dispatcher runs — so
+// the worker that later finishes the packet can compute its end-to-end
+// latency from its own core clock.
 func (d *dispatcher) enqueue(q int) {
+	stamp := uint64(q) * d.quantumCycles
 	for _, a := range d.apps {
 		if a.gen == nil || !a.burstActive(q) {
 			continue
@@ -99,7 +114,7 @@ func (d *dispatcher) enqueue(q int) {
 			}
 			a.primed = true
 			for i := 0; i < budget; i++ {
-				a.emitOne()
+				a.emitOne(stamp)
 			}
 			continue
 		}
@@ -107,7 +122,7 @@ func (d *dispatcher) enqueue(q int) {
 		n := int(a.carry)
 		a.carry -= float64(n)
 		for i := 0; i < n; i++ {
-			a.emitOne()
+			a.emitOne(stamp)
 		}
 	}
 }

@@ -54,6 +54,20 @@ type rtObs struct {
 	migrations *obs.Counter
 	copyCycles *obs.Counter
 	throttles  *obs.Counter
+
+	// Per-element attribution families. These resolve label tuples at the
+	// barrier (not the hot path): the worker label follows live
+	// migrations, so the series set is discovered as flows move.
+	elemCycles, elemRefs   *obs.CounterVec
+	elemCycPkt, elemRefPkt *obs.GaugeVec
+	appDrift               map[string]*obs.Gauge
+
+	// Per-app end-to-end latency quantiles (label: quantile) and SLO
+	// telemetry (burn gauge + breach counter, only for apps declaring a
+	// target).
+	appLatQ  map[string][3]*obs.Gauge
+	sloBurn  map[string]*obs.Gauge
+	sloTripd map[string]*obs.Counter
 }
 
 // hwCounterNames enumerates hw.Counters.Each's stable name order once.
@@ -65,8 +79,8 @@ func hwCounterNames() []string {
 
 // residualCauses is the label universe of the cause info gauge.
 var residualCauses = []obs.Cause{
-	obs.CauseNone, obs.CauseNUMA, obs.CauseRing, obs.CauseL3,
-	obs.CauseBetter, obs.CauseUnknown,
+	obs.CauseNone, obs.CauseProfileDrift, obs.CauseNUMA, obs.CauseRing,
+	obs.CauseL3, obs.CauseBetter, obs.CauseUnknown,
 }
 
 // newRtObs registers every metric family and resolves the handles for
@@ -87,6 +101,10 @@ func newRtObs(reg *obs.Registry, r *Runtime) *rtObs {
 		handoffFill:  map[*chainStage]*obs.Gauge{},
 		handoffPolls: map[*chainStage]*obs.Counter{},
 		lastBound:    map[int]*obs.Gauge{},
+		appDrift:     map[string]*obs.Gauge{},
+		appLatQ:      map[string][3]*obs.Gauge{},
+		sloBurn:      map[string]*obs.Gauge{},
+		sloTripd:     map[string]*obs.Counter{},
 	}
 
 	packets := reg.Counter("dataplane_worker_packets_total",
@@ -170,6 +188,34 @@ func newRtObs(reg *obs.Registry, r *Runtime) *rtObs {
 			app, rep, cut := f.app.spec.Name, fmt.Sprint(f.replica), fmt.Sprint(u.stage)
 			m.handoffFill[u] = hofV.With(app, rep, cut)
 			m.handoffPolls[u] = hopV.With(app, rep, cut)
+		}
+	}
+
+	m.elemCycles = reg.Counter("dataplane_element_cycles_total",
+		"exec cycles attributed to the element since measurement start", "element", "app", "stage", "worker")
+	m.elemRefs = reg.Counter("dataplane_element_l3_refs_total",
+		"L3 references attributed to the element since measurement start", "element", "app", "stage", "worker")
+	m.elemCycPkt = reg.Gauge("dataplane_element_cycles_per_packet",
+		"element cycles per flow packet, last control window", "element", "app", "stage", "worker")
+	m.elemRefPkt = reg.Gauge("dataplane_element_refs_per_packet",
+		"element L3 references per flow packet, last control window", "element", "app", "stage", "worker")
+	driftV := reg.Gauge("dataplane_app_drift_ratio",
+		"worst element live-over-baseline refs/pkt ratio, 0 when no element drifted", "app")
+	latV := reg.Gauge("dataplane_app_latency_cycles",
+		"end-to-end latency quantile in core cycles, last non-empty control window", "app", "quantile")
+	burnV := reg.Gauge("dataplane_app_slo_burn_rate",
+		"fraction of window packets over the latency SLO target, relative to the 1% p99 budget", "app")
+	tripV := reg.Counter("dataplane_app_slo_breaches_total",
+		"control windows whose window p99 exceeded the latency SLO target", "app")
+	for _, a := range r.disp.apps {
+		name := a.spec.Name
+		m.appDrift[name] = driftV.With(name)
+		m.appLatQ[name] = [3]*obs.Gauge{
+			latV.With(name, "0.5"), latV.With(name, "0.99"), latV.With(name, "0.999"),
+		}
+		if a.spec.SLOP99US > 0 {
+			m.sloBurn[name] = burnV.With(name)
+			m.sloTripd[name] = tripV.With(name)
 		}
 	}
 
@@ -260,14 +306,217 @@ func eachValues(c hw.Counters) []uint64 {
 	return out
 }
 
+// overheadElem names table slot 0 in per-element telemetry: cost charged
+// outside any element's Process bracket (source pulls, ring polls,
+// buffer recycling).
+const overheadElem = "overhead"
+
+// elemWindow is one (flow, stage, element) cost delta over a control
+// window — the unit of per-element attribution and drift detection.
+type elemWindow struct {
+	app     string
+	element string
+	stage   int
+	worker  int
+	pkts    uint64 // packets the flow processed this window
+	cells   hw.ElemCell
+}
+
+// windowElems differences every flow's (and chain stage's) per-element
+// table against its control-window cursor, skipping cells that accrued
+// nothing. The cursors roll forward in rollWindowAccounting after the
+// window's consumers have read them. Runs at the barrier: the owning
+// workers are parked, so plain reads of their cells are safe.
+func (r *Runtime) windowElems() []elemWindow {
+	bound := map[*flow]int{}
+	for _, w := range r.workers {
+		if w.fl != nil && w.unit == nil {
+			bound[w.fl] = w.id
+		}
+	}
+	var out []elemWindow
+	for _, f := range r.flows {
+		if f.pipe == nil {
+			continue
+		}
+		nodes := f.pipe.Nodes()
+		name := func(i int) string {
+			if i == 0 {
+				return overheadElem
+			}
+			return nodes[i-1].Name
+		}
+		app := f.app.spec.Name
+		pkts := f.packets - f.prevPackets
+		for i := range f.elems {
+			var prev hw.ElemCell
+			if i < len(f.prevElems) {
+				prev = f.prevElems[i]
+			}
+			d := f.elems[i].Sub(prev)
+			if d.Cycles == 0 && d.L3Refs == 0 {
+				continue
+			}
+			out = append(out, elemWindow{app: app, element: name(i), worker: bound[f], pkts: pkts, cells: d})
+		}
+		for _, u := range f.stages {
+			for i := range u.elems {
+				var prev hw.ElemCell
+				if i < len(u.prevElems) {
+					prev = u.prevElems[i]
+				}
+				d := u.elems[i].Sub(prev)
+				if d.Cycles == 0 && d.L3Refs == 0 {
+					continue
+				}
+				out = append(out, elemWindow{app: app, element: name(i), stage: u.stage, worker: u.workerIdx, pkts: pkts, cells: d})
+			}
+		}
+	}
+	return out
+}
+
+// publishElems writes the window's per-element cost deltas into the
+// registry. Label tuples resolve here at the barrier — the worker label
+// follows the flow across migrations, so a migrated flow's costs start a
+// new series on its new core, as a per-core hardware profiler would see.
+func (r *Runtime) publishElems(elems []elemWindow) {
+	m := r.obsm
+	if m == nil {
+		return
+	}
+	for _, e := range elems {
+		stage, worker := fmt.Sprint(e.stage), fmt.Sprint(e.worker)
+		m.elemCycles.With(e.element, e.app, stage, worker).Add(e.cells.Cycles)
+		m.elemRefs.With(e.element, e.app, stage, worker).Add(e.cells.L3Refs)
+		if e.pkts > 0 {
+			m.elemCycPkt.With(e.element, e.app, stage, worker).Set(float64(e.cells.Cycles) / float64(e.pkts))
+			m.elemRefPkt.With(e.element, e.app, stage, worker).Set(float64(e.cells.L3Refs) / float64(e.pkts))
+		}
+	}
+}
+
+// Profile-drift thresholds: an element drifts when its live refs/pkt is
+// at least driftRatio times its offline baseline and clears the
+// significance floor (driftMinRefs); elements absent from the offline
+// profile — they appeared after profiling — are compared against
+// driftBaseFloor instead of zero. Memory references are the drift signal
+// because trace replay makes them contention-invariant: a co-runner can
+// inflate an element's cycles/pkt without its behaviour changing, but
+// refs/pkt only moves when the element itself issues different accesses.
+// (The dual limitation is honest too: a purely compute-bound behaviour
+// change is invisible to this detector; see docs/observability.md.)
+const (
+	driftRatio     = 2.0
+	driftMinRefs   = 0.5
+	driftBaseFloor = 0.25
+)
+
+// windowDrift scans one app's per-element window costs for the element
+// that most exceeds its offline baseline, filling the WindowObs drift
+// evidence. It is a no-op unless the app's profile carries element
+// baselines (len(prof.Elements) > 0) — hand-built profiles without them
+// must not trip drift on every element.
+func windowDrift(o *obs.WindowObs, prof FlowProfile, byElem map[string]hw.ElemCell, pkts uint64) {
+	if len(prof.Elements) == 0 || pkts == 0 {
+		return
+	}
+	best := 0.0
+	for name, cells := range byElem {
+		liveRefs := float64(cells.L3Refs) / float64(pkts)
+		if liveRefs < driftMinRefs {
+			continue
+		}
+		baseline, known := prof.Elements[name]
+		base := baseline.RefsPerPacket
+		if base < driftBaseFloor {
+			base = driftBaseFloor
+		}
+		ratio := liveRefs / base
+		if ratio >= driftRatio && ratio > best {
+			best = ratio
+			o.DriftElement = name
+			o.DriftRefRatio = ratio
+			o.DriftLiveRefs = liveRefs
+			o.DriftBaseRefs = baseline.RefsPerPacket
+			o.DriftLiveCycPP = float64(cells.Cycles) / float64(pkts)
+			o.DriftKnown = known
+		}
+	}
+}
+
+// evalLatency merges each app's per-flow (and per-stage) latency shards
+// into the window's delta histogram, publishes its quantiles, and
+// evaluates the app's latency SLO: the burn rate is the fraction of
+// window packets over the target relative to the 1% budget a p99 target
+// implies, and a window whose p99 exceeds the target counts one breach.
+// Runs at the barrier regardless of whether a registry is configured —
+// breach counts feed the report and the sweep gate, not just /metrics.
+func (r *Runtime) evalLatency() {
+	clockHz := r.cfg.Cfg.ClockHz
+	for _, a := range r.disp.apps {
+		var d obs.LatHist
+		for _, f := range a.flows {
+			fd := f.lat.Sub(&f.prevLat)
+			d.Merge(&fd)
+			for _, u := range f.stages {
+				ud := u.lat.Sub(&u.prevLat)
+				d.Merge(&ud)
+			}
+		}
+		if d.Count() == 0 {
+			continue
+		}
+		name := a.spec.Name
+		p99 := d.Quantile(0.99)
+		if m := r.obsm; m != nil {
+			q := m.appLatQ[name]
+			q[0].Set(d.Quantile(0.50))
+			q[1].Set(p99)
+			q[2].Set(d.Quantile(0.999))
+		}
+		if a.spec.SLOP99US <= 0 {
+			continue
+		}
+		target := uint64(a.spec.SLOP99US * 1e-6 * clockHz)
+		a.lastBurn = float64(d.CountOver(target)) / float64(d.Count()) / 0.01
+		breached := p99 > float64(target)
+		if breached {
+			a.sloBreaches++
+		}
+		if m := r.obsm; m != nil {
+			m.sloBurn[name].Set(a.lastBurn)
+			if breached {
+				m.sloTripd[name].Inc()
+			}
+		}
+	}
+}
+
 // windowResiduals computes the window's per-app prediction residuals and
 // diagnoses each divergence from the same counter evidence the
 // predictor reads. winSec is the window's wall length in virtual
 // seconds. Apps without a solo profile (synthetic probes, unprofiled
 // customs) produce no residual — there is no prediction to diverge from.
-func (r *Runtime) windowResiduals(q int, tsec, winSec float64, sample ControlSample, deltas []hw.Counters) []obs.Residual {
+func (r *Runtime) windowResiduals(q int, tsec, winSec float64, sample ControlSample, deltas []hw.Counters, elems []elemWindow) []obs.Residual {
 	if winSec <= 0 {
 		return nil
+	}
+	// Per-app per-element window costs, summed across replicas and
+	// stages: the drift detector's live side.
+	byApp := map[string]map[string]hw.ElemCell{}
+	for _, e := range elems {
+		em := byApp[e.app]
+		if em == nil {
+			em = map[string]hw.ElemCell{}
+			byApp[e.app] = em
+		}
+		c := em[e.element]
+		c.Cycles += e.cells.Cycles
+		c.L3Refs += e.cells.L3Refs
+		c.L3Hits += e.cells.L3Hits
+		c.L3Misses += e.cells.L3Misses
+		em[e.element] = c
 	}
 	var out []obs.Residual
 	for _, a := range r.disp.apps {
@@ -364,6 +613,10 @@ func (r *Runtime) windowResiduals(q int, tsec, winSec float64, sample ControlSam
 		if l3Refs > 0 {
 			o.HitRate = float64(l3Hits) / float64(l3Refs)
 		}
+		windowDrift(&o, prof, byApp[a.spec.Name], winProcessed)
+		if m := r.obsm; m != nil {
+			m.appDrift[a.spec.Name].Set(o.DriftRefRatio)
+		}
 		out = append(out, obs.NewResidual(q, tsec, r.cfg.ResidualTolerance, o))
 	}
 	return out
@@ -412,6 +665,15 @@ func (r *Runtime) rollWindowAccounting() {
 			processed += f.packets
 		}
 		a.prevProcessed = processed
+	}
+	for _, f := range r.flows {
+		f.prevPackets = f.packets
+		f.prevElems = snapshotElems(f.elems, f.prevElems)
+		f.prevLat = f.lat
+		for _, u := range f.stages {
+			u.prevElems = snapshotElems(u.elems, u.prevElems)
+			u.prevLat = u.lat
+		}
 	}
 }
 

@@ -103,6 +103,12 @@ func TestRuntimeMetricsScrapeMidRun(t *testing.T) {
 		`dataplane_worker_hw_total{worker="0",counter="l3_refs"}`,
 		`dataplane_app_offered_total{app="ipfwd"}`,
 		`dataplane_worker_app{worker="2",app="mon",stage="0"} 1`,
+		"# TYPE dataplane_element_cycles_total counter",
+		"# TYPE dataplane_element_l3_refs_total counter",
+		"# TYPE dataplane_element_cycles_per_packet gauge",
+		`element="overhead"`,
+		`dataplane_app_latency_cycles{app="ipfwd",quantile="0.99"}`,
+		"# TYPE dataplane_app_drift_ratio gauge",
 	} {
 		if !strings.Contains(final, want) {
 			t.Fatalf("final scrape missing %q:\n%s", want, final)

@@ -31,11 +31,94 @@ func ProfileFlows(cfg hw.Config, params apps.Params, warmup, window float64, gri
 		if err != nil {
 			return nil, err
 		}
-		out[t] = FlowProfile{
+		prof := FlowProfile{
 			SoloPPS:        solo.Throughput(),
 			SoloRefsPerSec: solo.L3RefsPerSec(),
 			Curve:          curve,
 		}
+		if !t.Synthetic() {
+			// Per-element baselines come from a brief solo run on the
+			// runtime itself rather than the engine: the runtime's build
+			// path (graph surgery, receive rings, recycling) is the one
+			// the live tables will measure, so node names and overhead
+			// attribution match exactly.
+			elems, err := soloElementBaselines(cfg, params, t, warmup, window)
+			if err != nil {
+				return nil, err
+			}
+			prof.Elements = elems
+		}
+		out[t] = prof
 	}
 	return out, nil
+}
+
+// soloElementBaselines measures one flow type's per-element per-packet
+// costs with a single saturated replica and no co-runners — the offline
+// side of online drift detection.
+func soloElementBaselines(cfg hw.Config, params apps.Params, t apps.FlowType, warmup, window float64) (map[string]ElemBaseline, error) {
+	rt, err := NewRuntime(Config{
+		Cfg:    cfg,
+		Params: params,
+		Apps:   []AppSpec{{Name: "solo", Type: t, Workers: 1}},
+		Warmup: warmup,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := rt.Run(window); err != nil {
+		return nil, err
+	}
+	return rt.ElementBaselines(), nil
+}
+
+// ElementBaselines aggregates per-element costs since measurement start
+// across every flow of the runtime, per packet entering a flow. Call it
+// after Run returns (no workers are writing the tables then). It is
+// meant for single-type profiling runs; a mixed runtime folds all apps'
+// same-named elements together.
+func (r *Runtime) ElementBaselines() map[string]ElemBaseline {
+	totals := map[string]hw.ElemCell{}
+	var pkts uint64
+	add := func(f *flow, cur, base []hw.ElemCell) {
+		nodes := f.pipe.Nodes()
+		for i := range cur {
+			var b hw.ElemCell
+			if i < len(base) {
+				b = base[i]
+			}
+			d := cur[i].Sub(b)
+			name := overheadElem
+			if i > 0 {
+				name = nodes[i-1].Name
+			}
+			c := totals[name]
+			c.Cycles += d.Cycles
+			c.L3Refs += d.L3Refs
+			c.L3Hits += d.L3Hits
+			c.L3Misses += d.L3Misses
+			totals[name] = c
+		}
+	}
+	for _, f := range r.flows {
+		if f.pipe == nil {
+			continue
+		}
+		pkts += f.packets
+		add(f, f.elems, f.baseElems)
+		for _, u := range f.stages {
+			add(f, u.elems, u.baseElems)
+		}
+	}
+	if pkts == 0 {
+		return nil
+	}
+	out := make(map[string]ElemBaseline, len(totals))
+	for name, c := range totals {
+		out[name] = ElemBaseline{
+			CyclesPerPacket: float64(c.Cycles) / float64(pkts),
+			RefsPerPacket:   float64(c.L3Refs) / float64(pkts),
+		}
+	}
+	return out
 }

@@ -19,9 +19,10 @@ import (
 // consumed before the head store (acquire via atomic loads), the standard
 // SPSC discipline.
 type Ring struct {
-	slots [][]byte
-	lens  []int32
-	mask  uint64
+	slots  [][]byte
+	lens   []int32
+	stamps []uint64 // enqueue timestamps (virtual cycles), slot-parallel
+	mask   uint64
 
 	_    [64]byte // keep producer and consumer cursors on separate lines
 	tail atomic.Uint64
@@ -40,9 +41,10 @@ func NewRing(capacity, maxPacket int) *Ring {
 		n <<= 1
 	}
 	r := &Ring{
-		slots: make([][]byte, n),
-		lens:  make([]int32, n),
-		mask:  uint64(n - 1),
+		slots:  make([][]byte, n),
+		lens:   make([]int32, n),
+		stamps: make([]uint64, n),
+		mask:   uint64(n - 1),
 	}
 	for i := range r.slots {
 		r.slots[i] = make([]byte, maxPacket)
@@ -64,10 +66,11 @@ func (r *Ring) Len() int {
 // differences across barriers.
 func (r *Ring) Consumed() uint64 { return r.head.Load() }
 
-// Push copies p into the ring. It returns false — the packet is dropped —
-// when the ring is full or p exceeds the slot size. Only the single
-// producer may call Push.
-func (r *Ring) Push(p []byte) bool {
+// Push copies p into the ring, stamped with the virtual-cycle time at
+// which it was enqueued (the start of the packet's end-to-end latency).
+// It returns false — the packet is dropped — when the ring is full or p
+// exceeds the slot size. Only the single producer may call Push.
+func (r *Ring) Push(p []byte, stamp uint64) bool {
 	t := r.tail.Load()
 	if t-r.head.Load() >= uint64(len(r.slots)) {
 		return false
@@ -78,20 +81,23 @@ func (r *Ring) Push(p []byte) bool {
 	}
 	copy(slot, p)
 	r.lens[t&r.mask] = int32(len(p))
+	r.stamps[t&r.mask] = stamp
 	r.tail.Store(t + 1) // publish
 	return true
 }
 
-// Pop copies the next packet into dst and returns its length. It returns
-// ok=false when the ring is empty. Only the single consumer may call Pop;
-// dst must hold at least the ring's maxPacket bytes.
-func (r *Ring) Pop(dst []byte) (n int, ok bool) {
+// Pop copies the next packet into dst and returns its length and enqueue
+// stamp. It returns ok=false when the ring is empty. Only the single
+// consumer may call Pop; dst must hold at least the ring's maxPacket
+// bytes.
+func (r *Ring) Pop(dst []byte) (n int, stamp uint64, ok bool) {
 	h := r.head.Load()
 	if h == r.tail.Load() {
-		return 0, false
+		return 0, 0, false
 	}
 	ln := int(r.lens[h&r.mask])
 	copy(dst[:ln], r.slots[h&r.mask])
+	stamp = r.stamps[h&r.mask]
 	r.head.Store(h + 1) // release the slot
-	return ln, true
+	return ln, stamp, true
 }

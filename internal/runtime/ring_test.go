@@ -13,7 +13,7 @@ func TestRingBasicOrder(t *testing.T) {
 		t.Fatalf("cap = %d, want 8", r.Cap())
 	}
 	for i := 0; i < 5; i++ {
-		if !r.Push([]byte{byte(i), 1, 2}) {
+		if !r.Push([]byte{byte(i), 1, 2}, uint64(100+i)) {
 			t.Fatalf("push %d failed", i)
 		}
 	}
@@ -22,12 +22,15 @@ func TestRingBasicOrder(t *testing.T) {
 	}
 	dst := make([]byte, 16)
 	for i := 0; i < 5; i++ {
-		n, ok := r.Pop(dst)
+		n, stamp, ok := r.Pop(dst)
 		if !ok || n != 3 || dst[0] != byte(i) {
 			t.Fatalf("pop %d: n=%d ok=%v first=%d", i, n, ok, dst[0])
 		}
+		if stamp != uint64(100+i) {
+			t.Fatalf("pop %d: stamp = %d, want %d", i, stamp, 100+i)
+		}
 	}
-	if _, ok := r.Pop(dst); ok {
+	if _, _, ok := r.Pop(dst); ok {
 		t.Fatal("pop from empty ring succeeded")
 	}
 }
@@ -39,17 +42,17 @@ func TestRingFullAndWraparound(t *testing.T) {
 	seq := byte(0)
 	expect := byte(0)
 	for round := 0; round < 40; round++ {
-		for r.Push([]byte{seq}) {
+		for r.Push([]byte{seq}, 0) {
 			seq++
 		}
 		if r.Len() != r.Cap() {
 			t.Fatalf("round %d: ring not full after rejected push (len %d)", round, r.Len())
 		}
-		if r.Push([]byte{99}) {
+		if r.Push([]byte{99}, 0) {
 			t.Fatal("push into full ring succeeded")
 		}
 		for {
-			n, ok := r.Pop(dst)
+			n, _, ok := r.Pop(dst)
 			if !ok {
 				break
 			}
@@ -63,7 +66,7 @@ func TestRingFullAndWraparound(t *testing.T) {
 
 func TestRingRejectsOversizedPacket(t *testing.T) {
 	r := NewRing(4, 8)
-	if r.Push(make([]byte, 9)) {
+	if r.Push(make([]byte, 9), 0) {
 		t.Fatal("oversized push succeeded")
 	}
 	if r.Len() != 0 {
@@ -91,7 +94,7 @@ func TestRingConcurrentSPSC(t *testing.T) {
 		dst := make([]byte, 8)
 		next := uint64(0)
 		for next < total {
-			n, ok := r.Pop(dst)
+			n, _, ok := r.Pop(dst)
 			if !ok {
 				// On a single-P runtime a busy spin would starve the
 				// producer for a whole scheduling slice.
@@ -114,7 +117,7 @@ func TestRingConcurrentSPSC(t *testing.T) {
 	buf := make([]byte, 8)
 	for i := uint64(0); i < total; {
 		binary.LittleEndian.PutUint64(buf, i)
-		if r.Push(buf) {
+		if r.Push(buf, i) {
 			i++
 		} else {
 			stdruntime.Gosched()
@@ -160,7 +163,7 @@ func TestRingConcurrentWithTelemetryReaders(t *testing.T) {
 	go func() {
 		dst := make([]byte, 32)
 		for next := uint64(0); next < total; {
-			n, ok := r.Pop(dst)
+			n, stamp, ok := r.Pop(dst)
 			if !ok {
 				stdruntime.Gosched()
 				continue
@@ -173,6 +176,10 @@ func TestRingConcurrentWithTelemetryReaders(t *testing.T) {
 				consDone <- errOutOfOrder{want: next, got: v}
 				return
 			}
+			if stamp != next {
+				consDone <- errOutOfOrder{want: next, got: stamp}
+				return
+			}
 			next++
 		}
 		consDone <- nil
@@ -181,7 +188,7 @@ func TestRingConcurrentWithTelemetryReaders(t *testing.T) {
 	for i := uint64(0); i < total; {
 		sz := 8 + i%17
 		binary.LittleEndian.PutUint64(buf, i)
-		if r.Push(buf[:sz]) {
+		if r.Push(buf[:sz], i) {
 			i++
 		} else {
 			stdruntime.Gosched()

@@ -40,6 +40,21 @@ type FlowProfile struct {
 	SoloPPS        float64
 	SoloRefsPerSec float64
 	Curve          core.Curve
+
+	// Elements holds the flow type's offline per-element baseline costs,
+	// keyed by pipeline node name (plus the "overhead" slot), measured by
+	// a solo runtime run (ProfileFlows). The control loop compares live
+	// per-element costs against these every window; an element whose live
+	// refs/pkt leaves the baseline is diagnosed as profile drift. Empty
+	// or nil disables drift detection for the type.
+	Elements map[string]ElemBaseline
+}
+
+// ElemBaseline is one element's offline per-packet cost: the reference
+// the online drift detector compares live windows against.
+type ElemBaseline struct {
+	CyclesPerPacket float64
+	RefsPerPacket   float64
 }
 
 // AppSpec declares one flow group: a flow type served by Workers
@@ -73,6 +88,13 @@ type AppSpec struct {
 	SynCompute int
 	// PacketSize overrides the type's default packet size.
 	PacketSize int
+
+	// SLOP99US, when positive, declares the app's end-to-end latency SLO:
+	// the p99 of ring-enqueue to walk-termination latency must stay under
+	// this many virtual microseconds. The control loop evaluates it every
+	// window (burn-rate gauge, breach counter); sweep runs fail a point
+	// whose app ends with breaches.
+	SLOP99US float64
 }
 
 // Config assembles a runtime.
@@ -233,6 +255,9 @@ type Runtime struct {
 	predSum      map[string]float64
 	predCnt      map[string]int
 	lastControlQ int
+	// warmQ is the first measured quantum (warmup length in quanta), the
+	// origin of every sample's virtual-time axis.
+	warmQ int
 }
 
 // pendingPost marks one side of a recorded migration whose post-copy
@@ -408,7 +433,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		}
 		states = append(states, st)
 	}
-	r.disp = &dispatcher{apps: states, quantumSec: r.quantumSec}
+	r.disp = &dispatcher{apps: states, quantumSec: r.quantumSec, quantumCycles: cfg.QuantumCycles}
 	r.buildTracer()
 	if cfg.Metrics != nil {
 		r.obsm = newRtObs(cfg.Metrics, r)
@@ -495,6 +520,19 @@ func (r *Runtime) buildFlow(st *appState, replica int, arenas []*mem.Arena) (*fl
 	}
 	if f.pipe != nil {
 		f.ring = NewRing(r.cfg.RingSize, st.pktSize)
+		// Per-element attribution slots: the graph is structurally final
+		// here (control elements and aggressors are inserted by the
+		// builders), so each node gets the table slot its ops will be
+		// charged to. Slot 0 stays the overhead slot (source pull, ring
+		// polls, recycling). Chains allocate per-stage tables instead
+		// (buildChain); the cursor slices stay nil for them.
+		nodes := f.pipe.Nodes()
+		for i, n := range nodes {
+			n.Elem = uint16(i + 1)
+		}
+		if r.cfg.Params.Stages(spec.Type) == 1 {
+			f.elems = make([]hw.ElemCell, len(nodes)+1)
+		}
 	} else {
 		f.raw = inst.Source
 	}
@@ -538,6 +576,7 @@ func (r *Runtime) run(stop func(doneQuanta int, processed uint64) bool) (*Report
 	if r.cfg.Warmup > 0 {
 		warmQ = int(math.Ceil(r.cfg.Warmup / r.quantumSec))
 	}
+	r.warmQ = warmQ
 	sinceControl := 0
 	measured := 0
 	for q := 0; ; q++ {
@@ -597,6 +636,15 @@ func (r *Runtime) resetMeasurement() {
 	}
 	for _, f := range r.flows {
 		f.packets = 0
+		f.prevPackets = 0
+		f.prevElems = snapshotElems(f.elems, f.prevElems)
+		f.baseElems = snapshotElems(f.elems, f.baseElems)
+		f.prevLat, f.baseLat = f.lat, f.lat
+		for _, u := range f.stages {
+			u.prevElems = snapshotElems(u.elems, u.prevElems)
+			u.baseElems = snapshotElems(u.elems, u.baseElems)
+			u.prevLat, u.baseLat = u.lat, u.lat
+		}
 		if f.stages != nil {
 			for _, u := range f.stages {
 				u.runner.Reset()
@@ -631,13 +679,29 @@ func (r *Runtime) resetMeasurement() {
 	}
 }
 
+// snapshotElems copies cur into dst (reusing its storage when sized
+// right), the control loop's cursor idiom for per-element cell tables.
+func snapshotElems(cur, dst []hw.ElemCell) []hw.ElemCell {
+	if cur == nil {
+		return nil
+	}
+	if len(dst) != len(cur) {
+		dst = make([]hw.ElemCell, len(cur))
+	}
+	copy(dst, cur)
+	return dst
+}
+
 // controlStep is the operator's monitoring agent, run at a barrier: it
 // derives per-core telemetry from counter deltas, applies admission
 // control, and — when predicted drop crosses the threshold — re-places
 // flows across sockets.
 func (r *Runtime) controlStep(q int) {
 	clockHz := r.cfg.Cfg.ClockHz
-	sample := ControlSample{Quantum: q, Time: float64(q+1) * r.quantumSec}
+	// Time is virtual seconds since measurement start: warmup quanta are
+	// excluded from the axis, so the first post-warmup window ends at
+	// ControlEvery × quantum regardless of how long warmup ran.
+	sample := ControlSample{Quantum: q, Time: float64(q+1-r.warmQ) * r.quantumSec}
 	live := make([]core.LiveFlow, 0, len(r.workers))
 	deltas := make([]hw.Counters, len(r.workers))
 	for i, w := range r.workers {
@@ -791,11 +855,15 @@ func (r *Runtime) controlStep(q int) {
 		}
 	}
 
-	// Observability: this window's residual series and metric publication
+	// Observability: this window's residual series, per-element cost
+	// attribution, latency/SLO evaluation, and metric publication all
 	// consume the same deltas, then the window cursors roll forward.
 	winSec := float64(q-r.lastControlQ) * r.quantumSec
-	res := r.windowResiduals(q, sample.Time, winSec, sample, deltas)
+	elems := r.windowElems()
+	res := r.windowResiduals(q, sample.Time, winSec, sample, deltas, elems)
 	r.publishWindow(sample, deltas)
+	r.publishElems(elems)
+	r.evalLatency()
 	r.recordResiduals(res)
 	r.rollWindowAccounting()
 	r.lastControlQ = q
@@ -1054,6 +1122,28 @@ func (r *Runtime) buildReport(measQ int) *Report {
 		if n := predCnt[a.spec.Name]; n > 0 {
 			ar.PredictedDrop = predSum[a.spec.Name] / float64(n)
 		}
+		// Whole-window latency percentiles from the group's merged
+		// log-bucket histogram, and the SLO outcome the control loop
+		// accumulated window by window.
+		var hist obs.LatHist
+		for _, f := range a.flows {
+			fd := f.lat.Sub(&f.baseLat)
+			hist.Merge(&fd)
+			for _, u := range f.stages {
+				ud := u.lat.Sub(&u.baseLat)
+				hist.Merge(&ud)
+			}
+		}
+		if hist.Count() > 0 {
+			toUS := 1e6 / r.cfg.Cfg.ClockHz
+			ar.LatCount = hist.Count()
+			ar.LatP50US = hist.Quantile(0.50) * toUS
+			ar.LatP99US = hist.Quantile(0.99) * toUS
+			ar.LatP999US = hist.Quantile(0.999) * toUS
+		}
+		ar.SLOP99US = a.spec.SLOP99US
+		ar.SLOBreaches = a.sloBreaches
+		ar.SLOBurnRate = a.lastBurn
 		rep.Apps = append(rep.Apps, ar)
 	}
 	return rep

@@ -226,6 +226,25 @@ type AppReport struct {
 	PredictedDrop float64 // time-averaged per-worker curve prediction
 	LossRate      float64 // NICDrops/Offered
 
+	// End-to-end latency over the measurement window: ring-enqueue to
+	// walk-termination, in virtual microseconds, estimated from the
+	// group's merged log-bucket histogram (zero when no packet went
+	// through a ring — synthetic self-driving flows have no enqueue
+	// side). LatCount is the number of recorded latencies.
+	LatCount  uint64
+	LatP50US  float64
+	LatP99US  float64
+	LatP999US float64
+
+	// Latency-SLO outcome: SLOP99US echoes the declared target (0 when
+	// none), SLOBreaches counts control windows whose window p99 exceeded
+	// it, and SLOBurnRate is the last window's burn rate — the fraction
+	// of window packets over the target relative to the 1% budget a p99
+	// target implies (1.0 = burning exactly the budget).
+	SLOP99US    float64
+	SLOBreaches int
+	SLOBurnRate float64
+
 	// Branches holds per-node terminal counters for branching pipelines
 	// (empty for linear chains): where the group's packets ended their
 	// walk, aggregated across replicas in graph order.
@@ -336,6 +355,31 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "%-10s %-8s %3d %12d %12d %10d %12.0f %10.0f %10s %10s %10s\n",
 			a.Name, a.Type, a.Workers, a.Processed, a.Finished, a.NICDrops,
 			a.PerWorkerPPS, a.SoloPPS, obs, pred, errs)
+	}
+
+	anyLat := false
+	for _, a := range r.Apps {
+		if a.LatCount > 0 {
+			anyLat = true
+			break
+		}
+	}
+	if anyLat {
+		fmt.Fprintf(&b, "\n%-10s %12s %10s %10s %10s %10s %9s %6s\n",
+			"app", "lat_count", "p50_us", "p99_us", "p999_us", "slo_p99", "breaches", "burn")
+		for _, a := range r.Apps {
+			if a.LatCount == 0 {
+				continue
+			}
+			slo, breaches, burn := "-", "-", "-"
+			if a.SLOP99US > 0 {
+				slo = fmt.Sprintf("%.1fus", a.SLOP99US)
+				breaches = fmt.Sprint(a.SLOBreaches)
+				burn = fmt.Sprintf("%.2f", a.SLOBurnRate)
+			}
+			fmt.Fprintf(&b, "%-10s %12d %10.1f %10.1f %10.1f %10s %9s %6s\n",
+				a.Name, a.LatCount, a.LatP50US, a.LatP99US, a.LatP999US, slo, breaches, burn)
+		}
 	}
 
 	for _, a := range r.Apps {

@@ -51,7 +51,26 @@ type flow struct {
 
 	// packets counts fully executed packets since measurement start. The
 	// owning worker increments it; the control loop reads it at barriers.
-	packets uint64
+	// prevPackets is the control loop's window cursor into it.
+	packets     uint64
+	prevPackets uint64
+
+	// elems is the flow's per-element cost table for unstaged flows (nil
+	// for synthetic flows and chains — a chain keeps one table per stage,
+	// see chainStage.elems): slot 0 is the flow's overhead (source pulls,
+	// recycling), slot i+1 is pipe.Nodes()[i]. The table is installed on
+	// whichever core the flow is bound to (hw.Core.SetElemTable) and
+	// follows the flow across migrations; only the owning worker writes
+	// it, the control loop differences it against prevElems at barriers
+	// and resetMeasurement snapshots baseElems.
+	elems, prevElems, baseElems []hw.ElemCell
+
+	// lat is the flow's end-to-end latency histogram for unstaged flows
+	// (chains record into per-stage shards instead): finish-clock minus
+	// ring-enqueue stamp, observed by the owning worker after each
+	// packet's trace executes. prevLat/baseLat are the control-window and
+	// measurement-start snapshots.
+	lat, prevLat, baseLat obs.LatHist
 
 	// lastConsumed is the dispatcher's credit cursor: the ring's consumed
 	// count at the last barrier (see dispatcher.enqueue).
@@ -137,6 +156,13 @@ type ringSource struct {
 	rx      *nic.Ring
 	ring    *Ring
 	scratch []byte
+
+	// lastEnq publishes the enqueue stamp of the most recent Pull to the
+	// owning worker (same goroutine), so an unstaged pipeline's worker —
+	// which never sees the Packet itself — can record the end-to-end
+	// latency after the trace executes. lastEnqOK marks it fresh.
+	lastEnq   uint64
+	lastEnqOK bool
 }
 
 func newRingSource(arena *mem.Arena, buffers, bufSize, ringSize int) *ringSource {
@@ -156,10 +182,11 @@ func (rs *ringSource) Pull(ctx *click.Ctx) *click.Packet {
 	if rs.ring == nil {
 		return nil
 	}
-	n, ok := rs.ring.Pop(rs.scratch)
+	n, stamp, ok := rs.ring.Pop(rs.scratch)
 	if !ok {
 		return nil
 	}
+	rs.lastEnq, rs.lastEnqOK = stamp, true
 	old := ctx.SetFunc(fnRingRx)
 	defer ctx.SetFunc(old)
 	idx, data, addr := rs.pool.Get(ctx)
@@ -167,7 +194,7 @@ func (rs *ringSource) Pull(ctx *click.Ctx) *click.Packet {
 	ctx.DMABytes(addr, n)
 	rs.rx.Consume(ctx)
 	ctx.Compute(elements.RxCompute, elements.RxInstrs)
-	return &click.Packet{Data: data[:n], Addr: addr, Recycler: rs, PoolIndex: idx}
+	return &click.Packet{Data: data[:n], Addr: addr, Recycler: rs, PoolIndex: idx, Enq: stamp}
 }
 
 // Recycle implements click.Recycler.
@@ -233,6 +260,14 @@ type worker struct {
 	pendDeq   bool
 	pendEnq   bool
 
+	// pendLat carries a finished packet's ring-enqueue stamp from step to
+	// runQuantum, which records finish − enqueue into pendHist after the
+	// packet's trace has advanced the core clock. pendHist is the
+	// single-writer shard the latency belongs to (the unstaged flow's
+	// histogram, or the terminating chain stage's).
+	pendLat  uint64
+	pendHist *obs.LatHist
+
 	startC chan uint64
 	doneC  chan struct{}
 }
@@ -246,12 +281,16 @@ func (w *worker) bind(f *flow) {
 	w.bindClock = w.core.Clock()
 	if f == nil {
 		w.src.ring = nil
+		w.core.SetElemTable(nil)
 		return
 	}
 	w.src.ring = f.ring
 	if f.pipe != nil {
 		f.pipe.Source = w.src
 	}
+	// The flow's per-element table follows it to this core; only this
+	// worker writes it from now on.
+	w.core.SetElemTable(f.elems)
 }
 
 // bindStage attaches one chain stage to w. Chains are pinned: stages are
@@ -263,6 +302,7 @@ func (w *worker) bindStage(u *chainStage) {
 	w.bindPackets = w.packets
 	w.bindClock = w.core.Clock()
 	u.workerIdx = w.id
+	w.core.SetElemTable(u.elems)
 	if u.stage == 0 {
 		w.src.ring = u.fl.ring
 		u.src = w.src
@@ -315,6 +355,13 @@ func (w *worker) runQuantum(limit uint64) {
 				} else {
 					w.core.ExecOps(ops)
 				}
+				if w.pendHist != nil {
+					// The packet's walk terminated this step: its end-to-end
+					// latency is the core clock now that its trace has
+					// executed, minus the dispatcher's enqueue stamp.
+					w.pendHist.Observe(w.core.Clock() - w.pendLat)
+					w.pendHist = nil
+				}
 				w.packets++
 				if w.mPackets != nil {
 					w.mPackets.Inc()
@@ -348,12 +395,19 @@ func (w *worker) step() ([]hw.Op, int) {
 	case w.unit != nil:
 		return w.unit.step(w)
 	case w.fl.pipe != nil:
+		w.src.lastEnqOK = false
 		ops := w.fl.pipe.EmitPacket(w.opbuf[:0])
 		if len(ops) == 0 {
 			return nil, 0
 		}
 		w.opbuf = ops
 		w.fl.packets++
+		if w.src.lastEnqOK {
+			// Run-to-completion: the packet pulled this step also finished
+			// this step; leave its stamp for runQuantum to record once the
+			// trace has executed.
+			w.pendLat, w.pendHist = w.src.lastEnq, &w.fl.lat
+		}
 		return ops, 1
 	default:
 		ops := w.fl.raw.EmitPacket(w.opbuf[:0])

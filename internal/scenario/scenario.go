@@ -77,6 +77,10 @@ type Flow struct {
 	HiddenTrigger uint64
 	SynCompute    int
 	PacketSize    int
+	// SLOP99US declares an end-to-end latency objective: the flow's
+	// per-window p99 latency must stay at or below this many virtual
+	// microseconds. Zero means no objective.
+	SLOP99US float64
 }
 
 // Graph is one inline pipeline definition; Config is the Click graph
@@ -380,6 +384,9 @@ func parseFlow(name string, args click.Args) (Flow, error) {
 	if f.RateFraction, err = args.Float64("RATE_FRACTION", 0); err != nil {
 		return f, err
 	}
+	if f.SLOP99US, err = args.Float64("SLO_P99_US", 0); err != nil {
+		return f, err
+	}
 	if f.Control, err = args.Bool("CONTROL", false); err != nil {
 		return f, err
 	}
@@ -509,6 +516,7 @@ func (s *Scenario) ConfigOn(cfg hw.Config, params apps.Params) (runtime.Config, 
 			BurstOn: f.BurstOn, BurstOff: f.BurstOff,
 			Control: f.Control, HiddenTrigger: f.HiddenTrigger,
 			SynCompute: f.SynCompute, PacketSize: f.PacketSize,
+			SLOP99US: f.SLOP99US,
 		})
 	}
 	if len(out.Apps) == 0 {
@@ -628,6 +636,9 @@ func (s *Scenario) Render() string {
 		}
 		if f.PacketSize != 0 {
 			add("PACKET_SIZE %d", f.PacketSize)
+		}
+		if f.SLOP99US != 0 {
+			add("SLO_P99_US %v", f.SLOP99US)
 		}
 		fmt.Fprintf(&b, "\n%s :: Flow(%s);", f.Name, strings.Join(attrs, ", "))
 	}

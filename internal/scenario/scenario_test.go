@@ -336,3 +336,36 @@ func TestMigrateStateKnob(t *testing.T) {
 		t.Fatalf("thrash_migrate diverges from thrash beyond the migration knob:\n got %+v\nwant %+v", mig, base)
 	}
 }
+
+// TestFlowSLOKey: SLO_P99_US parses into the assembled AppSpec, renders
+// back out canonically, and is absent when undeclared.
+func TestFlowSLOKey(t *testing.T) {
+	s, err := Parse(`
+scenario :: Scenario(NAME slo, MIN_CORES_PER_SOCKET 2);
+fast :: Flow(TYPE IP, WORKERS 1, RATE_FRACTION 0.5, SLO_P99_US 250);
+free :: Flow(TYPE MON, WORKERS 1);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Flows[0].SLOP99US; got != 250 {
+		t.Fatalf("parsed SLO_P99_US = %v, want 250", got)
+	}
+	if got := s.Flows[1].SLOP99US; got != 0 {
+		t.Fatalf("undeclared SLO parsed as %v", got)
+	}
+	cfg, err := s.Config(testCfg(), apps.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Apps[0].SLOP99US != 250 || cfg.Apps[1].SLOP99US != 0 {
+		t.Fatalf("SLO did not reach the AppSpecs: %+v", cfg.Apps)
+	}
+	rendered := s.Render()
+	if !strings.Contains(rendered, "SLO_P99_US 250") {
+		t.Fatalf("render dropped the SLO key:\n%s", rendered)
+	}
+	if strings.Count(rendered, "SLO_P99_US") != 1 {
+		t.Fatalf("render emitted SLO for a flow without one:\n%s", rendered)
+	}
+}

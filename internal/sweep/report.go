@@ -28,6 +28,24 @@ type AppResult struct {
 	SoloPPS         float64 `json:"solo_pps"`
 	RemotePerPacket float64 `json:"remote_per_packet"`
 
+	// End-to-end virtual-time latency over the measurement window, in
+	// virtual microseconds; LatCount == 0 means no latencies recorded.
+	LatCount  uint64  `json:"lat_count,omitempty"`
+	LatP50US  float64 `json:"lat_p50_us,omitempty"`
+	LatP99US  float64 `json:"lat_p99_us,omitempty"`
+	LatP999US float64 `json:"lat_p999_us,omitempty"`
+
+	// SLO evaluation: SLOP99US is the declared p99 objective (0 = none),
+	// SLOBreaches counts control windows whose window p99 exceeded it,
+	// SLOBurnRate is the last window's error-budget burn, and SLOPass
+	// reports whether the whole-run p99 met the objective. An app with a
+	// declared SLO fails its point on breach even when drop validation
+	// skips it.
+	SLOP99US    float64 `json:"slo_p99_us,omitempty"`
+	SLOBreaches int     `json:"slo_breaches,omitempty"`
+	SLOBurnRate float64 `json:"slo_burn_rate,omitempty"`
+	SLOPass     bool    `json:"slo_pass"`
+
 	ObservedDrop  float64 `json:"observed_drop"`
 	PredictedDrop float64 `json:"predicted_drop"`
 	// ExpectedDrop is the drop the model expects at this operating point
@@ -102,6 +120,11 @@ func (p *PointResult) finish() {
 	p.Pass = p.Error == ""
 	n := 0
 	for _, a := range p.Apps {
+		// A declared latency SLO gates the point independently of drop
+		// validation — even synthetic or hidden flows can carry one.
+		if a.SLOP99US > 0 && !a.SLOPass {
+			p.Pass = false
+		}
 		if !a.Validated {
 			continue
 		}
@@ -195,8 +218,8 @@ func (r *Report) Markdown() string {
 	}
 
 	b.WriteString("\n## Per-app detail\n\n")
-	b.WriteString("| platform | load | scenario | app | type | offered | obs drop | pred drop | expected | err | goodput pps | rem/pkt | validated |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	b.WriteString("| platform | load | scenario | app | type | offered | obs drop | pred drop | expected | err | goodput pps | rem/pkt | p50 µs | p99 µs | slo | validated |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
 	for _, p := range r.Points {
 		for _, a := range p.Apps {
 			off := "sat"
@@ -210,10 +233,22 @@ func (r *Report) Markdown() string {
 					val = "**FAIL**"
 				}
 			}
-			fmt.Fprintf(&b, "| %s | %.2f | %s | %s | %s | %s | %.1f%% | %.1f%% | %.1f%% | %+.1f%% | %.2fM | %.2f | %s |\n",
+			p50, p99 := "–", "–"
+			if a.LatCount > 0 {
+				p50 = fmt.Sprintf("%.1f", a.LatP50US)
+				p99 = fmt.Sprintf("%.1f", a.LatP99US)
+			}
+			slo := "–"
+			if a.SLOP99US > 0 {
+				slo = fmt.Sprintf("≤%.0f ok", a.SLOP99US)
+				if !a.SLOPass {
+					slo = fmt.Sprintf("≤%.0f **BREACH** (%d win)", a.SLOP99US, a.SLOBreaches)
+				}
+			}
+			fmt.Fprintf(&b, "| %s | %.2f | %s | %s | %s | %s | %.1f%% | %.1f%% | %.1f%% | %+.1f%% | %.2fM | %.2f | %s | %s | %s | %s |\n",
 				p.Platform, p.Load, p.Scenario, a.App, a.Type, off,
 				a.ObservedDrop*100, a.PredictedDrop*100, a.ExpectedDrop*100, a.PredErr*100,
-				a.GoodputPPS/1e6, a.RemotePerPacket, val)
+				a.GoodputPPS/1e6, a.RemotePerPacket, p50, p99, slo, val)
 		}
 	}
 	return b.String()

@@ -128,6 +128,14 @@ func (r *Runner) Run() (*Report, error) {
 					status = "ERROR " + pr.Error
 				case !pr.Pass:
 					status = fmt.Sprintf("FAIL max|err| %.1f%% > tol %.1f%%", pr.MaxAbsErr*100, pr.Tolerance*100)
+					// An SLO miss fails the point on its own; say so rather
+					// than blaming a prediction error that may be in band.
+					for _, a := range pr.Apps {
+						if a.SLOP99US > 0 && !a.SLOPass {
+							status = fmt.Sprintf("FAIL %s p99 %.1fµs > SLO %.1fµs", a.App, a.LatP99US, a.SLOP99US)
+							break
+						}
+					}
 				default:
 					status = fmt.Sprintf("ok   max|err| %.1f%%", pr.MaxAbsErr*100)
 				}
@@ -325,7 +333,17 @@ func evalApp(spec runtime.AppSpec, a runtime.AppReport, rep *runtime.Report, dur
 		SoloPPS:       a.SoloPPS,
 		ObservedDrop:  a.ObservedDrop,
 		PredictedDrop: a.PredictedDrop,
+		LatCount:      a.LatCount,
+		LatP50US:      a.LatP50US,
+		LatP99US:      a.LatP99US,
+		LatP999US:     a.LatP999US,
+		SLOP99US:      a.SLOP99US,
+		SLOBreaches:   a.SLOBreaches,
+		SLOBurnRate:   a.SLOBurnRate,
 	}
+	// Whole-run p99 versus the declared objective decides SLOPass;
+	// SLOBreaches additionally records transient per-window excursions.
+	row.SLOPass = a.SLOP99US <= 0 || (a.LatCount > 0 && a.LatP99US <= a.SLOP99US)
 	// Whole-window remote references per packet, averaged over the
 	// group's workers — the locality column of the report.
 	var rem float64

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -34,9 +35,19 @@ type TrendEntry struct {
 	MeanAbsErr float64 `json:"mean_abs_error"`
 	Points     int     `json:"points"`
 	Failed     int     `json:"failed_points"`
+
+	// MaxP99US is the worst whole-run p99 latency (virtual µs) over the
+	// scenario's latency-recording app rows; SLOBreaches totals their
+	// breached control windows. Zero when no app recorded latencies.
+	MaxP99US    float64 `json:"max_p99_us,omitempty"`
+	SLOBreaches int     `json:"slo_breaches,omitempty"`
 }
 
-// LoadTrend reads a trend store; a missing file is an empty store.
+// LoadTrend reads a trend store; a missing file is an empty store. A
+// store that exists but no longer parses (truncated write, merge
+// damage) is moved aside to path+".corrupt" and an empty store
+// returned, so one bad file costs the history, not the nightly run —
+// the damaged bytes stay on disk for inspection.
 func LoadTrend(path string) (*Trend, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -47,13 +58,19 @@ func LoadTrend(path string) (*Trend, error) {
 	}
 	var t Trend
 	if err := json.Unmarshal(data, &t); err != nil {
-		return nil, fmt.Errorf("trend %s: %w", path, err)
+		if mvErr := os.Rename(path, path+".corrupt"); mvErr != nil {
+			return nil, fmt.Errorf("trend %s: %v (and could not move aside: %w)", path, err, mvErr)
+		}
+		return &Trend{}, nil
 	}
 	return &t, nil
 }
 
 // Save writes the store back, stable-sorted so diffs stay readable:
-// scenario first, then insertion order (the revision time series).
+// scenario first, then insertion order (the revision time series). The
+// write goes through a same-directory temp file and os.Rename, so a
+// crash mid-write leaves the previous store intact rather than a
+// truncated one.
 func (t *Trend) Save(path string) error {
 	sort.SliceStable(t.Entries, func(i, j int) bool {
 		return t.Entries[i].Scenario < t.Entries[j].Scenario
@@ -62,7 +79,23 @@ func (t *Trend) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("trend: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // Append folds one sweep report into the store: per scenario, the
@@ -74,6 +107,8 @@ func (t *Trend) Append(rep *Report, rev, when string) {
 		n        int
 		points   int
 		failed   int
+		maxP99   float64
+		breaches int
 	}
 	byScenario := map[string]*agg{}
 	for _, p := range rep.Points {
@@ -90,6 +125,10 @@ func (t *Trend) Append(rep *Report, rev, when string) {
 			continue // broken accounting must not shape the trend
 		}
 		for _, ar := range p.Apps {
+			if ar.LatCount > 0 && ar.LatP99US > a.maxP99 {
+				a.maxP99 = ar.LatP99US
+			}
+			a.breaches += ar.SLOBreaches
 			if !ar.Validated {
 				continue
 			}
@@ -111,6 +150,7 @@ func (t *Trend) Append(rep *Report, rev, when string) {
 		e := TrendEntry{
 			GitRev: rev, When: when, Scale: rep.Scale, Sweep: rep.Name,
 			Scenario: s, MaxAbsErr: a.max, Points: a.points, Failed: a.failed,
+			MaxP99US: a.maxP99, SLOBreaches: a.breaches,
 		}
 		if a.n > 0 {
 			e.MeanAbsErr = a.sum / float64(a.n)
@@ -140,8 +180,27 @@ func (t *Trend) Markdown() string {
 		b.WriteString("no entries yet\n")
 		return b.String()
 	}
-	b.WriteString("| scenario | rev | when | scale | max \\|err\\| | mean \\|err\\| | points | failed |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	b.WriteString("| scenario | rev | when | scale | max \\|err\\| | mean \\|err\\| | max p99 µs | slo breaches | points | failed |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, s := range t.Scenarios() {
+		for _, e := range t.Entries {
+			if e.Scenario != s {
+				continue
+			}
+			p99 := "–"
+			if e.MaxP99US > 0 {
+				p99 = fmt.Sprintf("%.1f", e.MaxP99US)
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %.1f%% | %.1f%% | %s | %d | %d | %d |\n",
+				mdCell(e.Scenario), mdCell(e.GitRev), mdCell(e.When), mdCell(e.Scale),
+				e.MaxAbsErr*100, e.MeanAbsErr*100, p99, e.SLOBreaches, e.Points, e.Failed)
+		}
+	}
+	return b.String()
+}
+
+// Scenarios lists the store's scenarios, sorted.
+func (t *Trend) Scenarios() []string {
 	order, seen := []string{}, map[string]bool{}
 	for _, e := range t.Entries {
 		if !seen[e.Scenario] {
@@ -150,15 +209,66 @@ func (t *Trend) Markdown() string {
 		}
 	}
 	sort.Strings(order)
-	for _, s := range order {
-		for _, e := range t.Entries {
-			if e.Scenario != s {
-				continue
-			}
-			fmt.Fprintf(&b, "| %s | %s | %s | %s | %.1f%% | %.1f%% | %d | %d |\n",
-				mdCell(e.Scenario), mdCell(e.GitRev), mdCell(e.When), mdCell(e.Scale),
-				e.MaxAbsErr*100, e.MeanAbsErr*100, e.Points, e.Failed)
+	return order
+}
+
+// SparklineSVG renders one scenario's max-|error| time series as a
+// small self-contained SVG — the artifact a nightly job uploads so a
+// reviewer sees the accuracy trajectory without parsing the table.
+// Returns "" when the store has no entries for the scenario.
+func (t *Trend) SparklineSVG(scen string) string {
+	var vals []float64
+	var revs []string
+	for _, e := range t.Entries {
+		if e.Scenario == scen {
+			vals = append(vals, e.MaxAbsErr)
+			revs = append(revs, e.GitRev)
 		}
 	}
+	if len(vals) == 0 {
+		return ""
+	}
+	const w, h, pad = 480, 120, 12.0
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1e-9 // flat-zero series still renders a baseline
+	}
+	x := func(i int) float64 {
+		if len(vals) == 1 {
+			return w / 2
+		}
+		return pad + (w-2*pad)*float64(i)/float64(len(vals)-1)
+	}
+	y := func(v float64) float64 {
+		return h - pad - (h-2*pad)*(v/max)
+	}
+	var pts strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", x(i), y(v))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	fmt.Fprintf(&b, `<title>%s max |prediction error| by revision</title>`, xmlEscape(scen))
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(&b, `<polyline fill="none" stroke="#1f77b4" stroke-width="2" points="%s"/>`, pts.String())
+	for i, v := range vals {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="#1f77b4"><title>%s: %.2f%%</title></circle>`,
+			x(i), y(v), xmlEscape(revs[i]), v*100)
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#555">%s — max |err| peak %.2f%%</text>`,
+		pad, pad-2, xmlEscape(scen), max*100)
+	b.WriteString(`</svg>`)
 	return b.String()
+}
+
+func xmlEscape(s string) string {
+	return strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;").Replace(s)
 }

@@ -119,7 +119,14 @@ func (e *Element) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
 		return click.Continue
 	}
 	old := ctx.SetFunc(fnSyn)
+	start := len(ctx.Ops)
 	ctx.Ops = e.src.EmitPacket(ctx.Ops)
+	// Source.EmitPacket appends raw ops (it predates per-element
+	// attribution); stamp them with this element's slot so the synthetic
+	// load shows up under the element, not the flow's overhead cell.
+	for i := start; i < len(ctx.Ops); i++ {
+		ctx.Ops[i].Elem = ctx.Elem()
+	}
 	ctx.SetFunc(old)
 	return click.Continue
 }
