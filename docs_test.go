@@ -60,7 +60,7 @@ func TestREADMELinksDocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/scenario-format.md", "docs/observability.md"} {
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/scenario-format.md", "docs/observability.md", "docs/static-analysis.md"} {
 		if _, err := os.Stat(doc); err != nil {
 			t.Errorf("%s missing: %v", doc, err)
 		}

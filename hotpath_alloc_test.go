@@ -1,0 +1,278 @@
+// The consolidated zero-allocation tier. Every function annotated
+// //dataplane:hotpath (the set vetdp's hotpathalloc analyzer checks
+// statically) is gated here dynamically with testing.AllocsPerRun:
+//
+//	go test -run TestHotPathAllocs
+//
+// is the one command that measures the whole hot-path surface. The
+// static analyzer proves the absence of allocation *sites*; this tier
+// proves the absence of allocation *behaviour* (escape analysis can
+// defeat or rescue either one, so the two gates back each other up).
+// TestHotPathAllocManifest parses the source tree so a newly annotated
+// function cannot silently skip the gate.
+package pktpredict_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pktpredict/internal/click"
+	"pktpredict/internal/handoff"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+	"pktpredict/internal/nic"
+	"pktpredict/internal/obs"
+	"pktpredict/internal/runtime"
+	"pktpredict/internal/synth"
+)
+
+// allocSource feeds Pipeline.EmitPacket one reusable packet per pull.
+type allocSource struct {
+	pkt  click.Packet
+	data [64]byte
+}
+
+func (s *allocSource) Class() string { return "AllocSource" }
+
+func (s *allocSource) Pull(ctx *click.Ctx) *click.Packet {
+	s.pkt.Data = s.data[:]
+	ctx.Load(s.pkt.Addr)
+	return &s.pkt
+}
+
+// allocElem is a minimal element: a compute burst, then continue.
+type allocElem struct{}
+
+func (allocElem) Class() string { return "AllocElem" }
+
+func (allocElem) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
+	ctx.Compute(10, 5)
+	return click.Continue
+}
+
+// gate asserts fn performs zero allocations per run.
+func gate(t *testing.T, name string, fn func()) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		if n := testing.AllocsPerRun(1000, fn); n != 0 {
+			t.Errorf("%s allocates %v/op on the hot path", name, n)
+		}
+	})
+}
+
+// TestHotPathAllocs drives every externally drivable //dataplane:hotpath
+// function and asserts it is allocation-free in steady state. Unexported
+// helpers are covered through their exported entry points (see
+// hotpathIndirect below for the full accounting).
+func TestHotPathAllocs(t *testing.T) {
+	// obs: metric updates on the worker hot path.
+	reg := obs.NewRegistry()
+	c := reg.Counter("a_total", "t", "w").With("0")
+	g := reg.Gauge("b", "t", "w").With("0")
+	h := reg.Histogram("c", "t", []float64{1, 8, 32}, "w").With("0")
+	gate(t, "obs.Counter.Inc", func() { c.Inc() })
+	gate(t, "obs.Counter.Add", func() { c.Add(3) })
+	gate(t, "obs.Gauge.Set", func() { g.Set(1.5) })
+	gate(t, "obs.Gauge.Add", func() { g.Add(0.5) })
+	gate(t, "obs.Histogram.Observe", func() { h.Observe(7) })
+	var lh obs.LatHist
+	gate(t, "obs.LatHist.Observe", func() { lh.Observe(12345) })
+
+	// runtime: the worker's SPSC byte ring.
+	ring := runtime.NewRing(64, 256)
+	payload := make([]byte, 128)
+	dst := make([]byte, 256)
+	gate(t, "runtime.Ring.Push+Pop", func() {
+		if !ring.Push(payload, 1) {
+			t.Fatal("ring full")
+		}
+		if _, _, ok := ring.Pop(dst); !ok {
+			t.Fatal("ring empty")
+		}
+	})
+
+	// hw: trace replay with per-element accounting installed (execTrace).
+	plat := hw.NewPlatform(hw.DefaultConfig())
+	core := plat.Cores[0]
+	core.SetElemTable(make([]hw.ElemCell, 8))
+	base := hw.DomainBase(0)
+	ops := []hw.Op{
+		{Kind: hw.OpCompute, Cycles: 40, Instrs: 20, Elem: 1},
+		{Kind: hw.OpLoad, Addr: base + 0x40, Elem: 2},
+		{Kind: hw.OpStore, Addr: base + 0x80, Elem: 3},
+		{Kind: hw.OpLoadStream, Addr: base + 0x4000, Elem: 4},
+	}
+	gate(t, "hw.Core.ExecOps", func() { core.ExecOps(ops) })
+	gate(t, "hw.Core.ExecStall", func() { core.ExecStall(ops) })
+
+	// click: the Ctx emit surface, with a preallocated trace buffer.
+	ctx := &click.Ctx{Ops: make([]hw.Op, 0, 4096)}
+	gate(t, "click.Ctx.Load", func() { ctx.Ops = ctx.Ops[:0]; ctx.Load(base) })
+	gate(t, "click.Ctx.Store", func() { ctx.Ops = ctx.Ops[:0]; ctx.Store(base) })
+	gate(t, "click.Ctx.LoadBytes", func() { ctx.Ops = ctx.Ops[:0]; ctx.LoadBytes(base, 256) })
+	gate(t, "click.Ctx.StoreBytes", func() { ctx.Ops = ctx.Ops[:0]; ctx.StoreBytes(base, 256) })
+	gate(t, "click.Ctx.DMABytes", func() { ctx.Ops = ctx.Ops[:0]; ctx.DMABytes(base, 256) })
+	gate(t, "click.Ctx.Compute", func() { ctx.Ops = ctx.Ops[:0]; ctx.Compute(10, 5) })
+
+	// click: a full pipeline walk (EmitPacket → walk → walkNodes).
+	src := &allocSource{}
+	src.pkt.Addr = base + 4096
+	pl := click.NewPipeline("alloc", src, allocElem{}, allocElem{})
+	plBuf := make([]hw.Op, 0, 4096)
+	gate(t, "click.Pipeline.EmitPacket", func() { plBuf = pl.EmitPacket(plBuf[:0]) })
+
+	// nic: buffer pool and descriptor rings.
+	arena := mem.NewArena(0)
+	pool := nic.NewBufferPool(arena, 32, 2048)
+	gate(t, "nic.BufferPool.Get+Put", func() {
+		ctx.Ops = ctx.Ops[:0]
+		idx, _, _ := pool.Get(ctx)
+		pool.Put(ctx, idx)
+	})
+	rx := nic.NewRing(arena, 64)
+	gate(t, "nic.Ring.Consume", func() { ctx.Ops = ctx.Ops[:0]; rx.Consume(ctx) })
+	gate(t, "nic.Ring.Produce", func() { ctx.Ops = ctx.Ops[:0]; rx.Produce(ctx) })
+
+	// handoff: the inter-stage SPSC ring (poll via PollFull/PollEmpty).
+	ho := handoff.New(arena, 64)
+	var hp click.Packet
+	hp.Addr = base + 8192
+	gate(t, "handoff.Ring.Push+Pop", func() {
+		ctx.Ops = ctx.Ops[:0]
+		if !ho.Push(ctx, &hp, 1, false) {
+			t.Fatal("handoff ring full")
+		}
+		if _, _, _, ok := ho.Pop(ctx); !ok {
+			t.Fatal("handoff ring empty")
+		}
+	})
+	gate(t, "handoff.Ring.PollFull", func() { ctx.Ops = ctx.Ops[:0]; ho.PollFull(ctx) })
+	gate(t, "handoff.Ring.PollEmpty", func() { ctx.Ops = ctx.Ops[:0]; ho.PollEmpty(ctx) })
+	gate(t, "handoff.Ring.ChargeHeaderMiss", func() { ctx.Ops = ctx.Ops[:0]; ho.ChargeHeaderMiss(ctx, &hp) })
+
+	// synth: the SYN workload's op source.
+	syn := synth.NewSource(arena, synth.Config{RegionBytes: 1 << 16})
+	synBuf := make([]hw.Op, 0, 4096)
+	gate(t, "synth.Source.EmitPacket", func() { synBuf = syn.EmitPacket(synBuf[:0]) })
+}
+
+// hotpathDirect lists the //dataplane:hotpath functions TestHotPathAllocs
+// drives directly, keyed pkg.Recv.Method (or pkg.Func).
+var hotpathDirect = map[string]bool{
+	"obs.Counter.Inc":               true,
+	"obs.Counter.Add":               true,
+	"obs.Gauge.Set":                 true,
+	"obs.Gauge.Add":                 true,
+	"obs.Histogram.Observe":         true,
+	"obs.LatHist.Observe":           true,
+	"runtime.Ring.Push":             true,
+	"runtime.Ring.Pop":              true,
+	"hw.Core.ExecOps":               true,
+	"hw.Core.ExecStall":             true,
+	"click.Ctx.Load":                true,
+	"click.Ctx.Store":               true,
+	"click.Ctx.LoadBytes":           true,
+	"click.Ctx.StoreBytes":          true,
+	"click.Ctx.DMABytes":            true,
+	"click.Ctx.Compute":             true,
+	"click.Pipeline.EmitPacket":     true,
+	"nic.BufferPool.Get":            true,
+	"nic.BufferPool.Put":            true,
+	"nic.Ring.Consume":              true,
+	"nic.Ring.Produce":              true,
+	"handoff.Ring.Push":             true,
+	"handoff.Ring.Pop":              true,
+	"handoff.Ring.PollFull":         true,
+	"handoff.Ring.PollEmpty":        true,
+	"handoff.Ring.ChargeHeaderMiss": true,
+	"synth.Source.EmitPacket":       true,
+}
+
+// hotpathIndirect lists annotated functions that cannot be driven from
+// an external test, each with the exported entry point that covers it.
+var hotpathIndirect = map[string]string{
+	"hw.Core.execTrace":          "unexported; every ExecOps/ExecStall call above runs it",
+	"click.Pipeline.walk":        "unexported; Pipeline.EmitPacket above walks the graph",
+	"click.walkNodes":            "unexported; Pipeline.EmitPacket above walks the graph",
+	"handoff.Ring.poll":          "unexported; PollFull/PollEmpty above are thin wrappers",
+	"runtime.ringSource.Pull":    "unexported type; the worker integration tests in internal/runtime drive the full Pull/Recycle cycle",
+	"runtime.ringSource.Recycle": "unexported type; the worker integration tests in internal/runtime drive the full Pull/Recycle cycle",
+}
+
+// TestHotPathAllocManifest parses internal/ for //dataplane:hotpath
+// annotations and fails if any annotated function is neither directly
+// gated above nor accounted for in hotpathIndirect — so annotating a
+// function automatically demands an alloc gate for it. It also fails on
+// stale entries, keeping the manifest in lockstep with the annotations.
+func TestHotPathAllocManifest(t *testing.T) {
+	annotated := map[string]token.Position{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir("internal", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, cm := range fd.Doc.List {
+				if cm.Text != "//dataplane:hotpath" && !strings.HasPrefix(cm.Text, "//dataplane:hotpath ") {
+					continue
+				}
+				key := f.Name.Name + "."
+				if fd.Recv != nil && len(fd.Recv.List) > 0 {
+					rt := fd.Recv.List[0].Type
+					if star, ok := rt.(*ast.StarExpr); ok {
+						rt = star.X
+					}
+					if id, ok := rt.(*ast.Ident); ok {
+						key += id.Name + "."
+					}
+				}
+				key += fd.Name.Name
+				annotated[key] = fset.Position(fd.Pos())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(annotated) == 0 {
+		t.Fatal("found no //dataplane:hotpath annotations under internal/; the walker is broken")
+	}
+	for key, pos := range annotated {
+		if !hotpathDirect[key] && hotpathIndirect[key] == "" {
+			t.Errorf("%s: %s is annotated //dataplane:hotpath but has no alloc gate: add it to TestHotPathAllocs (or to hotpathIndirect with the entry point that covers it)", pos, key)
+		}
+	}
+	for key := range hotpathDirect {
+		if _, ok := annotated[key]; !ok {
+			t.Errorf("hotpathDirect lists %s, which carries no //dataplane:hotpath annotation; prune it", key)
+		}
+	}
+	for key := range hotpathIndirect {
+		if _, ok := annotated[key]; !ok {
+			t.Errorf("hotpathIndirect lists %s, which carries no //dataplane:hotpath annotation; prune it", key)
+		}
+	}
+}

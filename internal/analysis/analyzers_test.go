@@ -1,0 +1,34 @@
+package analysis
+
+import "testing"
+
+// TestHotPathAllocGolden covers every allocation class hotpathalloc
+// knows, the admitted self-append idiom, and both allow outcomes
+// (reasoned allow suppresses; reasonless allow is itself diagnosed and
+// suppresses nothing).
+func TestHotPathAllocGolden(t *testing.T) {
+	checkFixtures(t, HotPathAlloc, "hotpath")
+}
+
+// TestElemStampGolden replays the PR 7 Synth bug class: raw hw.Op
+// literals without an Elem stamp, raw EmitPacket inside a Process
+// bracket, and Ctx emission outside the walker's SetElem bracket. The
+// synthbug fixture's Buggy types are the regression; the Fixed types
+// are the shipped fix.
+func TestElemStampGolden(t *testing.T) {
+	checkFixtures(t, ElemStamp, "hw", "click", "synthbug")
+}
+
+// TestSingleWriterGolden covers cell registration (size and kind
+// checks), the access rules in the declaring package, and — via the
+// celluser fixture — cell facts flowing across package boundaries.
+func TestSingleWriterGolden(t *testing.T) {
+	checkFixtures(t, SingleWriter, "cell", "celluser")
+}
+
+// TestMetricLintGolden covers family-name constancy, the _total
+// counter convention, label constancy, and slice-forwarded labels
+// against a fixture mirror of the obs.Registry surface.
+func TestMetricLintGolden(t *testing.T) {
+	checkFixtures(t, MetricLint, "obs", "metrics")
+}

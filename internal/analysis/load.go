@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// This file is the standalone package loader and driver: `vetdp ./...`
+// without `go vet` in front. It shells out to `go list -export -deps
+// -json`, which compiles nothing itself but makes the toolchain drop
+// export data for every dependency into the build cache, then
+// type-checks each matched package from source against that export
+// data. Everything here is offline-safe: no module downloads, no
+// golang.org/x/tools.
+
+// LoadedPackage is one package ready for analysis. Dependency-only
+// packages (stdlib and anything not matched by the patterns) carry
+// types through export data but no syntax, and are never analyzed.
+type LoadedPackage struct {
+	ImportPath string
+	Dir        string
+	DepOnly    bool
+	Imports    []string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+}
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns from dir and type-checks every matched (non-dep)
+// package from source.
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var listed []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	exports := map[string]string{}   // canonical import path → export file
+	importMap := map[string]string{} // source import path → canonical
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		for from, to := range lp.ImportMap {
+			importMap[from] = to
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canon, ok := importMap[path]; ok {
+			path = canon
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	sizes := types.SizesFor("gc", build.Default.GOARCH)
+
+	var out []*LoadedPackage
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg := &LoadedPackage{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			DepOnly:    lp.DepOnly,
+			Imports:    lp.Imports,
+		}
+		// Dependency-only module packages are still parsed and analyzed —
+		// silently, for their facts (e.g. singlewriter's cell types) —
+		// mirroring the VetxOnly runs cmd/go drives in unitchecker mode.
+		// The standard library is types-only via export data.
+		if !lp.Standard {
+			if err := typeCheckFromSource(pkg, lp, fset, imp, sizes); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func typeCheckFromSource(pkg *LoadedPackage, lp *listedPackage, fset *token.FileSet, imp types.Importer, sizes types.Sizes) error {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp, Sizes: sizes}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	pkg.Fset = fset
+	pkg.Files = files
+	pkg.Pkg = tpkg
+	pkg.Info = info
+	pkg.Sizes = sizes
+	return nil
+}
+
+// Finding is one driver-level diagnostic with a resolved position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run drives the analyzers over the loaded packages in dependency
+// order, threading facts from each package to its dependents, and
+// returns all findings sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*LoadedPackage) ([]Finding, error) {
+	byPath := map[string]*LoadedPackage{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	order := depOrder(pkgs, byPath)
+
+	// facts[analyzer][importPath] = facts exported while analyzing it.
+	facts := map[string]map[string][]string{}
+	for _, a := range analyzers {
+		facts[a.Name] = map[string][]string{}
+	}
+
+	var findings []Finding
+	for _, p := range order {
+		if p.Pkg == nil {
+			continue // types-only dependency (standard library)
+		}
+		deps := transitiveImports(p, byPath)
+		for _, a := range analyzers {
+			a, p := a, p
+			var depFacts []string
+			for _, d := range deps {
+				depFacts = append(depFacts, facts[a.Name][d]...)
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     p.Fset,
+				Files:    p.Files,
+				Pkg:      p.Pkg,
+				Info:     p.Info,
+				Sizes:    p.Sizes,
+				DepFacts: func() []string { return depFacts },
+				ExportFact: func(fact string) {
+					facts[a.Name][p.ImportPath] = append(facts[a.Name][p.ImportPath], fact)
+				},
+				Report: func(d Diagnostic) {
+					if p.DepOnly {
+						return // facts-only pass over an unmatched dependency
+					}
+					findings = append(findings, Finding{
+						Analyzer: a.Name,
+						Pos:      p.Fset.Position(d.Pos),
+						Message:  d.Message,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, p.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// depOrder returns pkgs topologically sorted, dependencies first.
+func depOrder(pkgs []*LoadedPackage, byPath map[string]*LoadedPackage) []*LoadedPackage {
+	var order []*LoadedPackage
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *LoadedPackage)
+	visit = func(p *LoadedPackage) {
+		if state[p.ImportPath] != 0 {
+			return
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if d, ok := byPath[imp]; ok {
+				visit(d)
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return order
+}
+
+// transitiveImports returns the import paths reachable from p, sorted
+// for deterministic fact ordering.
+func transitiveImports(p *LoadedPackage, byPath map[string]*LoadedPackage) []string {
+	seen := map[string]bool{}
+	var visit func(paths []string)
+	visit = func(paths []string) {
+		for _, path := range paths {
+			if seen[path] {
+				continue
+			}
+			seen[path] = true
+			if d, ok := byPath[path]; ok {
+				visit(d.Imports)
+			}
+		}
+	}
+	visit(p.Imports)
+	out := make([]string, 0, len(seen))
+	for path := range seen {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}

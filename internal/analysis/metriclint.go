@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+	"strings"
+)
+
+// MetricLint keeps the observability surface machine-readable. The
+// /metrics endpoint, the sweep harness's prediction-error reports, and
+// every dashboard built on them assume Prometheus conventions: family
+// names are stable compile-time identifiers, counters end in _total,
+// and label sets are fixed at registration. A dynamically built family
+// name (fmt.Sprintf'd per worker, say) explodes cardinality and breaks
+// scrape configs silently; a counter without _total breaks rate()
+// queries in ways nobody notices until a graph flatlines.
+//
+// The analyzer checks every Counter/Gauge/Histogram registration on an
+// obs.Registry: the family name must be an untyped string constant
+// matching Prometheus naming, counters must end _total and gauges and
+// histograms must not, and every label name must be a constant matching
+// label naming. //dataplane:allow metriclint <reason> covers the rare
+// intentional exception (e.g. a registration helper that takes the
+// family name as a parameter and is itself called with constants).
+var MetricLint = &Analyzer{
+	Name: "metriclint",
+	Doc: "check obs.Registry metric registrations: constant Prometheus-style " +
+		"family names (counters ending _total), constant label names",
+	Run: runMetricLint,
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+// registryMethods maps registration method name to the index where label
+// names start (Histogram takes buckets between help and labels).
+var registryMethods = map[string]int{
+	"Counter":   2,
+	"Gauge":     2,
+	"Histogram": 3,
+}
+
+func runMetricLint(p *Pass) error {
+	for _, f := range p.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			labelStart, ok := registryMethods[sel.Sel.Name]
+			if !ok || !typeIs(exprType(p, sel.X), "obs", "Registry") {
+				return true
+			}
+			checkRegistration(p, call, sel.Sel.Name, labelStart)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkRegistration(p *Pass, call *ast.CallExpr, kind string, labelStart int) {
+	if len(call.Args) == 0 {
+		return
+	}
+	nameArg := call.Args[0]
+	name, isConst := constString(p, nameArg)
+	if !isConst {
+		p.Reportf(nameArg.Pos(), "dynamically built metric family name in %s registration: family names must be compile-time constants so scrape configs and dashboards can rely on them", kind)
+	} else {
+		switch {
+		case !metricNameRE.MatchString(name):
+			p.Reportf(nameArg.Pos(), "metric family name %q does not match %s", name, metricNameRE)
+		case kind == "Counter" && !strings.HasSuffix(name, "_total"):
+			p.Reportf(nameArg.Pos(), "counter family name %q must end in _total (Prometheus counter convention; rate() queries depend on it)", name)
+		case kind != "Counter" && strings.HasSuffix(name, "_total"):
+			p.Reportf(nameArg.Pos(), "%s family name %q must not end in _total: the suffix marks counters", strings.ToLower(kind), name)
+		}
+	}
+	if call.Ellipsis.IsValid() {
+		// labels... forwarding: the slice's contents are not statically
+		// visible here; the forwarding helper is the place to annotate.
+		p.Reportf(call.Ellipsis, "label names forwarded as a slice in %s registration: label sets must be declared as constants at the registration site, or the helper needs //dataplane:allow metriclint <reason>", kind)
+		return
+	}
+	for i := labelStart; i < len(call.Args); i++ {
+		label, isConst := constString(p, call.Args[i])
+		if !isConst {
+			p.Reportf(call.Args[i].Pos(), "dynamically built label name in %s registration: label sets must be compile-time constants", kind)
+			continue
+		}
+		if !labelNameRE.MatchString(label) {
+			p.Reportf(call.Args[i].Pos(), "label name %q does not match %s", label, labelNameRE)
+		}
+	}
+}
+
+// constString returns the compile-time string value of e, if it has one.
+func constString(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

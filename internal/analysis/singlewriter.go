@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SingleWriter guards the repo's false-sharing discipline. Per-core hot
+// state — hw.ElemCell, the obs counter/gauge cells — is laid out one
+// cache line per writer: the writer mutates plain fields at line rate
+// and readers either go through sync/atomic or receive a value copy.
+// That contract is invisible to the compiler, so two silent regressions
+// keep threatening it: a new field grows the struct past its padding
+// (two writers land on one line) or a new reader reaches through a
+// pointer into a live cell (a reader shares the writer's line).
+//
+// Types opt in with //dataplane:cell on the type's doc comment. The
+// analyzer then checks that the struct's size stays a positive multiple
+// of 64 bytes, and flags any field access that can alias the live cell
+// — reached through a pointer, a slice, or a package-level variable —
+// unless the field is atomic-typed, its address is taken only to feed
+// sync/atomic, the access sits in one of the cell type's own methods,
+// or the enclosing function is annotated //dataplane:owner <reason>
+// (the declared single writer). Value copies are always fine: ranging
+// over a snapshot slice, struct returns, locals.
+//
+// Cell types are exported as package facts, so accesses in dependent
+// packages are checked too.
+var SingleWriter = &Analyzer{
+	Name: "singlewriter",
+	Doc: "check //dataplane:cell structs: size stays a 64-byte multiple and " +
+		"live-cell fields are touched only via sync/atomic, the cell's own " +
+		"methods, or //dataplane:owner functions",
+	Run: runSingleWriter,
+}
+
+const cellLine = 64
+
+func runSingleWriter(p *Pass) error {
+	cells := map[string]bool{}
+	for _, q := range p.facts("cell ") {
+		cells[q] = true
+	}
+	collectLocalCells(p, cells)
+
+	for _, f := range p.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, owner := hasDirective(fd.Doc, "owner"); owner {
+				continue
+			}
+			checkCellAccesses(p, fd, cells)
+		}
+	}
+	return nil
+}
+
+// collectLocalCells finds //dataplane:cell types in this package, checks
+// their size, and exports them as facts.
+func collectLocalCells(p *Pass, cells map[string]bool) {
+	for _, f := range p.NonTestFiles() {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				_, onSpec := hasDirective(ts.Doc, "cell")
+				_, onDecl := hasDirective(gd.Doc, "cell")
+				if !onSpec && !onDecl {
+					continue
+				}
+				obj, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+					p.Reportf(ts.Pos(), "//dataplane:cell applies to struct types, but %s is not a struct", ts.Name.Name)
+					continue
+				}
+				cells[qualifiedName(named)] = true
+				p.exportFact("cell " + qualifiedName(named))
+				if p.Sizes == nil {
+					continue
+				}
+				sz := p.Sizes.Sizeof(named.Underlying())
+				if sz <= 0 || sz%cellLine != 0 {
+					p.Reportf(ts.Pos(), "cell struct %s is %d bytes, not a positive multiple of %d: its cache-line padding no longer isolates the writer; re-pad the struct", ts.Name.Name, sz, cellLine)
+				}
+			}
+		}
+	}
+}
+
+// checkCellAccesses flags aliasing accesses to live cells inside fd.
+func checkCellAccesses(p *Pass, fd *ast.FuncDecl, cells map[string]bool) {
+	// Methods on a cell type are the cell's designated accessor surface.
+	ownCell := ""
+	if rt := recvType(p, fd); rt != nil && cells[qualifiedName(rt)] {
+		ownCell = qualifiedName(rt)
+	}
+
+	atomicArgs := atomicAddressArgs(p, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := p.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		recv := asNamed(selection.Recv())
+		if recv == nil {
+			return true
+		}
+		q := qualifiedName(recv)
+		if !cells[q] || q == ownCell {
+			return true
+		}
+		if isAtomicType(selection.Obj().Type()) {
+			return true // field carries its own memory-order discipline
+		}
+		if atomicArgs[sel] {
+			return true // &field handed to sync/atomic
+		}
+		if isValueCopy(p, sel.X) {
+			return true // snapshot, not the live cell
+		}
+		p.Reportf(sel.Pos(), "access to live cell field %s.%s from outside its writer: cells are single-writer cache lines — use sync/atomic, a value copy, a method on %s, or annotate the function //dataplane:owner <reason>", recv.Obj().Name(), sel.Sel.Name, recv.Obj().Name())
+		return true
+	})
+}
+
+// isAtomicType reports whether t (or its elem through one pointer) is a
+// sync/atomic type such as atomic.Uint64.
+func isAtomicType(t types.Type) bool {
+	n := asNamed(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// atomicAddressArgs collects selector expressions whose address is
+// passed to a sync/atomic function, e.g. atomic.AddUint64(&c.Cycles, d).
+func atomicAddressArgs(p *Pass, fd *ast.FuncDecl) map[*ast.SelectorExpr]bool {
+	out := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[fn.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op.String() != "&" {
+				continue
+			}
+			if s, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+				out[s] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isValueCopy reports whether e denotes a value that cannot alias a live
+// cell: the selector chain bottoms out in a local non-pointer variable,
+// a call result, or a composite literal, with no pointer indirection,
+// slice indexing, or package-level variable along the way. Such chains
+// read a snapshot — e.cells.Cycles over a range copy, c.Cycles on a map
+// value local — not the writer's cache line.
+func isValueCopy(p *Pass, e ast.Expr) bool {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := p.Info.Selections[x]
+			if !ok || sel.Kind() != types.FieldVal || sel.Indirect() {
+				return false // method value / through-pointer field
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			tv, ok := p.Info.Types[x.X]
+			if !ok {
+				return false
+			}
+			if _, isArray := tv.Type.Underlying().(*types.Array); !isArray {
+				return false // slice or map backing is shared
+			}
+			e = x.X
+		case *ast.CallExpr, *ast.CompositeLit:
+			return true
+		case *ast.Ident:
+			v, ok := p.Info.Uses[x].(*types.Var)
+			if !ok {
+				if _, ok := p.Info.Defs[x].(*types.Var); ok {
+					return true // fresh definition in this statement
+				}
+				return false
+			}
+			if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+				return false
+			}
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return false // package-level variable is shared state
+			}
+			return true
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package cell exercises the singlewriter analyzer in the declaring
+// package: cell registration, padding checks, and the access rules.
+package cell
+
+import "sync/atomic"
+
+// Cell is a correctly padded single-writer accounting cell.
+//
+//dataplane:cell
+type Cell struct {
+	Hits  uint64
+	Drops uint64
+	_     [6]uint64
+}
+
+// Short has lost its padding.
+//
+//dataplane:cell
+type Short struct { // want `not a positive multiple of 64`
+	Hits uint64
+}
+
+// ACell counts through an atomic, padded to a line.
+//
+//dataplane:cell
+type ACell struct {
+	V atomic.Uint64
+	_ [56]byte
+}
+
+// NotAStruct cannot be a cell.
+//
+//dataplane:cell
+type NotAStruct int // want `applies to struct types`
+
+// Reset is a method on the cell type: the designated accessor surface.
+func (c *Cell) Reset() {
+	c.Hits = 0
+	c.Drops = 0
+}
+
+// ownerLoop is the declared single writer.
+//
+//dataplane:owner the worker loop owns this cell between barriers
+func ownerLoop(c *Cell) {
+	c.Hits++
+}
+
+// strayWrite reaches into a live cell through a pointer: flagged.
+func strayWrite(c *Cell) {
+	c.Hits++ // want `access to live cell field Cell\.Hits`
+}
+
+// strayIndexRead reaches through a slice into live cells: flagged.
+func strayIndexRead(cells []Cell) uint64 {
+	return cells[0].Drops // want `access to live cell field Cell\.Drops`
+}
+
+// snapshotRead copies the cell first: a value copy never aliases the
+// writer's cache line.
+func snapshotRead(cells []Cell) uint64 {
+	snap := cells[0]
+	return snap.Hits + snap.Drops
+}
+
+// atomicField goes through the atomic-typed field: exempt.
+func atomicField(c *ACell) {
+	c.V.Add(1)
+}
+
+// atomicAddress hands the field's address to sync/atomic: exempt.
+func atomicAddress(c *Cell) {
+	atomic.AddUint64(&c.Hits, 1)
+}
+
+// allowedRead records its reason on the line.
+func allowedRead(c *Cell) uint64 {
+	return c.Hits //dataplane:allow singlewriter fixture exception with a recorded reason
+}

@@ -1,0 +1,33 @@
+// Package celluser exercises singlewriter's cross-package facts: the
+// cell types are declared in package cell, and the analyzer learns them
+// from the facts that package exported.
+package celluser
+
+import "cell"
+
+// Stats aggregates a snapshot.
+type Stats struct {
+	Hits uint64
+}
+
+// strayRemoteWrite touches a live cell declared elsewhere: flagged via
+// the imported fact.
+func strayRemoteWrite(c *cell.Cell) {
+	c.Hits++ // want `access to live cell field Cell\.Hits`
+}
+
+// snapshot sums value copies: fine.
+func snapshot(cells []cell.Cell) Stats {
+	var s Stats
+	for _, c := range cells {
+		s.Hits += c.Hits
+	}
+	return s
+}
+
+// declaredOwner is this package's legitimate writer.
+//
+//dataplane:owner the consumer-side drain loop is the declared writer
+func declaredOwner(c *cell.Cell) {
+	c.Drops++
+}

@@ -1,0 +1,47 @@
+// Package click models the real pipeline API (pktpredict/internal/click)
+// for analyzer fixtures.
+package click
+
+import "hw"
+
+// Packet is a packet in flight.
+type Packet struct {
+	Data []byte
+}
+
+// Verdict is a Process result.
+type Verdict int
+
+// Continue keeps the packet moving.
+const Continue Verdict = -1
+
+// Ctx is the per-walk op sink; its element slot brackets attribution.
+type Ctx struct {
+	Ops  []hw.Op
+	elem uint16
+}
+
+// SetElem installs the current element slot, returning the old one.
+func (c *Ctx) SetElem(e uint16) uint16 {
+	old := c.elem
+	c.elem = e
+	return old
+}
+
+// Elem returns the current element slot.
+func (c *Ctx) Elem() uint16 { return c.elem }
+
+// Load emits one read.
+func (c *Ctx) Load(a hw.Addr) {
+	c.Ops = append(c.Ops, hw.Op{Kind: 1, Addr: a, Elem: c.elem})
+}
+
+// Store emits one write.
+func (c *Ctx) Store(a hw.Addr) {
+	c.Ops = append(c.Ops, hw.Op{Kind: 2, Addr: a, Elem: c.elem})
+}
+
+// Compute emits busy cycles.
+func (c *Ctx) Compute(cycles, instrs uint32) {
+	c.Ops = append(c.Ops, hw.Op{Kind: 3, Cycles: cycles, Instrs: instrs, Elem: c.elem})
+}

@@ -1,0 +1,24 @@
+// Package hw models the real op-trace API (pktpredict/internal/hw) for
+// analyzer fixtures: the analyzers match the Op type and the
+// PacketSource shape by package name, so this stand-in exercises the
+// same code paths.
+package hw
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// Op is one traced micro-op. Elem is the per-element attribution slot
+// elemstamp guards.
+type Op struct {
+	Kind   uint8
+	Addr   Addr
+	Cycles uint32
+	Instrs uint32
+	Func   uint16
+	Elem   uint16
+}
+
+// PacketSource is the raw emission interface.
+type PacketSource interface {
+	EmitPacket(buf []Op) []Op
+}

@@ -1,0 +1,26 @@
+// Package metrics exercises the metriclint analyzer: constant family
+// names, counter/_total discipline, and constant label sets.
+package metrics
+
+import "obs"
+
+// family names declared as constants are fine.
+const packetsName = "dataplane_packets_total"
+
+func register(r *obs.Registry, dyn string, dynLabels []string) {
+	r.Counter(packetsName, "packets", "worker")
+	r.Counter("drops_total", "drops")
+	r.Gauge("queue_depth", "fill", "worker")
+	r.Histogram("batch_fill", "batch", []float64{1, 8, 32}, "worker")
+
+	r.Counter("packet_count", "h")            // want `counter family name "packet_count" must end in _total`
+	r.Gauge("busy_total", "h")                // want `gauge family name "busy_total" must not end in _total`
+	r.Histogram("lat_total", "h", nil)        // want `histogram family name "lat_total" must not end in _total`
+	r.Counter(dyn, "h")                       // want `dynamically built metric family name`
+	r.Counter("Bad_total", "h")               // want `does not match`
+	r.Counter("ok_total", "h", dyn)           // want `dynamically built label name`
+	r.Counter("ok2_total", "h", "Bad-Label")  // want `label name "Bad-Label" does not match`
+	r.Counter("fwd_total", "h", dynLabels...) // want `label names forwarded as a slice`
+
+	r.Counter(dyn, "h") //dataplane:allow metriclint fixture exception with a recorded reason
+}

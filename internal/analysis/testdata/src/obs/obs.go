@@ -1,0 +1,27 @@
+// Package obs models the real metrics registry
+// (pktpredict/internal/obs) for metriclint fixtures; the analyzer
+// matches the Registry type by package name.
+package obs
+
+// Registry registers metric families.
+type Registry struct{}
+
+// CounterVec is a labelled counter family.
+type CounterVec struct{}
+
+// GaugeVec is a labelled gauge family.
+type GaugeVec struct{}
+
+// HistogramVec is a labelled histogram family.
+type HistogramVec struct{}
+
+// Counter registers a counter family.
+func (r *Registry) Counter(name, help string, labelNames ...string) *CounterVec { return nil }
+
+// Gauge registers a gauge family.
+func (r *Registry) Gauge(name, help string, labelNames ...string) *GaugeVec { return nil }
+
+// Histogram registers a histogram family.
+func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return nil
+}

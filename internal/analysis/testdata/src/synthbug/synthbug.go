@@ -1,0 +1,89 @@
+// Package synthbug reproduces the PR 7 Synth regression: a source that
+// appends raw hw.Op literals without Elem stamps, and a Process method
+// that splices the source's ops into the walk without re-stamping them —
+// the exact pattern that hid an aggressor element under the overhead
+// slot until a profile-drift alarm caught it.
+package synthbug
+
+import (
+	"click"
+	"hw"
+)
+
+// Source emits raw ops the way synth.Source did before the fix.
+type Source struct{}
+
+// EmitPacket implements hw.PacketSource.
+func (Source) EmitPacket(buf []hw.Op) []hw.Op {
+	buf = append(buf, hw.Op{Kind: 3, Cycles: 9, Instrs: 9}) // want `raw hw\.Op literal without an Elem stamp`
+	buf = append(buf, hw.Op{Kind: 1, Addr: 64})             // want `raw hw\.Op literal without an Elem stamp`
+	return buf
+}
+
+// FixedSource is the post-fix shape: the annotation asserts the caller
+// re-stamps, so the raw literals are accepted.
+type FixedSource struct{}
+
+// EmitPacket implements hw.PacketSource.
+//
+//dataplane:stamped callers re-stamp these ops with their own slot
+func (FixedSource) EmitPacket(buf []hw.Op) []hw.Op {
+	return append(buf, hw.Op{Kind: 3, Cycles: 9, Instrs: 9})
+}
+
+// Buggy splices raw source ops into its bracket without re-stamping.
+type Buggy struct {
+	src Source
+}
+
+// Process implements click.Element.
+func (e *Buggy) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
+	ctx.Ops = e.src.EmitPacket(ctx.Ops) // want `raw EmitPacket inside a Process bracket`
+	return click.Continue
+}
+
+// Fixed re-stamps the spliced ops, and says so.
+type Fixed struct {
+	src FixedSource
+}
+
+// Process implements click.Element.
+//
+//dataplane:stamped re-stamps the source's raw ops with ctx.Elem() below
+func (e *Fixed) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
+	start := len(ctx.Ops)
+	ctx.Ops = e.src.EmitPacket(ctx.Ops)
+	for i := start; i < len(ctx.Ops); i++ {
+		ctx.Ops[i].Elem = ctx.Elem()
+	}
+	return click.Continue
+}
+
+// chargeSetup emits ops with no bracket in sight: flagged.
+func chargeSetup(ctx *click.Ctx) {
+	ctx.Load(4096)     // want `op emission via Ctx\.Load outside the pipeline walker's SetElem bracket`
+	ctx.Compute(10, 8) // want `op emission via Ctx\.Compute outside the pipeline walker's SetElem bracket`
+}
+
+// chargeBracketed manages its own bracket, so emission is attributed.
+func chargeBracketed(ctx *click.Ctx, slot uint16) {
+	old := ctx.SetElem(slot)
+	ctx.Load(4096)
+	ctx.SetElem(old)
+}
+
+// chargeAllowed demonstrates the escape hatch on a single line.
+func chargeAllowed(ctx *click.Ctx) {
+	ctx.Compute(1, 1) //dataplane:allow elemstamp fixture exception with a recorded reason
+}
+
+// helper is a method on a type that has a Process method, so it runs
+// under the element's bracket.
+func (e *Buggy) helper(ctx *click.Ctx) {
+	ctx.Store(128)
+}
+
+// positional literals necessarily set every field, Elem included.
+func positional() hw.Op {
+	return hw.Op{3, 0, 9, 9, 0, 7}
+}

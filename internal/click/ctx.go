@@ -42,16 +42,22 @@ func (c *Ctx) SetElem(e uint16) uint16 {
 func (c *Ctx) Elem() uint16 { return c.elem }
 
 // Load emits one memory read of the line containing a.
+//
+//dataplane:hotpath
 func (c *Ctx) Load(a hw.Addr) {
 	c.Ops = append(c.Ops, hw.Op{Kind: hw.OpLoad, Addr: a, Func: c.fn, Elem: c.elem})
 }
 
 // Store emits one memory write of the line containing a.
+//
+//dataplane:hotpath
 func (c *Ctx) Store(a hw.Addr) {
 	c.Ops = append(c.Ops, hw.Op{Kind: hw.OpStore, Addr: a, Func: c.fn, Elem: c.elem})
 }
 
 // LoadBytes emits one read per cache line of [a, a+n).
+//
+//dataplane:hotpath
 func (c *Ctx) LoadBytes(a hw.Addr, n int) {
 	if n <= 0 {
 		return
@@ -62,6 +68,8 @@ func (c *Ctx) LoadBytes(a hw.Addr, n int) {
 }
 
 // StoreBytes emits one write per cache line of [a, a+n).
+//
+//dataplane:hotpath
 func (c *Ctx) StoreBytes(a hw.Addr, n int) {
 	if n <= 0 {
 		return
@@ -73,6 +81,8 @@ func (c *Ctx) StoreBytes(a hw.Addr, n int) {
 
 // DMABytes emits one NIC direct-cache-access write per line of [a, a+n):
 // the line lands in the socket's L3 and costs the core nothing.
+//
+//dataplane:hotpath
 func (c *Ctx) DMABytes(a hw.Addr, n int) {
 	if n <= 0 {
 		return
@@ -83,6 +93,8 @@ func (c *Ctx) DMABytes(a hw.Addr, n int) {
 }
 
 // Compute emits a burst of cycles core work retiring instrs instructions.
+//
+//dataplane:hotpath
 func (c *Ctx) Compute(cycles, instrs uint32) {
 	if cycles == 0 && instrs == 0 {
 		return

@@ -220,6 +220,8 @@ func (pl *Pipeline) InsertBefore(class string, el Element) error {
 
 // EmitPacket implements hw.PacketSource: it pulls one packet, walks it
 // through the element graph, and returns the accumulated trace.
+//
+//dataplane:hotpath
 func (pl *Pipeline) EmitPacket(buf []hw.Op) []hw.Op {
 	pl.ctx.Ops = buf
 	p := pl.Source.Pull(&pl.ctx)
@@ -240,6 +242,8 @@ func (pl *Pipeline) EmitPacket(buf []hw.Op) []hw.Op {
 
 // walk runs one packet through the whole graph and records its
 // packet-level outcome: finished when at least one branch completed.
+//
+//dataplane:hotpath
 func (pl *Pipeline) walk(p *Packet) {
 	res, stack := walkNodes(&pl.ctx, pl.stack, pl.head, p, -1)
 	pl.stack = stack[:0]
@@ -266,6 +270,8 @@ type walkResult struct {
 // at most once — a later branch reaching the cut is lost and counted in
 // extraCross, since the packet's buffer has already been promised to the
 // next core).
+//
+//dataplane:hotpath
 func walkNodes(ctx *Ctx, stack []*Node, entry *Node, p *Packet, stage int) (walkResult, []*Node) {
 	var res walkResult
 	stack = append(stack[:0], entry)

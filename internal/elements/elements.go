@@ -107,6 +107,8 @@ func NewFromDevice(env *click.Env, cfg FromDeviceConfig) (*FromDevice, error) {
 func (fd *FromDevice) Class() string { return "FromDevice" }
 
 // Pull implements click.Source.
+//
+//dataplane:stamped source-side DMA and ring ops are flow overhead (slot 0) by design
 func (fd *FromDevice) Pull(ctx *click.Ctx) *click.Packet {
 	if fd.remaining == 0 {
 		return nil

@@ -91,6 +91,8 @@ func (f *Filter) SimBytes() uint64 { return f.region.Size() }
 // setup where crafted traffic matches no rule and is always forwarded
 // after the full scan). Every examined rule emits its line load, so a
 // no-match packet walks the entire array — the paper's worst case.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (called from Element.Process)
 func (f *Filter) Check(ctx *click.Ctx, ft netpkt.FiveTuple) (Action, bool) {
 	old := ctx.SetFunc(fnFirewall)
 	defer ctx.SetFunc(old)

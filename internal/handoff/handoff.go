@@ -122,6 +122,9 @@ func (r *Ring) Polls() uint64 { return r.polls.Load() }
 // consuming stage, emitting the descriptor-line store. It returns false,
 // charging nothing, when the ring is full; the producer then typically
 // PollFulls and retries later.
+//
+//dataplane:stamped hand-off descriptor ops are pipeline overhead (slot 0) by design
+//dataplane:hotpath
 func (r *Ring) Push(ctx *click.Ctx, p *click.Packet, node int, finished bool) bool {
 	t := r.tail.Load()
 	if t-r.head.Load() >= uint64(len(r.slots)) {
@@ -138,6 +141,9 @@ func (r *Ring) Push(ctx *click.Ctx, p *click.Packet, node int, finished bool) bo
 
 // Pop takes the next packet, emitting the descriptor-line load. It
 // returns ok=false, charging nothing, when the ring is empty.
+//
+//dataplane:stamped hand-off descriptor ops are pipeline overhead (slot 0) by design
+//dataplane:hotpath
 func (r *Ring) Pop(ctx *click.Ctx) (p *click.Packet, node int, finished bool, ok bool) {
 	h := r.head.Load()
 	if h == r.tail.Load() {
@@ -155,16 +161,24 @@ func (r *Ring) Pop(ctx *click.Ctx) (p *click.Packet, node int, finished bool, ok
 
 // PollFull models one producer spin-wait iteration: re-reading the line
 // the consumer's progress is published on.
+//
+//dataplane:stamped spin-wait polls are pipeline overhead (slot 0) by design
+//dataplane:hotpath
 func (r *Ring) PollFull(ctx *click.Ctx) {
 	r.poll(ctx, r.head.Load())
 }
 
 // PollEmpty models one consumer spin-wait iteration: re-reading the line
 // the producer's progress is published on.
+//
+//dataplane:stamped spin-wait polls are pipeline overhead (slot 0) by design
+//dataplane:hotpath
 func (r *Ring) PollEmpty(ctx *click.Ctx) {
 	r.poll(ctx, r.tail.Load())
 }
 
+//dataplane:stamped spin-wait polls are pipeline overhead (slot 0) by design
+//dataplane:hotpath
 func (r *Ring) poll(ctx *click.Ctx, cursor uint64) {
 	r.polls.Add(1)
 	old := ctx.SetFunc(fnHandoff)
@@ -176,6 +190,9 @@ func (r *Ring) poll(ctx *click.Ctx, cursor uint64) {
 // ChargeHeaderMiss emits the consumer-side read of the packet's header
 // lines — the compulsory cross-core miss the paper describes: the lines
 // were last written by the producing core, so they must travel.
+//
+//dataplane:stamped cross-core header miss is charged to the consuming stage as overhead
+//dataplane:hotpath
 func (r *Ring) ChargeHeaderMiss(ctx *click.Ctx, p *click.Packet) {
 	old := ctx.SetFunc(fnHandoff)
 	ctx.LoadBytes(p.Addr, HeaderBytes)

@@ -17,6 +17,8 @@ package hw
 // core's local clock and counters. It is safe to call concurrently from
 // one goroutine per core; two goroutines must never drive the same core.
 // A non-empty trace counts as one processed packet, mirroring Engine.step.
+//
+//dataplane:hotpath
 func (c *Core) ExecOps(ops []Op) {
 	c.execTrace(ops)
 	if len(ops) > 0 {
@@ -28,10 +30,14 @@ func (c *Core) ExecOps(ops []Op) {
 // poll of an empty hand-off ring, a batch of buffer returns — advancing
 // the clock and cycle counters without touching the packet counter, so
 // counter-derived packet rates stay honest.
+//
+//dataplane:hotpath
 func (c *Core) ExecStall(ops []Op) {
 	c.execTrace(ops)
 }
 
+//dataplane:owner the simulated core is the single writer of its element cells
+//dataplane:hotpath
 func (c *Core) execTrace(ops []Op) {
 	cfg := &c.Socket.platform.Cfg
 	cnt := &c.Counters

@@ -21,6 +21,8 @@ package hw
 // ElemCell accumulates one element's execution cost: cycles charged by
 // every op tagged with the element's slot, and the L3 traffic those ops
 // generated. Padded to exactly one 64-byte cache line.
+//
+//dataplane:cell
 type ElemCell struct {
 	Cycles   uint64
 	L3Refs   uint64

@@ -69,25 +69,6 @@ func TestElemAttributionReconcilesCounters(t *testing.T) {
 	}
 }
 
-// The attribution path rides the existing op loop: with a table
-// installed, trace execution must stay allocation-free — the gate that
-// keeps per-element accounting off the GC's books on the hot path.
-func TestElemAccountingZeroAllocs(t *testing.T) {
-	p := NewPlatform(smallConfig())
-	c := p.Cores[0]
-	c.SetElemTable(make([]ElemCell, 8))
-	base := DomainBase(0)
-	ops := []Op{
-		{Kind: OpCompute, Cycles: 40, Instrs: 20, Elem: 1},
-		{Kind: OpLoad, Addr: base + 0x40, Elem: 2},
-		{Kind: OpStore, Addr: base + 0x80, Elem: 3},
-		{Kind: OpLoadStream, Addr: base + 0x4000, Elem: 4},
-	}
-	if n := testing.AllocsPerRun(1000, func() { c.ExecOps(ops) }); n != 0 {
-		t.Fatalf("ExecOps with an element table allocates %v/op", n)
-	}
-}
-
 func BenchmarkExecOpsElemTable(b *testing.B) {
 	p := NewPlatform(smallConfig())
 	c := p.Cores[0]

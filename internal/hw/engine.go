@@ -53,6 +53,8 @@ func (e *Engine) Attach(coreID int, label string, src PacketSource) *Flow {
 // step executes one micro-operation of f, refilling its per-packet op
 // buffer from the source as needed. It returns false when the source is
 // exhausted.
+//
+//dataplane:owner the simulated core is the single writer of its element cells
 func (e *Engine) step(f *Flow) bool {
 	if f.pos >= len(f.ops) {
 		f.ops = f.src.EmitPacket(f.ops[:0])

@@ -140,6 +140,8 @@ func (p *Platform) SetDomainHome(d, socket int) {
 // when the L3 is inclusive — an L3 eviction back-invalidates private
 // copies across the socket, which is the mechanism by which one flow's
 // cache pressure destroys another flow's L1/L2 locality.
+//
+//dataplane:owner the simulated core is the single writer of its element cells
 func (c *Core) Access(now uint64, addr Addr, write bool, fn FuncID) uint64 {
 	cfg := &c.Socket.platform.Cfg
 	cnt := &c.Counters

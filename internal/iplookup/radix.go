@@ -184,6 +184,8 @@ func (t *RadixTrie) insert(node int32, depth int, prefix uint32, plen int, nexth
 // trace of the traversal into ctx: each visited node costs a descriptor
 // load (the stride/occupancy word a compressed multibit trie reads
 // first) and an entry load, as tree-bitmap-style lookup structures do.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (called from Element.Process)
 func (t *RadixTrie) Lookup(ctx *click.Ctx, dst uint32) uint32 {
 	best := NoRoute
 	node := int32(0)

@@ -100,6 +100,8 @@ func (t *Table) Occupied() int {
 // allocPort hands out the next external port, cycling through the
 // dynamic range; the cursor lives on its own line, so every allocation
 // is a load-modify-store of NAT bookkeeping state.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (called from Translate)
 func (t *Table) allocPort(ctx *click.Ctx) uint16 {
 	ctx.Load(t.portLine)
 	ctx.Store(t.portLine)
@@ -115,6 +117,8 @@ func (t *Table) allocPort(ctx *click.Ctx) uint16 {
 // binding on first sight. It emits the probe trace (one load per probed
 // entry), the allocator trace on a miss, and the entry store for the
 // touched mapping. created reports whether a new binding was made.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (called from Element.Process)
 func (t *Table) Translate(ctx *click.Ctx, key netpkt.FiveTuple) (port uint16, created bool) {
 	old := ctx.SetFunc(fnNAT)
 	defer ctx.SetFunc(old)

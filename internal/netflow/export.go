@@ -77,6 +77,8 @@ func (c AgeConfig) Validate() error {
 // a rotating cursor as production collectors do), expiring records per
 // cfg and exporting them. It emits the scan's memory trace and returns
 // the number of exported records. scanDiv 0 scans the whole table.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (called from Element.Process on the packet path)
 func (t *Table) Age(ctx *click.Ctx, cfg AgeConfig, exp Exporter, scanDiv int) (int, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err

@@ -94,6 +94,8 @@ func (t *Table) Occupied() int {
 // Update records one packet of size bytes for flow key, emitting the
 // probe-and-update trace: one load per probed slot and one store for the
 // written record.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (called from Element.Process)
 func (t *Table) Update(ctx *click.Ctx, key netpkt.FiveTuple, size int) *Entry {
 	old := ctx.SetFunc(fnFlowStats)
 	defer ctx.SetFunc(old)

@@ -69,6 +69,9 @@ func (bp *BufferPool) BufSize() int { return bp.bufSize }
 // buffer index, its bytes, and its simulated address. It panics when the
 // pool is exhausted — pipelines recycle every packet, so exhaustion means
 // a leak, a bug worth failing loudly on.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (sources and sinks own the attribution)
+//dataplane:hotpath
 func (bp *BufferPool) Get(ctx *click.Ctx) (idx int, data []byte, addr hw.Addr) {
 	if len(bp.free) == 0 {
 		panic("nic: buffer pool exhausted (leaked packets?)")
@@ -85,9 +88,12 @@ func (bp *BufferPool) Get(ctx *click.Ctx) (idx int, data []byte, addr hw.Addr) {
 }
 
 // Put returns buffer idx to the pool, emitting the free-list trace.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (sources and sinks own the attribution)
+//dataplane:hotpath
 func (bp *BufferPool) Put(ctx *click.Ctx, idx int) {
 	if idx < 0 || idx >= len(bp.bufs) {
-		panic(fmt.Sprintf("nic: Put of invalid buffer %d", idx))
+		panic(fmt.Sprintf("nic: Put of invalid buffer %d", idx)) //dataplane:allow hotpathalloc formats only on the panic path, never in steady state
 	}
 	old := ctx.SetFunc(fnRecycle)
 	defer ctx.SetFunc(old)
@@ -119,6 +125,9 @@ func (r *Ring) Size() int { return r.desc.Count }
 
 // Consume reads the next descriptor (RX side: the core checks what the
 // NIC wrote) and advances the ring.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (sources and sinks own the attribution)
+//dataplane:hotpath
 func (r *Ring) Consume(ctx *click.Ctx) {
 	ctx.Load(r.desc.Addr(r.next))
 	r.next = (r.next + 1) % r.desc.Count
@@ -126,6 +135,9 @@ func (r *Ring) Consume(ctx *click.Ctx) {
 
 // Produce writes the next descriptor (TX side: the core posts a packet
 // for the NIC) and advances the ring.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (sources and sinks own the attribution)
+//dataplane:hotpath
 func (r *Ring) Produce(ctx *click.Ctx) {
 	ctx.Store(r.desc.Addr(r.next))
 	r.next = (r.next + 1) % r.desc.Count

@@ -65,6 +65,8 @@ func latBoundsOf(i int) (lo, hi uint64) {
 }
 
 // Observe records one latency.
+//
+//dataplane:hotpath
 func (h *LatHist) Observe(v uint64) {
 	h.counts[latBucketOf(v)]++
 	h.sum += v

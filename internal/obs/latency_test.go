@@ -167,10 +167,3 @@ func TestLatHistEmptyAndClamping(t *testing.T) {
 		t.Fatalf("overflow quantile = %v, want the overflow bound %d", got, uint64(1)<<latMaxExp)
 	}
 }
-
-func TestLatHistObserveZeroAllocs(t *testing.T) {
-	var h LatHist
-	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
-		t.Fatalf("LatHist.Observe allocates %v/op", n)
-	}
-}

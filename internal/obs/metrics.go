@@ -10,15 +10,21 @@ import (
 // locks, safe to call from a worker's packet loop. The padding keeps
 // per-worker series (the registry's sharding idiom: one series per
 // worker label) from false-sharing a line.
+//
+//dataplane:cell
 type Counter struct {
 	v atomic.Uint64
 	_ [56]byte
 }
 
 // Inc adds one.
+//
+//dataplane:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//dataplane:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -26,15 +32,21 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Gauge is a settable float metric. Set/Add are atomic on the float's
 // bit pattern: zero allocations, readable mid-update from any goroutine.
+//
+//dataplane:cell
 type Gauge struct {
 	bits atomic.Uint64
 	_    [56]byte
 }
 
 // Set stores v.
+//
+//dataplane:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adds d (a CAS loop, still allocation-free).
+//
+//dataplane:hotpath
 func (g *Gauge) Add(d float64) {
 	for {
 		old := g.bits.Load()
@@ -66,6 +78,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records v.
+//
+//dataplane:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

@@ -199,6 +199,8 @@ func (p *Processor) Process(ctx *click.Ctx, payload []byte, addr hw.Addr) Encode
 
 // compare verifies n payload bytes at pos against the store at loc,
 // charging the store-line loads and comparison work.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (called from Processor.Process)
 func (p *Processor) compare(ctx *click.Ctx, payload []byte, pos int, loc uint64, n int) bool {
 	for i := 0; i < n; i += hw.LineSize {
 		ctx.Load(p.store.addrOf(loc + uint64(i)))

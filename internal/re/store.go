@@ -46,6 +46,8 @@ func (ps *PacketStore) addrOf(off uint64) hw.Addr {
 
 // Append copies data into the store at the write head, emitting the line
 // stores, and returns the store offset where the data begins.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (called from Processor.Process)
 func (ps *PacketStore) Append(ctx *click.Ctx, data []byte) uint64 {
 	start := ps.w
 	for i := 0; i < len(data); i += hw.LineSize {
@@ -69,6 +71,8 @@ func (ps *PacketStore) Valid(off uint64, n int) bool {
 
 // ReadAt copies n bytes at store offset off into out, emitting line
 // loads. The caller must have checked Valid.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (called from Processor.Process)
 func (ps *PacketStore) ReadAt(ctx *click.Ctx, off uint64, out []byte) {
 	for i := 0; i < len(out); i += hw.LineSize {
 		ctx.Load(ps.addrOf(off + uint64(i)))
@@ -132,6 +136,8 @@ func fpKey(fp uint64) uint32 {
 
 // Lookup returns the store offset recorded for fp, emitting the slot
 // load. ok is false when the slot is empty or holds a different key.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (called from Processor.Process)
 func (t *FPTable) Lookup(ctx *click.Ctx, fp uint64) (loc uint64, ok bool) {
 	idx := fp & t.mask
 	ctx.Load(t.region.Addr(int(idx)))
@@ -146,6 +152,8 @@ func (t *FPTable) Lookup(ctx *click.Ctx, fp uint64) (loc uint64, ok bool) {
 
 // Insert records fp → loc, overwriting any previous occupant (newest
 // content wins, as in the original design), and emits the slot store.
+//
+//dataplane:stamped emits under the caller's Ctx bracket (called from Processor.Process)
 func (t *FPTable) Insert(ctx *click.Ctx, fp uint64, loc uint64) {
 	idx := fp & t.mask
 	ctx.Store(t.region.Addr(int(idx)))

@@ -114,7 +114,7 @@ func newRtObs(reg *obs.Registry, r *Runtime) *rtObs {
 	spins := reg.Counter("dataplane_worker_spin_polls_total",
 		"hand-off ring spin-wait iterations charged by this worker", "worker")
 
-	gv := func(name, help string) *obs.GaugeVec { return reg.Gauge(name, help, "worker") }
+	gv := func(name, help string) *obs.GaugeVec { return reg.Gauge(name, help, "worker") } //dataplane:allow metriclint registration helper; every call below passes a constant family name
 	ppsV := gv("dataplane_worker_pps", "packets per virtual second, last control window")
 	refsV := gv("dataplane_worker_l3_refs_per_sec", "L3 references per virtual second (aggressiveness)")
 	hitsV := gv("dataplane_worker_l3_hits_per_sec", "L3 hits per virtual second (sensitivity)")

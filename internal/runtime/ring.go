@@ -70,6 +70,8 @@ func (r *Ring) Consumed() uint64 { return r.head.Load() }
 // which it was enqueued (the start of the packet's end-to-end latency).
 // It returns false — the packet is dropped — when the ring is full or p
 // exceeds the slot size. Only the single producer may call Push.
+//
+//dataplane:hotpath
 func (r *Ring) Push(p []byte, stamp uint64) bool {
 	t := r.tail.Load()
 	if t-r.head.Load() >= uint64(len(r.slots)) {
@@ -90,6 +92,8 @@ func (r *Ring) Push(p []byte, stamp uint64) bool {
 // stamp. It returns ok=false when the ring is empty. Only the single
 // consumer may call Pop; dst must hold at least the ring's maxPacket
 // bytes.
+//
+//dataplane:hotpath
 func (r *Ring) Pop(dst []byte) (n int, stamp uint64, ok bool) {
 	h := r.head.Load()
 	if h == r.tail.Load() {

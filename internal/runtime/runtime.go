@@ -946,6 +946,8 @@ var fnMigrate = hw.RegisterFunc("state_migration")
 // read crosses the interconnect (RemoteRefs, QPIQueueCycles), the write
 // re-establishes the line under the destination socket's controller.
 // After the copy the flow's table references resolve locally again.
+//
+//dataplane:stamped migration copy ops are control-plane cost attributed to fnMigrate, not to any element slot
 func (r *Runtime) migrateState(f *flow, dst *worker) StateCopy {
 	if f == nil || r.cfg.MigrateState == 0 || f.stateBytes == 0 ||
 		f.stateBytes > r.cfg.MigrateState || f.stateHome == dst.socket {

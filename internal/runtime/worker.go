@@ -157,6 +157,12 @@ type ringSource struct {
 	ring    *Ring
 	scratch []byte
 
+	// pkts preallocates one Packet header per pool buffer. A packet and
+	// its buffer share a lifetime (both released by Recycle), so indexing
+	// by the buffer slot makes Pull allocation-free: pkts[idx] cannot be
+	// reused before buffer idx is.
+	pkts []click.Packet
+
 	// lastEnq publishes the enqueue stamp of the most recent Pull to the
 	// owning worker (same goroutine), so an unstaged pipeline's worker —
 	// which never sees the Packet itself — can record the end-to-end
@@ -171,6 +177,7 @@ func newRingSource(arena *mem.Arena, buffers, bufSize, ringSize int) *ringSource
 		pool:    nic.NewBufferPool(arena, buffers, alloc),
 		rx:      nic.NewRing(arena, ringSize),
 		scratch: make([]byte, bufSize),
+		pkts:    make([]click.Packet, buffers),
 	}
 }
 
@@ -178,6 +185,9 @@ func newRingSource(arena *mem.Arena, buffers, bufSize, ringSize int) *ringSource
 func (rs *ringSource) Class() string { return "RingSource" }
 
 // Pull implements click.Source.
+//
+//dataplane:stamped source-side ring and DMA ops are flow overhead (slot 0) by design
+//dataplane:hotpath
 func (rs *ringSource) Pull(ctx *click.Ctx) *click.Packet {
 	if rs.ring == nil {
 		return nil
@@ -194,10 +204,14 @@ func (rs *ringSource) Pull(ctx *click.Ctx) *click.Packet {
 	ctx.DMABytes(addr, n)
 	rs.rx.Consume(ctx)
 	ctx.Compute(elements.RxCompute, elements.RxInstrs)
-	return &click.Packet{Data: data[:n], Addr: addr, Recycler: rs, PoolIndex: idx, Enq: stamp}
+	p := &rs.pkts[idx]
+	*p = click.Packet{Data: data[:n], Addr: addr, Recycler: rs, PoolIndex: idx, Enq: stamp}
+	return p
 }
 
 // Recycle implements click.Recycler.
+//
+//dataplane:hotpath
 func (rs *ringSource) Recycle(ctx *click.Ctx, p *click.Packet) {
 	rs.pool.Put(ctx, p.PoolIndex)
 }

@@ -78,6 +78,9 @@ func (s *Source) Config() Config { return s.cfg }
 // independent address stream, which an out-of-order core overlaps —
 // that memory-level parallelism is what lets the paper's SYN flows push
 // competing references into the hundreds of millions per second.
+//
+//dataplane:stamped raw source ops carry Func only; synth.Element.Process re-stamps Elem in place
+//dataplane:hotpath
 func (s *Source) EmitPacket(buf []hw.Op) []hw.Op {
 	for i := 0; i < s.cfg.AccessesPerPacket; i++ {
 		if k := s.cfg.ComputePerAccess; k > 0 {
@@ -113,6 +116,8 @@ func (e *Element) Class() string { return "Syn" }
 func (e *Element) Active() bool { return e.seen > e.TriggerAfter }
 
 // Process implements click.Element.
+//
+//dataplane:stamped re-stamps the source's raw ops with ctx.Elem() immediately after EmitPacket (the PR 7 fix)
 func (e *Element) Process(ctx *click.Ctx, p *click.Packet) click.Verdict {
 	e.seen++
 	if e.seen <= e.TriggerAfter {
