@@ -9,7 +9,15 @@
 //	sweep -config examples/sweeps/paper_mixes.sweep
 //	      [-scale quick|full] [-platform "KEY VALUE, ..."]
 //	      [-parallel N] [-json report.json] [-md report.md] [-q]
+//	      [-profile-cache cache.json]
 //	      [-trend trend.json] [-trend-md trend.md] [-trend-svg dir]
+//
+// -profile-cache persists offline profiling results keyed by their full
+// inputs (platform, workload parameters, profiling windows, sweep grid,
+// flow type) plus the git revision. A warm cache turns the dominant cost
+// of a -scale full sweep — re-deriving unchanged solo profiles and
+// contention curves — into a file read; any input change, including a new
+// commit, misses and re-profiles.
 //
 // -trend appends this run's per-scenario max/mean prediction error and
 // worst p99 latency to a persistent store keyed by git revision and
@@ -59,6 +67,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent grid points (default: the sweep file's PARALLEL, else GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write the JSON report here")
 	mdPath := flag.String("md", "", "write the markdown report here (stdout always gets it)")
+	cachePath := flag.String("profile-cache", "",
+		"persistent offline-profile cache file: profiles keyed by platform, workload, windows, grid, flow type, and git revision; warm entries skip re-profiling")
 	trendPath := flag.String("trend", "",
 		"append per-scenario prediction error to this JSON trend store (keyed by git rev + scenario) and print the trend table")
 	trendMD := flag.String("trend-md", "", "write the trend markdown table here (requires -trend)")
@@ -94,6 +104,16 @@ func main() {
 	}
 
 	r := &sweep.Runner{Config: cfg, Scale: scale, Overrides: overrides}
+	if *cachePath != "" {
+		// Salting the keys with the git revision means a code change can
+		// never serve stale curves; re-runs at the same revision (CI
+		// retries, nightly restores, local iteration) start warm.
+		cache, err := sweep.OpenProfileCache(*cachePath, gitRev())
+		if err != nil {
+			fatalf("%v", err)
+		}
+		r.ProfileCache = cache
+	}
 	if !*quiet {
 		r.Progress = os.Stderr
 		fmt.Fprintf(os.Stderr, "sweep: %s — %d platforms × %d loads × %d scenarios = %d points (%s scale)\n",
@@ -102,6 +122,11 @@ func main() {
 	rep, err := r.Run()
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if r.ProfileCache != nil {
+		hits, misses := r.ProfileCache.Stats()
+		fmt.Fprintf(os.Stderr, "sweep: profile cache %s: %d hits, %d misses, %d entries\n",
+			*cachePath, hits, misses, r.ProfileCache.Len())
 	}
 
 	md := rep.Markdown()

@@ -83,7 +83,7 @@ func TestHotPathAllocs(t *testing.T) {
 	var lh obs.LatHist
 	gate(t, "obs.LatHist.Observe", func() { lh.Observe(12345) })
 
-	// runtime: the worker's SPSC byte ring.
+	// runtime: the worker's SPSC byte ring, scalar and batched paths.
 	ring := runtime.NewRing(64, 256)
 	payload := make([]byte, 128)
 	dst := make([]byte, 256)
@@ -92,6 +92,32 @@ func TestHotPathAllocs(t *testing.T) {
 			t.Fatal("ring full")
 		}
 		if _, _, ok := ring.Pop(dst); !ok {
+			t.Fatal("ring empty")
+		}
+	})
+	gate(t, "runtime.Ring.Stage+Commit+PopStaged+Release", func() {
+		if !ring.Stage(payload, 1) {
+			t.Fatal("ring full")
+		}
+		ring.Commit()
+		if _, _, ok := ring.PopStaged(dst); !ok {
+			t.Fatal("ring empty")
+		}
+		ring.Release()
+	})
+	batchBufs := make([][]byte, 8)
+	batchDsts := make([][]byte, 8)
+	for i := range batchBufs {
+		batchBufs[i] = make([]byte, 128)
+		batchDsts[i] = make([]byte, 256)
+	}
+	batchLens := make([]int, 8)
+	batchStamps := make([]uint64, 8)
+	gate(t, "runtime.Ring.PushBatch+PopBatch", func() {
+		if ring.PushBatch(batchBufs, 1) != len(batchBufs) {
+			t.Fatal("ring full")
+		}
+		if ring.PopBatch(batchDsts, batchLens, batchStamps) != len(batchDsts) {
 			t.Fatal("ring empty")
 		}
 	})
@@ -151,6 +177,17 @@ func TestHotPathAllocs(t *testing.T) {
 			t.Fatal("handoff ring empty")
 		}
 	})
+	gate(t, "handoff.Ring.StagePush+CommitPush+PopStaged+CommitPop", func() {
+		ctx.Ops = ctx.Ops[:0]
+		if !ho.StagePush(ctx, &hp, 1, false) {
+			t.Fatal("handoff ring full")
+		}
+		ho.CommitPush(ctx)
+		if _, _, _, ok := ho.PopStaged(ctx); !ok {
+			t.Fatal("handoff ring empty")
+		}
+		ho.CommitPop(ctx)
+	})
 	gate(t, "handoff.Ring.PollFull", func() { ctx.Ops = ctx.Ops[:0]; ho.PollFull(ctx) })
 	gate(t, "handoff.Ring.PollEmpty", func() { ctx.Ops = ctx.Ops[:0]; ho.PollEmpty(ctx) })
 	gate(t, "handoff.Ring.ChargeHeaderMiss", func() { ctx.Ops = ctx.Ops[:0]; ho.ChargeHeaderMiss(ctx, &hp) })
@@ -172,6 +209,12 @@ var hotpathDirect = map[string]bool{
 	"obs.LatHist.Observe":           true,
 	"runtime.Ring.Push":             true,
 	"runtime.Ring.Pop":              true,
+	"runtime.Ring.Stage":            true,
+	"runtime.Ring.Commit":           true,
+	"runtime.Ring.PushBatch":        true,
+	"runtime.Ring.PopStaged":        true,
+	"runtime.Ring.Release":          true,
+	"runtime.Ring.PopBatch":         true,
 	"hw.Core.ExecOps":               true,
 	"hw.Core.ExecStall":             true,
 	"click.Ctx.Load":                true,
@@ -187,6 +230,10 @@ var hotpathDirect = map[string]bool{
 	"nic.Ring.Produce":              true,
 	"handoff.Ring.Push":             true,
 	"handoff.Ring.Pop":              true,
+	"handoff.Ring.StagePush":        true,
+	"handoff.Ring.CommitPush":       true,
+	"handoff.Ring.PopStaged":        true,
+	"handoff.Ring.CommitPop":        true,
 	"handoff.Ring.PollFull":         true,
 	"handoff.Ring.PollEmpty":        true,
 	"handoff.Ring.ChargeHeaderMiss": true,
@@ -196,12 +243,13 @@ var hotpathDirect = map[string]bool{
 // hotpathIndirect lists annotated functions that cannot be driven from
 // an external test, each with the exported entry point that covers it.
 var hotpathIndirect = map[string]string{
-	"hw.Core.execTrace":          "unexported; every ExecOps/ExecStall call above runs it",
-	"click.Pipeline.walk":        "unexported; Pipeline.EmitPacket above walks the graph",
-	"click.walkNodes":            "unexported; Pipeline.EmitPacket above walks the graph",
-	"handoff.Ring.poll":          "unexported; PollFull/PollEmpty above are thin wrappers",
-	"runtime.ringSource.Pull":    "unexported type; the worker integration tests in internal/runtime drive the full Pull/Recycle cycle",
-	"runtime.ringSource.Recycle": "unexported type; the worker integration tests in internal/runtime drive the full Pull/Recycle cycle",
+	"hw.Core.execTrace":           "unexported; every ExecOps/ExecStall call above runs it",
+	"click.Pipeline.walk":         "unexported; Pipeline.EmitPacket above walks the graph",
+	"click.walkNodes":             "unexported; Pipeline.EmitPacket above walks the graph",
+	"handoff.Ring.poll":           "unexported; PollFull/PollEmpty above are thin wrappers",
+	"runtime.ringSource.Pull":     "unexported type; the worker integration tests in internal/runtime drive the full Pull/Recycle cycle",
+	"runtime.ringSource.Recycle":  "unexported type; the worker integration tests in internal/runtime drive the full Pull/Recycle cycle",
+	"runtime.ringSource.endBatch": "unexported type; Ring.Release above is the whole body, and the worker integration tests drive it each quantum",
 }
 
 // TestHotPathAllocManifest parses internal/ for //dataplane:hotpath

@@ -79,6 +79,13 @@ type Params struct {
 	SynRegionBytes int // SYN data-structure size (the L3 size)
 	SynAccesses    int // SYN memory reads per packet
 
+	// RxBatch is the modelled receive batch size (the scenario BATCH
+	// key): sources charge their RX poll cost once per RxBatch packets
+	// instead of per packet. 0 or 1 is the unbatched historical model.
+	// It must be set identically for offline profiling and the runtime,
+	// or predictions diverge from measurements; Scenario.ConfigOn does so.
+	RxBatch int
+
 	// Custom declares user-defined flow types: scenario files register a
 	// named Click graph here and then use its name anywhere a builtin
 	// FlowType is accepted — building, offline profiling, and the
@@ -363,7 +370,7 @@ func (p Params) build(t FlowType, arenaAt func(int) *mem.Arena, seed uint64, ctl
 			return nil, fmt.Errorf("apps: unknown flow type %q", t)
 		}
 	}
-	env := &click.Env{Arena: arena, Seed: seed}
+	env := &click.Env{Arena: arena, Seed: seed, RxBatch: p.RxBatch}
 	if cf, ok := p.Custom[t]; ok && len(cf.Stages) > 0 {
 		env.StageOf = cf.Stages
 		env.ArenaAt = func(s int) *mem.Arena { return tr.track(arenaAt(s)) }

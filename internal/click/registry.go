@@ -22,6 +22,11 @@ type Env struct {
 	Arena *mem.Arena
 	Seed  uint64
 
+	// RxBatch is the receive batch size sources default to when their
+	// configuration doesn't set one explicitly (the scenario-level BATCH
+	// knob). 0 or 1 means unbatched.
+	RxBatch int
+
 	// StageOf maps element names to stage indices (unlisted elements
 	// inherit the maximum stage of their predecessors). nil or empty
 	// means a single-stage graph.

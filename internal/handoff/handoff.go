@@ -35,14 +35,19 @@ import (
 var fnHandoff = hw.RegisterFunc("pipeline_handoff")
 
 // Simulated costs of the ring operations, shared by the engine experiment
-// and the runtime so the two charge identical hand-off prices.
+// and the runtime so the two charge identical hand-off prices. A scalar
+// push or pop costs slot + cursor (12 cycles / 10 instrs, as before);
+// batched operation pays the slot part per packet and the cursor part
+// once per batch — the amortization real batched rings buy.
 const (
-	ringCycles  = 12 // push or pop: cursor update + descriptor write/read
-	ringInstrs  = 10
-	pollCycles  = 40 // one spin-wait iteration on the ring state
-	pollInstrs  = 30
-	descBytes   = 16 // descriptor size; four descriptors share a line
-	HeaderBytes = 64 // packet header bytes the consumer must re-read
+	slotCycles   = 8 // per packet: descriptor write/read + slot handling
+	slotInstrs   = 6
+	cursorCycles = 4 // per publish/release: cursor load + store
+	cursorInstrs = 4
+	pollCycles   = 40 // one spin-wait iteration on the ring state
+	pollInstrs   = 30
+	descBytes    = 16 // descriptor size; four descriptors share a line
+	HeaderBytes  = 64 // packet header bytes the consumer must re-read
 )
 
 // slot carries one handed-over packet, the graph node the consuming
@@ -64,14 +69,22 @@ type Ring struct {
 
 	_    [64]byte // keep the cursors on separate cache lines
 	tail atomic.Uint64
-	_    [64]byte
-	head atomic.Uint64
-	_    [64]byte
-	// polls counts spin-wait iterations (PollFull + PollEmpty): the
-	// backpressure signal telemetry reads while both stages run. A burst
-	// of producer polls means the consumer lags (ring full); consumer
-	// polls mean the producer starves it.
-	polls atomic.Uint64
+	// staged counts slots written past tail but not yet published;
+	// producer-side only, so a plain field.
+	staged uint64
+	// pushPolls counts producer spin-wait iterations (PollFull): a burst
+	// of them means the consumer lags (ring full). Producer-padded line.
+	pushPolls atomic.Uint64
+	_         [64]byte
+	head      atomic.Uint64
+	// taken counts slots consumed past head but not yet released;
+	// consumer-side only, so a plain field.
+	taken uint64
+	// popPolls counts consumer spin-wait iterations (PollEmpty): a burst
+	// of them means the producer starves the consumer (ring empty). The
+	// two directions mean opposite things, so they are kept apart and
+	// exposed separately.
+	popPolls atomic.Uint64
 }
 
 // New builds a ring of the given depth (rounded up to a power of two,
@@ -99,13 +112,18 @@ func (r *Ring) Cap() int { return len(r.slots) }
 // Len returns the current occupancy; naturally racy while both stages run.
 func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
 
-// Full reports whether a Push would fail. Only the producer should act on
-// it (the consumer can only make it stale in the permissive direction).
-func (r *Ring) Full() bool { return r.Len() >= len(r.slots) }
+// Full reports whether a Push or StagePush would fail, counting the
+// producer's staged-but-unpublished slots. Only the producer should act
+// on it (the consumer can only make it stale in the permissive
+// direction).
+func (r *Ring) Full() bool {
+	return r.tail.Load()+r.staged-r.head.Load() >= uint64(len(r.slots))
+}
 
-// Empty reports whether a Pop would fail. Only the consumer should act on
+// Empty reports whether a Pop or PopStaged would fail, counting the
+// consumer's taken-but-unreleased slots. Only the consumer should act on
 // it.
-func (r *Ring) Empty() bool { return r.Len() == 0 }
+func (r *Ring) Empty() bool { return r.tail.Load() == r.head.Load()+r.taken }
 
 // Consumed returns the cumulative number of packets popped, for credit
 // accounting across barriers.
@@ -116,47 +134,121 @@ func (r *Ring) Produced() uint64 { return r.tail.Load() }
 
 // Polls returns the cumulative spin-wait iterations both stages have
 // charged against this ring — the observable cost of stage imbalance.
-func (r *Ring) Polls() uint64 { return r.polls.Load() }
+func (r *Ring) Polls() uint64 { return r.pushPolls.Load() + r.popPolls.Load() }
+
+// PushPolls returns the producer's cumulative spin-wait iterations
+// (PollFull): the ring was full, so the consumer lags.
+func (r *Ring) PushPolls() uint64 { return r.pushPolls.Load() }
+
+// PopPolls returns the consumer's cumulative spin-wait iterations
+// (PollEmpty): the ring was empty, so the producer starves the consumer.
+func (r *Ring) PopPolls() uint64 { return r.popPolls.Load() }
 
 // Push hands p (with its resume node and upstream finished flag) to the
-// consuming stage, emitting the descriptor-line store. It returns false,
-// charging nothing, when the ring is full; the producer then typically
-// PollFulls and retries later.
+// consuming stage, emitting the descriptor-line store and the cursor
+// publish. It returns false, charging nothing, when the ring is full;
+// the producer then typically PollFulls and retries later. A Push also
+// publishes any slots the producer had staged.
 //
 //dataplane:stamped hand-off descriptor ops are pipeline overhead (slot 0) by design
 //dataplane:hotpath
 func (r *Ring) Push(ctx *click.Ctx, p *click.Packet, node int, finished bool) bool {
-	t := r.tail.Load()
+	if !r.StagePush(ctx, p, node, finished) {
+		r.CommitPush(ctx)
+		return false
+	}
+	r.CommitPush(ctx)
+	return true
+}
+
+// StagePush writes p's descriptor and slot without publishing them: the
+// consumer cannot see staged slots until CommitPush pays the cursor cost
+// once and stores tail for the whole batch. Returns false, charging
+// nothing, when the ring (including already-staged slots) is full.
+//
+//dataplane:stamped hand-off descriptor ops are pipeline overhead (slot 0) by design
+//dataplane:hotpath
+func (r *Ring) StagePush(ctx *click.Ctx, p *click.Packet, node int, finished bool) bool {
+	t := r.tail.Load() + r.staged
 	if t-r.head.Load() >= uint64(len(r.slots)) {
 		return false
 	}
 	old := ctx.SetFunc(fnHandoff)
 	ctx.Store(r.desc.Addr(int(t & r.mask)))
-	ctx.Compute(ringCycles, ringInstrs)
+	ctx.Compute(slotCycles, slotInstrs)
 	ctx.SetFunc(old)
 	r.slots[t&r.mask] = slot{p: p, node: int32(node), finished: finished}
-	r.tail.Store(t + 1) // publish
+	r.staged++
 	return true
 }
 
-// Pop takes the next packet, emitting the descriptor-line load. It
-// returns ok=false, charging nothing, when the ring is empty.
+// CommitPush publishes every staged slot with a single tail store,
+// charging the cursor update once for the whole batch. A no-op, charging
+// nothing, when nothing is staged.
+//
+//dataplane:stamped hand-off descriptor ops are pipeline overhead (slot 0) by design
+//dataplane:hotpath
+func (r *Ring) CommitPush(ctx *click.Ctx) {
+	if r.staged == 0 {
+		return
+	}
+	old := ctx.SetFunc(fnHandoff)
+	ctx.Compute(cursorCycles, cursorInstrs)
+	ctx.SetFunc(old)
+	r.tail.Store(r.tail.Load() + r.staged) // publish the batch
+	r.staged = 0
+}
+
+// Pop takes the next packet, emitting the descriptor-line load and the
+// cursor release. It returns ok=false, charging nothing, when the ring
+// is empty. A Pop also releases any slots the consumer had taken via
+// PopStaged.
 //
 //dataplane:stamped hand-off descriptor ops are pipeline overhead (slot 0) by design
 //dataplane:hotpath
 func (r *Ring) Pop(ctx *click.Ctx) (p *click.Packet, node int, finished bool, ok bool) {
-	h := r.head.Load()
+	p, node, finished, ok = r.PopStaged(ctx)
+	r.CommitPop(ctx)
+	return p, node, finished, ok
+}
+
+// PopStaged takes the next packet without releasing its slot: the
+// producer cannot reuse taken slots until CommitPop pays the cursor cost
+// once and stores head for the whole batch. Returns ok=false, charging
+// nothing, when the ring (beyond already-taken slots) is empty.
+//
+//dataplane:stamped hand-off descriptor ops are pipeline overhead (slot 0) by design
+//dataplane:hotpath
+func (r *Ring) PopStaged(ctx *click.Ctx) (p *click.Packet, node int, finished bool, ok bool) {
+	h := r.head.Load() + r.taken
 	if h == r.tail.Load() {
 		return nil, 0, false, false
 	}
 	old := ctx.SetFunc(fnHandoff)
 	ctx.Load(r.desc.Addr(int(h & r.mask)))
-	ctx.Compute(ringCycles, ringInstrs)
+	ctx.Compute(slotCycles, slotInstrs)
 	ctx.SetFunc(old)
 	s := r.slots[h&r.mask]
 	r.slots[h&r.mask] = slot{}
-	r.head.Store(h + 1) // release the slot
+	r.taken++
 	return s.p, int(s.node), s.finished, true
+}
+
+// CommitPop releases every taken slot with a single head store, charging
+// the cursor update once for the whole batch. A no-op, charging nothing,
+// when nothing is pending.
+//
+//dataplane:stamped hand-off descriptor ops are pipeline overhead (slot 0) by design
+//dataplane:hotpath
+func (r *Ring) CommitPop(ctx *click.Ctx) {
+	if r.taken == 0 {
+		return
+	}
+	old := ctx.SetFunc(fnHandoff)
+	ctx.Compute(cursorCycles, cursorInstrs)
+	ctx.SetFunc(old)
+	r.head.Store(r.head.Load() + r.taken) // release the batch
+	r.taken = 0
 }
 
 // PollFull models one producer spin-wait iteration: re-reading the line
@@ -165,6 +257,7 @@ func (r *Ring) Pop(ctx *click.Ctx) (p *click.Packet, node int, finished bool, ok
 //dataplane:stamped spin-wait polls are pipeline overhead (slot 0) by design
 //dataplane:hotpath
 func (r *Ring) PollFull(ctx *click.Ctx) {
+	r.pushPolls.Add(1)
 	r.poll(ctx, r.head.Load())
 }
 
@@ -174,13 +267,13 @@ func (r *Ring) PollFull(ctx *click.Ctx) {
 //dataplane:stamped spin-wait polls are pipeline overhead (slot 0) by design
 //dataplane:hotpath
 func (r *Ring) PollEmpty(ctx *click.Ctx) {
+	r.popPolls.Add(1)
 	r.poll(ctx, r.tail.Load())
 }
 
 //dataplane:stamped spin-wait polls are pipeline overhead (slot 0) by design
 //dataplane:hotpath
 func (r *Ring) poll(ctx *click.Ctx, cursor uint64) {
-	r.polls.Add(1)
 	old := ctx.SetFunc(fnHandoff)
 	ctx.Load(r.desc.Addr(int(cursor & r.mask)))
 	ctx.Compute(pollCycles, pollInstrs)

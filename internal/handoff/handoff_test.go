@@ -9,6 +9,15 @@ import (
 	"pktpredict/internal/mem"
 )
 
+func sumCompute(ops []hw.Op) (cycles int) {
+	for _, op := range ops {
+		if op.Kind == hw.OpCompute {
+			cycles += int(op.Cycles)
+		}
+	}
+	return
+}
+
 func opKinds(ops []hw.Op) (loads, stores, computes int) {
 	for _, op := range ops {
 		switch op.Kind {
@@ -32,9 +41,14 @@ func TestRingPushPopCharges(t *testing.T) {
 	if !r.Push(&prodCtx, p, 7, true) {
 		t.Fatal("push into empty ring failed")
 	}
+	// A scalar push is stage (slot compute) + commit (cursor compute):
+	// two computes whose cycles sum to the historical per-push cost.
 	loads, stores, computes := opKinds(prodCtx.Ops)
-	if stores != 1 || computes != 1 || loads != 0 {
-		t.Fatalf("push trace: %d loads %d stores %d computes, want 0/1/1", loads, stores, computes)
+	if stores != 1 || computes != 2 || loads != 0 {
+		t.Fatalf("push trace: %d loads %d stores %d computes, want 0/1/2", loads, stores, computes)
+	}
+	if got := sumCompute(prodCtx.Ops); got != slotCycles+cursorCycles {
+		t.Fatalf("push compute cycles = %d, want %d", got, slotCycles+cursorCycles)
 	}
 
 	consCtx.Ops = nil
@@ -43,8 +57,11 @@ func TestRingPushPopCharges(t *testing.T) {
 		t.Fatalf("pop = (%v, %d, %v, %v), want (p, 7, true, true)", got, node, fin, ok)
 	}
 	loads, stores, computes = opKinds(consCtx.Ops)
-	if loads != 1 || computes != 1 || stores != 0 {
-		t.Fatalf("pop trace: %d loads %d stores %d computes, want 1/0/1", loads, stores, computes)
+	if loads != 1 || computes != 2 || stores != 0 {
+		t.Fatalf("pop trace: %d loads %d stores %d computes, want 1/0/2", loads, stores, computes)
+	}
+	if gotCyc := sumCompute(consCtx.Ops); gotCyc != slotCycles+cursorCycles {
+		t.Fatalf("pop compute cycles = %d, want %d", gotCyc, slotCycles+cursorCycles)
 	}
 
 	// The consumer-side compulsory header miss touches each header line.
@@ -53,6 +70,61 @@ func TestRingPushPopCharges(t *testing.T) {
 	loads, _, _ = opKinds(consCtx.Ops)
 	if want := hw.LinesSpanned(p.Addr, HeaderBytes); loads != want {
 		t.Fatalf("header miss loads %d lines, want %d", loads, want)
+	}
+}
+
+// TestRingBatchedPushPopCharges pins the batched cost split: N staged
+// pushes plus one commit charge N slot costs and one cursor cost — the
+// same per-packet total as N scalar pushes minus N−1 cursor updates —
+// and staged slots stay invisible to the consumer until the commit.
+func TestRingBatchedPushPopCharges(t *testing.T) {
+	r := New(mem.NewArena(0), 8)
+	var prodCtx, consCtx click.Ctx
+	pkts := []*click.Packet{{Addr: 0x10000}, {Addr: 0x10200}, {Addr: 0x10400}}
+
+	prodCtx.Ops = nil
+	for i, p := range pkts {
+		if !r.StagePush(&prodCtx, p, i, false) {
+			t.Fatalf("stage %d failed", i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("staged slots visible before commit: len = %d", r.Len())
+	}
+	r.CommitPush(&prodCtx)
+	if r.Len() != len(pkts) {
+		t.Fatalf("after commit: len = %d, want %d", r.Len(), len(pkts))
+	}
+	if got, want := sumCompute(prodCtx.Ops), len(pkts)*slotCycles+cursorCycles; got != want {
+		t.Fatalf("batched push cycles = %d, want %d", got, want)
+	}
+
+	consCtx.Ops = nil
+	for i, want := range pkts {
+		p, node, _, ok := r.PopStaged(&consCtx)
+		if !ok || p != want || node != i {
+			t.Fatalf("pop %d: ok=%v p=%v node=%d", i, ok, p, node)
+		}
+	}
+	if r.Consumed() != 0 {
+		t.Fatalf("staged pops released before commit: consumed = %d", r.Consumed())
+	}
+	r.CommitPop(&consCtx)
+	if r.Consumed() != uint64(len(pkts)) || !r.Empty() {
+		t.Fatalf("after commit: consumed = %d, empty = %v", r.Consumed(), r.Empty())
+	}
+	if got, want := sumCompute(consCtx.Ops), len(pkts)*slotCycles+cursorCycles; got != want {
+		t.Fatalf("batched pop cycles = %d, want %d", got, want)
+	}
+
+	// An empty commit charges nothing: quanta that staged no packets must
+	// not accrue cursor costs.
+	prodCtx.Ops = nil
+	r.CommitPush(&prodCtx)
+	consCtx.Ops = nil
+	r.CommitPop(&consCtx)
+	if len(prodCtx.Ops) != 0 || len(consCtx.Ops) != 0 {
+		t.Fatal("empty commit charged ops")
 	}
 }
 
@@ -79,17 +151,30 @@ func TestRingFullEmptyAndPolls(t *testing.T) {
 	if len(ctx.Ops) != 0 {
 		t.Fatal("failed push charged ops")
 	}
-	// Polls charge a spin-wait trace without moving packets.
+	// Polls charge a spin-wait trace without moving packets, and each
+	// direction lands in its own counter: PollFull is the producer
+	// spinning (consumer lags), PollEmpty the consumer (producer
+	// starves) — the split the residual diagnosis uses to name the side
+	// at fault.
 	ctx.Ops = nil
 	r.PollFull(&ctx)
 	if len(ctx.Ops) == 0 {
 		t.Fatal("PollFull charged nothing")
+	}
+	if r.PushPolls() != 1 || r.PopPolls() != 0 {
+		t.Fatalf("after PollFull: push=%d pop=%d, want 1/0", r.PushPolls(), r.PopPolls())
 	}
 	before := r.Len()
 	ctx.Ops = nil
 	r.PollEmpty(&ctx)
 	if len(ctx.Ops) == 0 || r.Len() != before {
 		t.Fatal("PollEmpty charged nothing or moved packets")
+	}
+	if r.PushPolls() != 1 || r.PopPolls() != 1 {
+		t.Fatalf("after PollEmpty: push=%d pop=%d, want 1/1", r.PushPolls(), r.PopPolls())
+	}
+	if r.Polls() != 2 {
+		t.Fatalf("total polls = %d, want 2", r.Polls())
 	}
 	for i := 0; i < before; i++ {
 		ctx.Ops = nil

@@ -58,6 +58,14 @@ type WindowObs struct {
 	SoloRefsPerSec  float64 // profiled solo reference rate (0 when unprofiled)
 	CompetingRefs   float64 // other workers' L3 refs/sec on the app's socket(s)
 
+	// Per-direction hand-off spin-poll deltas across the app's cuts this
+	// window. Push polls are the producer spinning on a full ring (its
+	// consumer lags); pop polls are the consumer spinning on an empty
+	// ring (its producer starves it). The ring-backpressure rung uses
+	// whichever direction dominates to name the side at fault.
+	HandoffPushPolls uint64
+	HandoffPopPolls  uint64
+
 	// Per-element profile-drift evidence, filled by the runtime's online
 	// cost attribution when an element's live cost diverged from its
 	// offline baseline. DriftElement is empty when no element drifted.
@@ -126,6 +134,21 @@ func Diagnose(tol float64, o WindowObs) (Cause, string) {
 			o.RemotePerPacket)
 	}
 	if o.RingFill >= ringEvidence || o.NICDropRate > tol {
+		// The poll directions disambiguate which side of a congested cut
+		// is at fault: producer spins (push polls) mean the consumer
+		// lags, consumer spins (pop polls) mean the producer starves it.
+		// Requiring a 2× majority keeps mixed evidence on the generic
+		// message.
+		switch {
+		case o.HandoffPushPolls > 0 && o.HandoffPushPolls >= 2*o.HandoffPopPolls:
+			return CauseRing, fmt.Sprintf(
+				"ring %.0f%% full, NIC drop rate %.1f%%, %d producer spin-polls — the consumer stage lags the cut; the per-core curve does not price queueing",
+				o.RingFill*100, o.NICDropRate*100, o.HandoffPushPolls)
+		case o.HandoffPopPolls > 0 && o.HandoffPopPolls >= 2*o.HandoffPushPolls:
+			return CauseRing, fmt.Sprintf(
+				"ring %.0f%% full, NIC drop rate %.1f%%, %d consumer spin-polls — the producer stage starves the cut; an upstream stage or admission delay lags the source",
+				o.RingFill*100, o.NICDropRate*100, o.HandoffPopPolls)
+		}
 		return CauseRing, fmt.Sprintf(
 			"ring %.0f%% full, NIC drop rate %.1f%% — a downstream stage or admission delay lags the source; the per-core curve does not price queueing",
 			o.RingFill*100, o.NICDropRate*100)

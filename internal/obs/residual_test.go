@@ -70,6 +70,46 @@ func TestDiagnosePriority(t *testing.T) {
 	}
 }
 
+// TestDiagnoseRingDirection checks the ring rung's fault attribution:
+// a producer spin-poll majority blames the lagging consumer, a consumer
+// spin-poll majority blames the starving producer, and mixed evidence
+// keeps the generic queueing message.
+func TestDiagnoseRingDirection(t *testing.T) {
+	base := WindowObs{Predicted: 0.10, Observed: 0.30, RingFill: 0.95}
+
+	o := base
+	o.HandoffPushPolls, o.HandoffPopPolls = 1000, 100
+	cause, ev := Diagnose(0.05, o)
+	if cause != CauseRing || !strings.Contains(ev, "consumer stage lags") {
+		t.Fatalf("push majority: cause %s, evidence %q", cause, ev)
+	}
+
+	o = base
+	o.HandoffPushPolls, o.HandoffPopPolls = 100, 1000
+	cause, ev = Diagnose(0.05, o)
+	if cause != CauseRing || !strings.Contains(ev, "producer stage starves") {
+		t.Fatalf("pop majority: cause %s, evidence %q", cause, ev)
+	}
+
+	// Mixed evidence (neither side has a 2x majority): generic message.
+	o = base
+	o.HandoffPushPolls, o.HandoffPopPolls = 600, 400
+	cause, ev = Diagnose(0.05, o)
+	if cause != CauseRing {
+		t.Fatalf("mixed: cause = %s, want %s", cause, CauseRing)
+	}
+	if strings.Contains(ev, "consumer stage lags") || strings.Contains(ev, "producer stage starves") {
+		t.Fatalf("mixed evidence picked a side: %q", ev)
+	}
+
+	// No polls at all (cut congested but nobody spun): generic message.
+	o = base
+	if cause, ev = Diagnose(0.05, o); cause != CauseRing ||
+		strings.Contains(ev, "spin-polls") {
+		t.Fatalf("no polls: cause %s, evidence %q", cause, ev)
+	}
+}
+
 func TestNewResidual(t *testing.T) {
 	r := NewResidual(40, 0.003, 0.05, WindowObs{
 		App: "nat", Predicted: 0.1, Observed: 0.4, RemotePerPacket: 1.5,

@@ -45,9 +45,17 @@ type chainStage struct {
 	entry     int         // node index the stage enters the graph at (stage 0 only)
 	workerIdx int
 
-	// prevPolls is the out ring's poll count at the last control barrier
-	// (the observability layer's per-window delta cursor).
-	prevPolls uint64
+	// batched defers hand-off cursor publishes/releases to flush (once
+	// per worker batch) instead of per packet — set when the scenario
+	// models a receive batch (Params.RxBatch > 1).
+	batched bool
+
+	// prevPushPolls/prevPopPolls are the out ring's per-direction poll
+	// counts at the last control barrier (the observability layer's
+	// per-window delta cursors): push polls mean this stage's consumer
+	// lags, pop polls mean the next stage starves.
+	prevPushPolls uint64
+	prevPopPolls  uint64
 
 	// elems is this stage's per-element cost table (same slot layout as
 	// flow.elems: slot 0 overhead, slot i+1 = pipe.Nodes()[i]). Chains
@@ -92,7 +100,8 @@ func (r *Runtime) buildChain(f *flow, lead, stages int, arena func(int) *mem.Are
 			return fmt.Errorf("runtime: app %q replica %d: %w", f.app.spec.Name, f.replica, err)
 		}
 		u := &chainStage{fl: f, stage: s, runner: runner, in: prev,
-			elems: make([]hw.ElemCell, len(f.pipe.Nodes())+1)}
+			batched: r.cfg.Params.RxBatch > 1,
+			elems:   make([]hw.ElemCell, len(f.pipe.Nodes())+1)}
 		if s == 0 {
 			u.entry = f.pipe.HeadIndex()
 		}
@@ -178,7 +187,12 @@ func (u *chainStage) step(w *worker) ([]hw.Op, int) {
 		}
 	} else {
 		var ok bool
-		p, entry, prior, ok = u.in.Pop(ctx)
+		if u.batched {
+			// Defer the head-cursor release to flush: one store per batch.
+			p, entry, prior, ok = u.in.PopStaged(ctx)
+		} else {
+			p, entry, prior, ok = u.in.Pop(ctx)
+		}
 		if !ok {
 			// The producer may deliver mid-quantum: spin, don't idle.
 			u.in.PollEmpty(ctx)
@@ -191,25 +205,60 @@ func (u *chainStage) step(w *worker) ([]hw.Op, int) {
 		p.Recycler = u.rec
 	}
 
+	// Capture the stamps before the walk: a terminating walk recycles the
+	// packet into a return ring, after which stage 0 may pop the return,
+	// reuse the pool slot, and overwrite this header concurrently — the
+	// Packet must never be read again once Walk has run.
+	enq, trace := p.Enq, p.Trace
+
 	next, fin := u.runner.Walk(p, entry, prior)
 	if next >= 0 {
-		u.out.Push(ctx, p, next, fin) // cannot fail: Full was checked above
+		// Cannot fail: Full was checked above (and counts staged slots).
+		if u.batched {
+			u.out.StagePush(ctx, p, next, fin)
+		} else {
+			u.out.Push(ctx, p, next, fin)
+		}
 	} else {
 		// The walk terminated here: this stage records the packet's
 		// end-to-end latency (finished or dropped — either way the packet
 		// left the system) once runQuantum has executed its trace.
-		w.pendLat, w.pendHist = p.Enq, &u.lat
+		w.pendLat, w.pendHist = enq, &u.lat
 	}
-	if p.Trace != 0 && w.shard != nil {
+	if trace != 0 && w.shard != nil {
 		// The stage's trace executes after step returns; leave the span's
 		// identity for runQuantum to timestamp around ExecOps.
-		w.pendTrace = p.Trace
+		w.pendTrace = trace
 		w.pendPid = u.fl.id
 		w.pendStage = u.stage
 		w.pendDeq = u.in != nil
 		w.pendEnq = next >= 0
 	}
 	return ctx.Ops, 1
+}
+
+// flush closes the stage's current batch: staged hand-off pushes are
+// published and taken slots released, each with a single cursor store
+// whose simulated cost (charged once per batch — the amortization
+// batching buys) executes as a stall trace. runQuantum calls it after
+// every batch loop, so ring cursors are exact at barriers and a peer
+// stage never waits past one batch for staged packets.
+func (u *chainStage) flush(w *worker) {
+	if !u.batched {
+		return
+	}
+	ctx := u.runner.Ctx()
+	ctx.Ops = w.opbuf[:0]
+	if u.out != nil {
+		u.out.CommitPush(ctx)
+	}
+	if u.in != nil {
+		u.in.CommitPop(ctx)
+	}
+	w.opbuf = ctx.Ops
+	if len(ctx.Ops) > 0 {
+		w.core.ExecStall(ctx.Ops)
+	}
 }
 
 // inFlight counts packets currently inside the chain's forward rings.

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"math"
+
 	"pktpredict/internal/trafficgen"
 )
 
@@ -23,8 +25,21 @@ type appState struct {
 	offered  uint64
 	enqueued uint64
 	nicDrops uint64
-	carry    float64
 	primed   bool
+
+	// Paced emission uses absolute accounting: pacedQuanta counts the
+	// active (on-phase) quanta since measurement start and pacedEmitted
+	// the packets emitted against them, so each barrier emits exactly
+	// floor(rate × quantumSec × pacedQuanta) − pacedEmitted. One
+	// multiplication per barrier means no rounding residue accumulates —
+	// emission matches rate × active-virtual-time exactly however long
+	// the run. The previous fractional-carry accumulator drifted:
+	// summing rate × quantumSec one quantum at a time compounds float
+	// rounding over millions of barriers, and its residue survived
+	// measurement resets. pacedEmitted is kept apart from offered
+	// because resetMeasurement credits ring backlog into offered.
+	pacedQuanta  uint64
+	pacedEmitted uint64
 
 	// Previous control window's cursor into each accumulator, so the
 	// observability layer can difference per-window deltas without a
@@ -51,23 +66,32 @@ func (a *appState) burstActive(q int) bool {
 	return q%(a.spec.BurstOn+a.spec.BurstOff) < a.spec.BurstOn
 }
 
-// emitOne generates the next packet and offers it to its RSS ring,
+// emitBurst generates n packets and offers each to its RSS ring,
 // stamped with the barrier's virtual time (the enqueue side of the
-// packet's end-to-end latency).
-func (a *appState) emitOne(stamp uint64) {
-	sz := a.gen.Next(a.scratch)
-	a.offered++
-	ring := a.flows[trafficgen.RSSQueue(trafficgen.RSSHash(a.scratch[:sz]), len(a.flows))].ring
-	if ring.Push(a.scratch[:sz], stamp) {
-		a.enqueued++
-	} else {
-		a.nicDrops++
+// packet's end-to-end latency). Packets are staged per ring and the
+// whole burst is published with one tail store per ring — the batched
+// NIC behaviour: descriptors land as a burst, not one cursor write per
+// packet.
+func (a *appState) emitBurst(n int, stamp uint64) {
+	for i := 0; i < n; i++ {
+		sz := a.gen.Next(a.scratch)
+		a.offered++
+		ring := a.flows[trafficgen.RSSQueue(trafficgen.RSSHash(a.scratch[:sz]), len(a.flows))].ring
+		if ring.Stage(a.scratch[:sz], stamp) {
+			a.enqueued++
+		} else {
+			a.nicDrops++
+		}
+	}
+	for _, f := range a.flows {
+		f.ring.Commit()
 	}
 }
 
 // resetAccounting zeroes offered-load counters at measurement start.
 func (a *appState) resetAccounting() {
 	a.offered, a.enqueued, a.nicDrops = 0, 0, 0
+	a.pacedQuanta, a.pacedEmitted = 0, 0
 	a.prevOffered, a.prevEnqueued, a.prevNICDrops, a.prevProcessed = 0, 0, 0, 0
 	a.sloBreaches, a.lastBurn = 0, 0
 }
@@ -113,16 +137,18 @@ func (d *dispatcher) enqueue(q int) {
 				}
 			}
 			a.primed = true
-			for i := 0; i < budget; i++ {
-				a.emitOne(stamp)
-			}
+			a.emitBurst(budget, stamp)
 			continue
 		}
-		a.carry += a.rate * d.quantumSec
-		n := int(a.carry)
-		a.carry -= float64(n)
-		for i := 0; i < n; i++ {
-			a.emitOne(stamp)
+		// Absolute paced accounting: the cumulative target after this
+		// active quantum is floor(rate × quantumSec × pacedQuanta); emit
+		// exactly the gap to it as one burst.
+		a.pacedQuanta++
+		target := uint64(math.Floor(a.rate * d.quantumSec * float64(a.pacedQuanta)))
+		if target > a.pacedEmitted {
+			n := int(target - a.pacedEmitted)
+			a.pacedEmitted = target
+			a.emitBurst(n, stamp)
 		}
 	}
 }

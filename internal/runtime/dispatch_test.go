@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"math"
 	"testing"
 
 	"pktpredict/internal/trafficgen"
@@ -97,5 +98,52 @@ func TestDispatcherCreditsSurviveSkewDrops(t *testing.T) {
 	d.enqueue(2)
 	if a.offered != offered {
 		t.Fatalf("drops were re-offered: %d -> %d", offered, a.offered)
+	}
+}
+
+// TestDispatcherPacedExactAccounting pins the S3 fix: over arbitrarily
+// long runs, a paced source's offered count must equal
+// floor(rate × quantumSec × activeQuanta) exactly — one multiplication's
+// rounding, not a hundred thousand accumulated ones. The old fractional
+// carry summed rate × quantumSec per quantum, compounding float rounding
+// into a slow drift between offered load and virtual time. The rate and
+// quantum are chosen so the per-quantum packet count is awkwardly
+// non-integer (~1.38 packets).
+func TestDispatcherPacedExactAccounting(t *testing.T) {
+	a := creditApp(2, 8)
+	a.rate = 1234567.89
+	a.spec.Name = "paced"
+	d := &dispatcher{apps: []*appState{a}, quantumSec: 1.11731e-6}
+
+	const quanta = 150_000
+	for q := 0; q < quanta; q++ {
+		d.enqueue(q)
+	}
+	want := uint64(math.Floor(a.rate * d.quantumSec * float64(quanta)))
+	if a.offered != want {
+		t.Fatalf("offered %d after %d quanta, want exactly %d (drift %+d)",
+			a.offered, quanta, want, int64(a.offered)-int64(want))
+	}
+	if a.offered != a.enqueued+a.nicDrops {
+		t.Fatalf("offered %d != enqueued %d + drops %d", a.offered, a.enqueued, a.nicDrops)
+	}
+
+	// Burst gating: only on-phase quanta accrue emission budget, and the
+	// identity holds against the active-quantum count.
+	b := creditApp(1, 8)
+	b.rate = 987654.321
+	b.spec.BurstOn, b.spec.BurstOff = 3, 2
+	d2 := &dispatcher{apps: []*appState{b}, quantumSec: 2.3e-6}
+	active := 0
+	for q := 0; q < 50_000; q++ {
+		if b.burstActive(q) {
+			active++
+		}
+		d2.enqueue(q)
+	}
+	want = uint64(math.Floor(b.rate * d2.quantumSec * float64(active)))
+	if b.offered != want {
+		t.Fatalf("bursty offered %d over %d active quanta, want exactly %d",
+			b.offered, active, want)
 	}
 }

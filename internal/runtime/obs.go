@@ -43,9 +43,14 @@ type rtObs struct {
 	appObserved, appPredicted, appResidual map[string]*obs.Gauge
 	appCause                               map[string]map[obs.Cause]*obs.Gauge
 
-	// Chain hand-off telemetry, one per (flow, cut).
-	handoffFill  map[*chainStage]*obs.Gauge
-	handoffPolls map[*chainStage]*obs.Counter
+	// Chain hand-off telemetry, one per (flow, cut). Push polls (producer
+	// spins on a full ring: the consumer lags) and pop polls (consumer
+	// spins on an empty ring: the producer starves it) mean opposite
+	// things, so they are exposed as separate families alongside the sum.
+	handoffFill      map[*chainStage]*obs.Gauge
+	handoffPolls     map[*chainStage]*obs.Counter
+	handoffPushPolls map[*chainStage]*obs.Counter
+	handoffPopPolls  map[*chainStage]*obs.Counter
 
 	// Worker→app binding info gauges, so a scraper can join worker series
 	// to apps across live migrations.
@@ -70,6 +75,26 @@ type rtObs struct {
 	sloTripd map[string]*obs.Counter
 }
 
+// batchBuckets derives the batch-fill histogram's buckets from the
+// configured batch size: {0, 1} then powers of two up to and including
+// the batch itself, so the top bucket always equals the largest possible
+// fill. The previous hardcoded {0,1,2,4,8,16,32} silently saturated any
+// batch above 32 into one bucket. For the default batch of 32 the
+// derived buckets are identical to the historical set.
+func batchBuckets(batch int) []float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	buckets := []float64{0, 1}
+	for b := 2; b < batch; b <<= 1 {
+		buckets = append(buckets, float64(b))
+	}
+	if batch > 1 {
+		buckets = append(buckets, float64(batch))
+	}
+	return buckets
+}
+
 // hwCounterNames enumerates hw.Counters.Each's stable name order once.
 func hwCounterNames() []string {
 	var names []string
@@ -89,28 +114,32 @@ var residualCauses = []obs.Cause{
 // counter).
 func newRtObs(reg *obs.Registry, r *Runtime) *rtObs {
 	m := &rtObs{
-		reg:          reg,
-		appOffered:   map[string]*obs.Counter{},
-		appEnqueued:  map[string]*obs.Counter{},
-		appNICDrops:  map[string]*obs.Counter{},
-		appProcessed: map[string]*obs.Counter{},
-		appObserved:  map[string]*obs.Gauge{},
-		appPredicted: map[string]*obs.Gauge{},
-		appResidual:  map[string]*obs.Gauge{},
-		appCause:     map[string]map[obs.Cause]*obs.Gauge{},
-		handoffFill:  map[*chainStage]*obs.Gauge{},
-		handoffPolls: map[*chainStage]*obs.Counter{},
-		lastBound:    map[int]*obs.Gauge{},
-		appDrift:     map[string]*obs.Gauge{},
-		appLatQ:      map[string][3]*obs.Gauge{},
-		sloBurn:      map[string]*obs.Gauge{},
-		sloTripd:     map[string]*obs.Counter{},
+		reg:              reg,
+		appOffered:       map[string]*obs.Counter{},
+		appEnqueued:      map[string]*obs.Counter{},
+		appNICDrops:      map[string]*obs.Counter{},
+		appProcessed:     map[string]*obs.Counter{},
+		appObserved:      map[string]*obs.Gauge{},
+		appPredicted:     map[string]*obs.Gauge{},
+		appResidual:      map[string]*obs.Gauge{},
+		appCause:         map[string]map[obs.Cause]*obs.Gauge{},
+		handoffFill:      map[*chainStage]*obs.Gauge{},
+		handoffPolls:     map[*chainStage]*obs.Counter{},
+		handoffPushPolls: map[*chainStage]*obs.Counter{},
+		handoffPopPolls:  map[*chainStage]*obs.Counter{},
+		lastBound:        map[int]*obs.Gauge{},
+		appDrift:         map[string]*obs.Gauge{},
+		appLatQ:          map[string][3]*obs.Gauge{},
+		sloBurn:          map[string]*obs.Gauge{},
+		sloTripd:         map[string]*obs.Counter{},
 	}
 
 	packets := reg.Counter("dataplane_worker_packets_total",
 		"packets fully processed, incremented from the worker hot path", "worker")
 	batch := reg.Histogram("dataplane_worker_batch_fill",
-		"packets per ring poll (batch occupancy)", []float64{0, 1, 2, 4, 8, 16, 32}, "worker")
+		"packets per ring poll (batch occupancy)", batchBuckets(r.cfg.Batch), "worker")
+	clipped := reg.Counter("dataplane_worker_batch_clipped_total",
+		"batch polls cut short by the quantum boundary, excluded from batch_fill", "worker")
 	spins := reg.Counter("dataplane_worker_spin_polls_total",
 		"hand-off ring spin-wait iterations charged by this worker", "worker")
 
@@ -133,6 +162,7 @@ func newRtObs(reg *obs.Registry, r *Runtime) *rtObs {
 		id := fmt.Sprint(i)
 		w.mPackets = packets.With(id)
 		w.mBatch = batch.With(id)
+		w.mClipped = clipped.With(id)
 		w.mSpins = spins.With(id)
 		m.pps = append(m.pps, ppsV.With(id))
 		m.refs = append(m.refs, refsV.With(id))
@@ -180,6 +210,10 @@ func newRtObs(reg *obs.Registry, r *Runtime) *rtObs {
 		"forward hand-off ring occupancy fraction at the barrier", "app", "replica", "cut")
 	hopV := reg.Counter("dataplane_handoff_polls_total",
 		"spin-wait iterations on the cut's forward ring (producer + consumer)", "app", "replica", "cut")
+	hopPushV := reg.Counter("dataplane_handoff_push_polls_total",
+		"producer spin-wait iterations on the cut's forward ring (ring full: consumer lags)", "app", "replica", "cut")
+	hopPopV := reg.Counter("dataplane_handoff_pop_polls_total",
+		"consumer spin-wait iterations on the cut's forward ring (ring empty: producer starves)", "app", "replica", "cut")
 	for _, f := range r.flows {
 		for _, u := range f.stages {
 			if u.out == nil {
@@ -188,6 +222,8 @@ func newRtObs(reg *obs.Registry, r *Runtime) *rtObs {
 			app, rep, cut := f.app.spec.Name, fmt.Sprint(f.replica), fmt.Sprint(u.stage)
 			m.handoffFill[u] = hofV.With(app, rep, cut)
 			m.handoffPolls[u] = hopV.With(app, rep, cut)
+			m.handoffPushPolls[u] = hopPushV.With(app, rep, cut)
+			m.handoffPopPolls[u] = hopPopV.With(app, rep, cut)
 		}
 	}
 
@@ -292,9 +328,13 @@ func (r *Runtime) publishWindow(sample ControlSample, deltas []hw.Counters) {
 				continue
 			}
 			m.handoffFill[u].Set(float64(u.out.Len()) / float64(u.out.Cap()))
-			polls := u.out.Polls()
-			m.handoffPolls[u].Add(polls - u.prevPolls)
-			u.prevPolls = polls
+			// The cursors roll forward in rollWindowAccounting, which runs
+			// whether or not a registry is configured — windowResiduals
+			// reads the same per-window deltas for diagnosis.
+			push, pop := u.out.PushPolls(), u.out.PopPolls()
+			m.handoffPolls[u].Add(push + pop - u.prevPushPolls - u.prevPopPolls)
+			m.handoffPushPolls[u].Add(push - u.prevPushPolls)
+			m.handoffPopPolls[u].Add(pop - u.prevPopPolls)
 		}
 	}
 }
@@ -604,6 +644,19 @@ func (r *Runtime) windowResiduals(q int, tsec, winSec float64, sample ControlSam
 			SoloRefsPerSec: prof.SoloRefsPerSec,
 			CompetingRefs:  competing,
 		}
+		// Hand-off spin-poll deltas across the app's cuts, per direction:
+		// the ring-backpressure rung uses them to name which side of a
+		// congested cut is at fault (the cursors roll forward afterwards
+		// in rollWindowAccounting).
+		for _, f := range a.flows {
+			for _, u := range f.stages {
+				if u.out == nil {
+					continue
+				}
+				o.HandoffPushPolls += u.out.PushPolls() - u.prevPushPolls
+				o.HandoffPopPolls += u.out.PopPolls() - u.prevPopPolls
+			}
+		}
 		if winOffered > 0 {
 			o.NICDropRate = float64(winNIC) / float64(winOffered)
 		}
@@ -673,6 +726,9 @@ func (r *Runtime) rollWindowAccounting() {
 		for _, u := range f.stages {
 			u.prevElems = snapshotElems(u.elems, u.prevElems)
 			u.prevLat = u.lat
+			if u.out != nil {
+				u.prevPushPolls, u.prevPopPolls = u.out.PushPolls(), u.out.PopPolls()
+			}
 		}
 	}
 }

@@ -346,7 +346,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			id:     i,
 			core:   r.platform.Cores[coreID],
 			socket: sock,
-			src:    newRingSource(arena(sock), cfg.Params.Buffers, maxPkt, 256),
+			src:    newRingSource(arena(sock), cfg.Params.Buffers, maxPkt, 256, cfg.Params.RxBatch),
 			batch:  cfg.Batch,
 			startC: make(chan uint64),
 			doneC:  make(chan struct{}),
@@ -631,8 +631,8 @@ func (r *Runtime) resetMeasurement() {
 		w.packets = 0
 		w.bindPackets = 0
 		w.bindClock = w.core.Clock()
-		w.winBatchSum, w.winBatchCnt = 0, 0
-		w.totBatchSum, w.totBatchCnt = 0, 0
+		w.winBatchSum, w.winBatchCnt, w.winClipped = 0, 0, 0
+		w.totBatchSum, w.totBatchCnt, w.totClipped = 0, 0, 0
 	}
 	for _, f := range r.flows {
 		f.packets = 0
@@ -716,8 +716,9 @@ func (r *Runtime) controlStep(q int) {
 		tele := WorkerTelemetry{
 			Worker: i, Core: w.core.ID, Socket: w.socket,
 			BatchOccupancy: occupancy(w.winBatchSum, w.winBatchCnt, w.batch),
+			ClippedBatches: w.winClipped,
 		}
-		w.winBatchSum, w.winBatchCnt = 0, 0
+		w.winBatchSum, w.winBatchCnt, w.winClipped = 0, 0, 0
 		if winSec > 0 {
 			tele.PPS = float64(delta.Packets) / winSec
 			tele.RefsPerSec = float64(delta.L3Refs) / winSec
@@ -1023,6 +1024,7 @@ func (r *Runtime) buildReport(measQ int) *Report {
 			RefsPerSec:      float64(delta.L3Refs) / duration,
 			RemotePerPacket: delta.PerPacket(delta.RemoteRefs),
 			BatchOccupancy:  occupancy(w.totBatchSum, w.totBatchCnt, w.batch),
+			ClippedBatches:  w.totClipped,
 			StateSocket:     -1,
 		}
 		if boundSec > 0 {

@@ -33,6 +33,7 @@ type WorkerTelemetry struct {
 	RemotePerPacket  float64 // remote references per processed packet (the locality signal)
 	CyclesPerPacket  float64
 	BatchOccupancy   float64 // mean batch fill fraction [0,1]
+	ClippedBatches   uint64  // batch polls cut short by the quantum boundary, excluded from occupancy
 	RingDepth        int     // input-ring occupancy at sample time
 	RingCap          int
 	DelayCycles      uint32 // admission-control delay currently applied
@@ -181,6 +182,7 @@ type WorkerReport struct {
 	RefsPerSec      float64
 	RemotePerPacket float64 // whole-window remote references per packet
 	BatchOccupancy  float64
+	ClippedBatches  uint64 // batch polls cut short by the quantum boundary, excluded from occupancy
 	DelayCycles     uint32
 
 	// StateBytes is the bound flow's (or chain stage's) live state

@@ -157,6 +157,15 @@ type ringSource struct {
 	ring    *Ring
 	scratch []byte
 
+	// pollEvery is the modelled receive batch (Params.RxBatch): the RX
+	// poll cost is charged on the first pull of each burst and every
+	// pollEvery pulls after it. sincePoll tracks the position within the
+	// burst and resets at batch end (endBatch), so poll charges align
+	// with the worker's actual batch boundaries. pollEvery 1 charges the
+	// poll on every pull — the historical unbatched cost.
+	pollEvery int
+	sincePoll int
+
 	// pkts preallocates one Packet header per pool buffer. A packet and
 	// its buffer share a lifetime (both released by Recycle), so indexing
 	// by the buffer slot makes Pull allocation-free: pkts[idx] cannot be
@@ -171,13 +180,17 @@ type ringSource struct {
 	lastEnqOK bool
 }
 
-func newRingSource(arena *mem.Arena, buffers, bufSize, ringSize int) *ringSource {
+func newRingSource(arena *mem.Arena, buffers, bufSize, ringSize, rxBatch int) *ringSource {
 	alloc := (bufSize + 511) &^ 511 // buffers never share cache lines
+	if rxBatch < 1 {
+		rxBatch = 1
+	}
 	return &ringSource{
-		pool:    nic.NewBufferPool(arena, buffers, alloc),
-		rx:      nic.NewRing(arena, ringSize),
-		scratch: make([]byte, bufSize),
-		pkts:    make([]click.Packet, buffers),
+		pool:      nic.NewBufferPool(arena, buffers, alloc),
+		rx:        nic.NewRing(arena, ringSize),
+		scratch:   make([]byte, bufSize),
+		pkts:      make([]click.Packet, buffers),
+		pollEvery: rxBatch,
 	}
 }
 
@@ -192,7 +205,7 @@ func (rs *ringSource) Pull(ctx *click.Ctx) *click.Packet {
 	if rs.ring == nil {
 		return nil
 	}
-	n, stamp, ok := rs.ring.Pop(rs.scratch)
+	n, stamp, ok := rs.ring.PopStaged(rs.scratch)
 	if !ok {
 		return nil
 	}
@@ -203,10 +216,32 @@ func (rs *ringSource) Pull(ctx *click.Ctx) *click.Packet {
 	copy(data[:n], rs.scratch[:n])
 	ctx.DMABytes(addr, n)
 	rs.rx.Consume(ctx)
+	if rs.sincePoll == 0 {
+		// First packet of an RX burst pays the poll, as FromDevice does;
+		// the rest of the batch rides on it.
+		ctx.Compute(elements.RxPollCompute, elements.RxPollInstrs)
+	}
+	rs.sincePoll++
+	if rs.sincePoll == rs.pollEvery {
+		rs.sincePoll = 0
+	}
 	ctx.Compute(elements.RxCompute, elements.RxInstrs)
 	p := &rs.pkts[idx]
 	*p = click.Packet{Data: data[:n], Addr: addr, Recycler: rs, PoolIndex: idx, Enq: stamp}
 	return p
+}
+
+// endBatch closes the worker's current receive burst: the slots taken by
+// PopStaged are released with one cursor store, and the next pull starts
+// a fresh burst (paying a fresh RX poll). Called by runQuantum after
+// every batch loop, so ring cursors are exact at barriers.
+//
+//dataplane:hotpath
+func (rs *ringSource) endBatch() {
+	rs.sincePoll = 0
+	if rs.ring != nil {
+		rs.ring.Release()
+	}
 }
 
 // Recycle implements click.Recycler.
@@ -231,11 +266,18 @@ type worker struct {
 	opbuf []hw.Op
 
 	// Owner-written telemetry, read by the control loop at barriers.
+	// Batch polls clipped by the quantum boundary (the clock ran out
+	// mid-batch with input still available) are counted apart from the
+	// occupancy sums: a boundary-clipped poll says nothing about how
+	// full the input rings run, and folding it in biased BatchOccupancy
+	// low — the shorter the quantum, the worse.
 	packets     uint64 // packets since measurement start
-	winBatchSum uint64 // packets processed, this control window
-	winBatchCnt uint64 // batch polls, this control window
+	winBatchSum uint64 // packets in occupancy-counted polls, this control window
+	winBatchCnt uint64 // occupancy-counted batch polls, this control window
+	winClipped  uint64 // quantum-clipped batch polls, this control window
 	totBatchSum uint64
 	totBatchCnt uint64
+	totClipped  uint64
 
 	prevCounters hw.Counters // control-window baseline
 	prevClock    uint64
@@ -258,9 +300,11 @@ type worker struct {
 
 	// Hot-path metric handles, resolved at build time (nil when no
 	// registry is configured): per-worker packet counter, batch-fill
-	// histogram, and spin-poll counter — each update one atomic op.
+	// histogram, clipped-poll counter, and spin-poll counter — each
+	// update one atomic op.
 	mPackets *obs.Counter
 	mBatch   *obs.Histogram
+	mClipped *obs.Counter
 	mSpins   *obs.Counter
 
 	// shard is the worker's private trace buffer (nil when tracing is
@@ -385,17 +429,63 @@ func (w *worker) runQuantum(limit uint64) {
 				w.core.ExecStall(ops)
 			}
 		}
-		w.winBatchSum += uint64(n)
-		w.winBatchCnt++
-		w.totBatchSum += uint64(n)
-		w.totBatchCnt++
-		if w.mBatch != nil {
-			w.mBatch.Observe(float64(n))
+		// Close the batch: release the receive ring's cursor once for the
+		// whole burst, and publish/release any slots a chain stage staged
+		// on its hand-off rings.
+		if w.src != nil {
+			w.src.endBatch()
+		}
+		if w.unit != nil {
+			w.unit.flush(w)
+		}
+		if progressed && n < w.batch && w.core.Clock() >= limit && w.inputReady() {
+			// The quantum boundary cut this batch short with input still
+			// available: its fill reflects the clock, not the ring, so it
+			// is counted apart instead of biasing occupancy low.
+			w.winClipped++
+			w.totClipped++
+			if w.mClipped != nil {
+				w.mClipped.Inc()
+			}
+		} else {
+			w.winBatchSum += uint64(n)
+			w.winBatchCnt++
+			w.totBatchSum += uint64(n)
+			w.totBatchCnt++
+			if w.mBatch != nil {
+				w.mBatch.Observe(float64(n))
+			}
 		}
 		if !progressed {
 			w.core.AdvanceTo(limit)
 			return
 		}
+	}
+}
+
+// inputReady reports whether the worker could have kept filling its
+// current batch had the quantum not ended: the bound flow has packets
+// waiting and its output is not blocked. Used only to classify a
+// boundary-clipped poll — a starved or backpressured batch is a genuine
+// occupancy observation even when the clock also ran out.
+func (w *worker) inputReady() bool {
+	switch {
+	case w.fl == nil:
+		return false
+	case w.unit != nil:
+		u := w.unit
+		if u.out != nil && u.out.Full() {
+			return false
+		}
+		if u.stage == 0 {
+			return w.src.ring != nil && w.src.ring.Len() > 0
+		}
+		return u.in != nil && u.in.Len() > 0
+	case w.fl.pipe != nil:
+		return w.src.ring != nil && w.src.ring.Len() > 0
+	default:
+		// Synthetic sources drive themselves; work is always available.
+		return true
 	}
 }
 

@@ -135,7 +135,13 @@ func (g Graph) StageMap() map[string]int {
 type Scenario struct {
 	Name string
 
-	RingSize          int
+	RingSize int
+	// Batch is the modelled receive batch size (`BATCH 16`): descriptor
+	// and RX-poll costs are charged once per batch of this many packets,
+	// per-packet execution stays per packet, and the runtime's workers
+	// drain bursts of this size. 0 (the default) and 1 both mean the
+	// historical unbatched cost model.
+	Batch             int
 	Admission         bool
 	DropThreshold     float64
 	MinCoresPerSocket int
@@ -303,6 +309,7 @@ func (s *Scenario) applyScenarioArgs(args click.Args) error {
 	}
 	s.Name = args.String("NAME", s.Name)
 	get("RING", &s.RingSize)
+	get("BATCH", &s.Batch)
 	get("MIN_CORES_PER_SOCKET", &s.MinCoresPerSocket)
 	get("MIN_SOCKETS", &s.MinSockets)
 	get("FIT", &s.Fit)
@@ -328,6 +335,9 @@ func (s *Scenario) applyScenarioArgs(args click.Args) error {
 	}
 	if s.SynRegionFraction < 0 || s.SynRegionFraction > 1 {
 		return fmt.Errorf("SYN_REGION_FRACTION %v outside [0,1]", s.SynRegionFraction)
+	}
+	if s.Batch < 0 {
+		return fmt.Errorf("BATCH %d must be positive", s.Batch)
 	}
 	return nil
 }
@@ -462,6 +472,13 @@ func (s *Scenario) ConfigOn(cfg hw.Config, params apps.Params) (runtime.Config, 
 	if s.SynRegionFraction > 0 {
 		params.SynRegionBytes = int(s.SynRegionFraction * float64(cfg.L3.SizeBytes))
 	}
+	if s.Batch > 0 {
+		// The modelled batch must reach both the cost model (Params, so
+		// offline profiling and the runtime's receive path charge the
+		// same amortized poll) and the runtime's burst size (Config.Batch,
+		// set below).
+		params.RxBatch = s.Batch
+	}
 	if len(s.Graphs) > 0 {
 		custom := make(map[apps.FlowType]apps.CustomFlow, len(s.Graphs))
 		for t, cf := range params.Custom {
@@ -533,6 +550,9 @@ func (s *Scenario) ConfigOn(cfg hw.Config, params apps.Params) (runtime.Config, 
 		out.Cores = append(out.Cores, core)
 	}
 	out.RingSize = s.RingSize
+	if s.Batch > 0 {
+		out.Batch = s.Batch
+	}
 	out.Admission = s.Admission
 	out.DropThreshold = s.DropThreshold
 	out.MigrateState = s.MigrateState
@@ -553,6 +573,9 @@ func (s *Scenario) Render() string {
 	}
 	if s.RingSize != 0 {
 		add("RING %d", s.RingSize)
+	}
+	if s.Batch != 0 {
+		add("BATCH %d", s.Batch)
 	}
 	if s.Admission {
 		add("ADMISSION true")

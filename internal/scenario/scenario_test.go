@@ -204,6 +204,7 @@ func TestParseErrors(t *testing.T) {
 		{"zero workers", `scenario :: Scenario(NAME x); m :: Flow(TYPE MON, WORKERS 0);`, "at least one worker"},
 		{"bad placement", `scenario :: Scenario(NAME x, PLACE q1); m :: Flow(TYPE MON);`, "placement"},
 		{"bad fraction", `scenario :: Scenario(NAME x, SYN_REGION_FRACTION 1.5); m :: Flow(TYPE MON);`, "SYN_REGION_FRACTION"},
+		{"bad batch", `scenario :: Scenario(NAME x, BATCH -2); m :: Flow(TYPE MON);`, "BATCH"},
 		{"unterminated graph", `scenario :: Scenario(NAME x); graph G { src :: FromDevice;`, "missing closing brace"},
 		{"malformed graph", `scenario :: Scenario(NAME x); graph { }; m :: Flow(TYPE MON);`, "malformed graph"},
 		{"bad statement", `scenario :: Scenario(NAME x); what is this; m :: Flow(TYPE MON);`, "cannot parse"},
@@ -334,6 +335,59 @@ func TestMigrateStateKnob(t *testing.T) {
 	base.Scenario = mig.Scenario
 	if !reflect.DeepEqual(base, mig) {
 		t.Fatalf("thrash_migrate diverges from thrash beyond the migration knob:\n got %+v\nwant %+v", mig, base)
+	}
+}
+
+// TestBatchKnob: the BATCH scenario argument reaches both sides of the
+// model it must keep consistent — the per-worker burst depth
+// (Config.Batch) and the modelled receive batch the cost accounting
+// amortises poll charges over (Params.RxBatch) — and survives a render
+// round trip.
+func TestBatchKnob(t *testing.T) {
+	s, err := Parse(`
+		scenario :: Scenario(NAME b, BATCH 8);
+		mon :: Flow(TYPE MON);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Batch != 8 {
+		t.Fatalf("Batch = %d, want 8", s.Batch)
+	}
+	cfg, err := s.Config(testCfg(), apps.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Batch != 8 {
+		t.Fatalf("runtime config Batch = %d, want 8", cfg.Batch)
+	}
+	if cfg.Params.RxBatch != 8 {
+		t.Fatalf("params RxBatch = %d, want 8 (profiling and runtime must batch alike)", cfg.Params.RxBatch)
+	}
+	rendered := s.Render()
+	if !strings.Contains(rendered, "BATCH 8") {
+		t.Fatalf("render lost the batch knob:\n%s", rendered)
+	}
+	s2, err := Parse(rendered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Batch != 8 {
+		t.Fatalf("round-tripped Batch = %d, want 8", s2.Batch)
+	}
+
+	// Unset: the historical scalar model — runtime defaults apply and the
+	// modelled receive batch stays off.
+	s, err = Parse(`scenario :: Scenario(NAME b); mon :: Flow(TYPE MON);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = s.Config(testCfg(), apps.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Params.RxBatch != 0 || cfg.Batch != 0 {
+		t.Fatalf("unset BATCH leaked: RxBatch=%d Batch=%d", cfg.Params.RxBatch, cfg.Batch)
 	}
 }
 

@@ -41,6 +41,11 @@ type Runner struct {
 	// Overrides, when non-nil, is applied on top of every platform
 	// variant (the CLI -platform flag; highest precedence).
 	Overrides *scenario.Platform
+	// ProfileCache, when non-nil, serves offline profiles from a
+	// persistent store keyed by their full inputs (cmd/sweep
+	// -profile-cache); grid points whose profiles are cached skip
+	// re-profiling entirely.
+	ProfileCache *ProfileCache
 	// Progress, when non-nil, receives one line per completed point.
 	Progress io.Writer
 
@@ -248,7 +253,9 @@ func (r *Runner) runPoint(v PlatformVariant, load float64, run RunSpec) PointRes
 
 // profileFor memoises offline profiling per (platform variant, scenario)
 // pair; every load point of the pair reuses the same curves, exactly as
-// an operator reuses offline profiles across operating points.
+// an operator reuses offline profiles across operating points. With a
+// ProfileCache attached, the profiling inside the once is itself served
+// from the persistent store when the inputs match.
 func (r *Runner) profileFor(variant, run string, hwCfg hw.Config, cfg runtime.Config) (map[apps.FlowType]runtime.FlowProfile, error) {
 	key := variant + "\x00" + run
 	r.mu.Lock()
@@ -259,8 +266,7 @@ func (r *Runner) profileFor(variant, run string, hwCfg hw.Config, cfg runtime.Co
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
-		e.p, e.err = runtime.ProfileFlows(hwCfg, cfg.Params, r.Scale.Warmup, r.Scale.Window,
-			r.Scale.SweepGrid, cfg.FlowTypes())
+		e.p, e.err = r.profiledFlows(hwCfg, cfg)
 	})
 	return e.p, e.err
 }
