@@ -1,0 +1,37 @@
+// ids_chain — the IDS workload class as a run-to-completion service
+// chain. The detector cascade deliberately spans the cost spectrum:
+// SignatureClassifier scans every payload byte of every packet through
+// a compiled multi-pattern DFA (cheap, always on); payloads that embed
+// a signature take the slow path through EntropyGate (the expensive
+// detector — a sampled Shannon-entropy estimate costing hundreds of
+// nanoseconds); high-entropy suspects then hit BanTable, the chain's
+// large mutable state — an LRU verdict cache over source addresses that
+// drops repeat offenders. The source shapes payloads so both detectors
+// see work at controlled rates: 6% of payloads embed one of 16 derived
+// signatures (SIG_SEED 11 on the source and the classifier derives the
+// same set), and half the payloads are drawn from a 4-value alphabet so
+// the entropy gate's threshold actually splits the suspect path.
+// An FW neighbour co-runs on the same socket. (FW rather than MON: the
+// IDS chain's payload reads are L3-resident hits, and a refs/sec-keyed
+// contention curve for a cache-sensitive neighbour would over-price
+// them; the compute-bound FW keeps the co-runner's prediction honest.)
+scenario :: Scenario(NAME ids_chain, MIN_CORES_PER_SOCKET 2);
+
+graph IDS {
+    src  :: FromDevice(SIZE 512, FLOWS 4096, SIG_HIT 0.06, SIG_COUNT 16, SIG_SEED 11,
+                       LOW_ENTROPY 0.5, LOW_ENTROPY_BITS 2);
+    chk  :: CheckIPHeader;
+    sig  :: SignatureClassifier(SIG_SEED 11, PATTERNS 16);
+    ent  :: EntropyGate(THRESHOLD 6.5, WINDOW 512);
+    bans :: BanTable(ENTRIES 16384);
+    src -> chk -> sig;
+    sig[0] -> ToDevice;
+    sig[1] -> ent;
+    ent[0] -> ToDevice;
+    ent[1] -> bans;
+    bans[0] -> ToDevice;
+    bans[1] -> Discard;
+}
+
+ids :: Flow(GRAPH IDS, WORKERS 2, PACKET_SIZE 512);
+fw :: Flow(TYPE FW, WORKERS 1);

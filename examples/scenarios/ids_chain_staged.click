@@ -1,0 +1,34 @@
+// ids_chain_staged — the IDS chain of ids_chain.click deployed as a
+// cross-worker pipeline with the ban table on its own stage: the scan
+// and entropy detectors run on one worker, the BanTable tail on a
+// second worker on the other socket, connected by a hand-off ring. The
+// `stage 1: bans;` declaration cuts the graph at the ban table, so the
+// chain's large mutable state lives with the stage-1 worker and the
+// suspect path's packets cross the interconnect to reach it. PLACE pins
+// stage 0 to socket 0 and stage 1 to socket 1. MIGRATE_STATE is sized
+// so a re-placed BanTable (16384 line-sized slots = 1 MiB) carries its
+// state to the new socket instead of stranding it — the staged layout
+// is MIGRATE_STATE-ready, and the unstaged migration path is exercised
+// by the runtime's IDS migration test.
+scenario :: Scenario(NAME ids_chain_staged, MIN_CORES_PER_SOCKET 2, MIN_SOCKETS 2,
+                     MIGRATE_STATE 8388608, PLACE s0:0 s1:0 s0:1);
+
+graph IDS {
+    src  :: FromDevice(SIZE 512, FLOWS 4096, SIG_HIT 0.06, SIG_COUNT 16, SIG_SEED 11,
+                       LOW_ENTROPY 0.5, LOW_ENTROPY_BITS 2);
+    chk  :: CheckIPHeader;
+    sig  :: SignatureClassifier(SIG_SEED 11, PATTERNS 16);
+    ent  :: EntropyGate(THRESHOLD 6.5, WINDOW 512);
+    bans :: BanTable(ENTRIES 16384);
+    src -> chk -> sig;
+    sig[0] -> ToDevice;
+    sig[1] -> ent;
+    ent[0] -> ToDevice;
+    ent[1] -> bans;
+    bans[0] -> ToDevice;
+    bans[1] -> Discard;
+    stage 1: bans;
+}
+
+ids :: Flow(GRAPH IDS, WORKERS 1, PACKET_SIZE 512);
+fw :: Flow(TYPE FW, WORKERS 1);

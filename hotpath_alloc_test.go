@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"pktpredict/internal/click"
+	"pktpredict/internal/dpi"
 	"pktpredict/internal/handoff"
 	"pktpredict/internal/hw"
 	"pktpredict/internal/mem"
@@ -196,6 +197,29 @@ func TestHotPathAllocs(t *testing.T) {
 	syn := synth.NewSource(arena, synth.Config{RegionBytes: 1 << 16})
 	synBuf := make([]hw.Op, 0, 4096)
 	gate(t, "synth.Source.EmitPacket", func() { synBuf = syn.EmitPacket(synBuf[:0]) })
+
+	// dpi: the IDS engines — signature scan, entropy estimate, ban check.
+	sigTab, err := dpi.NewSigTable(arena, dpi.Signatures(11, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanBuf := make([]byte, 484)
+	for i := range scanBuf {
+		scanBuf[i] = byte(i * 31)
+	}
+	gate(t, "dpi.SigTable.Match", func() { sigTab.Match(scanBuf) })
+	var ent dpi.Entropy
+	gate(t, "dpi.Entropy.EstimateBits", func() { ent.EstimateBits(scanBuf, dpi.EntropyWindow) })
+	ban, err := dpi.NewBanTable(arena, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var banIP uint32
+	gate(t, "dpi.BanTable.Check", func() {
+		ctx.Ops = ctx.Ops[:0]
+		banIP++
+		ban.Check(ctx, banIP)
+	})
 }
 
 // hotpathDirect lists the //dataplane:hotpath functions TestHotPathAllocs
@@ -238,6 +262,9 @@ var hotpathDirect = map[string]bool{
 	"handoff.Ring.PollEmpty":        true,
 	"handoff.Ring.ChargeHeaderMiss": true,
 	"synth.Source.EmitPacket":       true,
+	"dpi.SigTable.Match":            true,
+	"dpi.Entropy.EstimateBits":      true,
+	"dpi.BanTable.Check":            true,
 }
 
 // hotpathIndirect lists annotated functions that cannot be driven from

@@ -165,6 +165,15 @@ type Instance struct {
 	// flow's tables, what migrating them would cost, and which stage of a
 	// service chain owns which span.
 	State []StateBinding
+
+	// Traffic is the build-time source's resolved generator spec when
+	// the pipeline's head is a FromDevice (nil otherwise). The concurrent
+	// runtime replaces the source with a receive ring and generates the
+	// flow's traffic centrally; it adopts this spec's payload shaping
+	// (signature injection, entropy distribution) and cross-checks its
+	// packet size, so ring-fed traffic matches what the graph's own
+	// source generated during offline profiling.
+	Traffic *trafficgen.Spec
 }
 
 // StateBinding locates one element's simulated state.
@@ -426,10 +435,15 @@ func (p Params) build(t FlowType, arenaAt func(int) *mem.Arena, seed uint64, ctl
 			}
 		}
 	}
-	return &Instance{
+	inst := &Instance{
 		Type: t, Source: pl, Pipeline: pl, Control: ctl,
 		State: state,
-	}, nil
+	}
+	if fd, ok := pl.Source.(*elements.FromDevice); ok {
+		spec := fd.Spec()
+		inst.Traffic = &spec
+	}
+	return inst, nil
 }
 
 // Stages returns how many pipeline stages flow type t is cut into — the

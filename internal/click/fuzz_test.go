@@ -36,6 +36,24 @@ func FuzzParseConfig(f *testing.F) {
 		"platform :: Platform(SOCKETS 2, CORES_PER_SOCKET 4); src :: TSource; src -> TElem;",
 		"platform :: Platform(L3_BYTES 524288, LINE_BYTES 64);",
 		"platform :: Platform(SOCKETS 2",
+		// IDS element grammar: '|'-separated hex signature lists, seeded
+		// pattern sets, entropy thresholds/windows, ban-table sizing.
+		"src :: TSource; sig :: SignatureClassifier(SIGS deadbeef0102|cafebabe55aa); src -> sig; sig[0] -> TElem; sig[1] -> TDrop;",
+		"sig :: SignatureClassifier(PATTERNS 16, SIG_SEED 11);",
+		"sig :: SignatureClassifier(SIGS abc);",
+		"sig :: SignatureClassifier(SIGS |||);",
+		"sig :: SignatureClassifier(SIGS zz11);",
+		"sig :: SignatureClassifier(PATTERNS -3);",
+		"ent :: EntropyGate(THRESHOLD 6.5, WINDOW 512); ent[0] -> TElem; ent[1] -> TDrop;",
+		"ent :: EntropyGate(THRESHOLD 99);",
+		"ent :: EntropyGate(THRESHOLD x, WINDOW -1);",
+		"bans :: BanTable(ENTRIES 16384); bans[0] -> TElem; bans[1] -> TDrop;",
+		"bans :: BanTable(ENTRIES 0);",
+		"src :: FromDevice(SIZE 512, SIG_HIT 0.06, SIG_COUNT 16, SIG_SEED 11, LOW_ENTROPY 0.5, LOW_ENTROPY_BITS 2); src -> TElem;",
+		"src :: FromDevice(SIG_HIT 0.02, SIG_SHIFT 0.6, SIG_SHIFT_AFTER 4000);",
+		"src :: FromDevice(SIG_HIT 1.5);",
+		"src :: FromDevice(SIG_HIT 0.5, SIG_COUNT 0);",
+		"src :: FromDevice(LOW_ENTROPY_BITS 9);",
 	}
 	for _, s := range seeds {
 		f.Add(s)

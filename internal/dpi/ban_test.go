@@ -1,0 +1,159 @@
+package dpi
+
+import (
+	"sync"
+	"testing"
+
+	"pktpredict/internal/click"
+	"pktpredict/internal/hw"
+	"pktpredict/internal/mem"
+	"pktpredict/internal/rng"
+)
+
+// sameBucketIPs brute-forces n distinct addresses whose probe chains all
+// start at the same slot of a size-slot table.
+func sameBucketIPs(t *testing.T, size, n int) []uint32 {
+	t.Helper()
+	mask := uint64(size - 1)
+	want := banHash(1) & mask
+	out := []uint32{1}
+	for ip := uint32(2); len(out) < n; ip++ {
+		if banHash(ip)&mask == want {
+			out = append(out, ip)
+		}
+		if ip == 0 {
+			t.Fatal("address space exhausted hunting for colliding IPs")
+		}
+	}
+	return out
+}
+
+func TestBanTableRepeatOffender(t *testing.T) {
+	tb, err := NewBanTable(nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctx click.Ctx
+	if tb.Check(&ctx, 0x0a000001) {
+		t.Fatal("first sighting reported as repeat offender")
+	}
+	if !tb.Check(&ctx, 0x0a000001) {
+		t.Fatal("second sighting not reported as repeat offender")
+	}
+	if tb.Check(&ctx, 0x0a000002) {
+		t.Fatal("unrelated address reported as repeat offender")
+	}
+	if tb.Hits != 1 || tb.Inserts != 2 || tb.Lookups != 3 {
+		t.Fatalf("stats hits=%d inserts=%d lookups=%d, want 1/2/3", tb.Hits, tb.Inserts, tb.Lookups)
+	}
+	if !tb.Contains(0x0a000001) || !tb.Contains(0x0a000002) || tb.Contains(0x0a000003) {
+		t.Fatal("Contains disagrees with Check history")
+	}
+}
+
+func TestBanTableEvictsLeastRecentlySeen(t *testing.T) {
+	tb, err := NewBanTable(nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ips := sameBucketIPs(t, tb.Size(), banProbes+2)
+	var ctx click.Ctx
+	// Fill one probe chain completely.
+	for _, ip := range ips[:banProbes] {
+		tb.Check(&ctx, ip)
+	}
+	// Refresh the oldest entry so it is no longer the LRU victim.
+	if !tb.Check(&ctx, ips[0]) {
+		t.Fatal("refresh of a live entry missed")
+	}
+	// Overflow the chain: the victim must be ips[1], now the oldest.
+	if tb.Check(&ctx, ips[banProbes]) {
+		t.Fatal("fresh address reported as repeat offender")
+	}
+	if tb.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", tb.Evictions)
+	}
+	if tb.Contains(ips[1]) {
+		t.Fatal("LRU entry survived the eviction")
+	}
+	for _, ip := range []uint32{ips[0], ips[2], ips[3], ips[banProbes]} {
+		if !tb.Contains(ip) {
+			t.Fatalf("entry %#x evicted out of LRU order", ip)
+		}
+	}
+	// A second overflow must take the next-oldest, ips[2].
+	tb.Check(&ctx, ips[banProbes+1])
+	if tb.Contains(ips[2]) {
+		t.Fatal("second eviction did not follow LRU order")
+	}
+	if !tb.Contains(ips[3]) {
+		t.Fatal("second eviction took the wrong victim")
+	}
+}
+
+func TestBanTableTraceAndFootprint(t *testing.T) {
+	arena := mem.NewArena(0)
+	tb, err := NewBanTable(arena, 100) // rounds up to 128
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Size() != 128 {
+		t.Fatalf("size = %d, want 128", tb.Size())
+	}
+	if want := uint64(128 * hw.LineSize); tb.SimBytes() != want {
+		t.Fatalf("SimBytes = %d, want %d (one line per slot)", tb.SimBytes(), want)
+	}
+	var ctx click.Ctx
+	tb.Check(&ctx, 0xc0a80101)
+	var loads, stores int
+	for _, op := range ctx.Ops {
+		switch op.Kind {
+		case hw.OpLoad:
+			loads++
+		case hw.OpStore:
+			stores++
+		}
+	}
+	if loads == 0 || stores == 0 {
+		t.Fatalf("insert emitted %d loads / %d stores, want both > 0", loads, stores)
+	}
+}
+
+func TestBanTableConcurrentReadersUnderWriter(t *testing.T) {
+	tb, err := NewBanTable(nil, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the single writer, as in the dataplane
+		defer wg.Done()
+		var ctx click.Ctx
+		r := rng.New(0xbad)
+		for i := 0; i < perWorker; i++ {
+			tb.Check(&ctx, uint32(r.Intn(512)))
+			ctx.Ops = ctx.Ops[:0]
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) { // control-plane readers
+			defer wg.Done()
+			r := rng.New(seed)
+			for i := 0; i < perWorker; i++ {
+				ip := uint32(r.Intn(512))
+				if tb.Contains(ip) && !tb.Contains(ip) {
+					// A live entry can be evicted between the two reads,
+					// but never observed torn — Contains itself must stay
+					// race-free, which is what -race checks here.
+					continue
+				}
+			}
+		}(uint64(w) + 1)
+	}
+	wg.Wait()
+	if tb.Occupied() > tb.Size() {
+		t.Fatalf("occupied %d exceeds size %d", tb.Occupied(), tb.Size())
+	}
+}

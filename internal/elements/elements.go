@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"pktpredict/internal/click"
+	"pktpredict/internal/dpi"
 	"pktpredict/internal/hw"
 	"pktpredict/internal/netpkt"
 	"pktpredict/internal/nic"
@@ -63,6 +64,7 @@ type FromDevice struct {
 	pool      *nic.BufferPool
 	ring      *nic.Ring
 	gen       trafficgen.Generator
+	spec      trafficgen.Spec
 	remaining int64 // -1 = unbounded
 	batch     int   // packets per RX poll; the poll cost amortizes over it
 	sincePoll int
@@ -117,14 +119,26 @@ func NewFromDevice(env *click.Env, cfg FromDeviceConfig) (*FromDevice, error) {
 	if remaining == 0 {
 		remaining = -1
 	}
+	spec := cfg.Traffic
+	if spec.Size == 0 {
+		spec.Size = trafficgen.MinPacketSize
+	}
 	return &FromDevice{
 		pool:      nic.NewBufferPool(env.Arena, cfg.Buffers, bufSize),
 		ring:      nic.NewRing(env.Arena, cfg.RingSize),
 		gen:       trafficgen.New(cfg.Traffic),
+		spec:      spec,
 		remaining: remaining,
 		batch:     cfg.Batch,
 	}, nil
 }
+
+// Spec returns the source's resolved traffic spec (seed and size
+// defaults applied). The concurrent runtime, which replaces the source
+// with a receive ring, reads it to generate equivalent traffic — same
+// packet size and payload shaping — so runtime behaviour matches the
+// offline profile the graph's own source produced.
+func (fd *FromDevice) Spec() trafficgen.Spec { return fd.spec }
 
 // Class implements click.Source.
 func (fd *FromDevice) Class() string { return "FromDevice" }
@@ -375,8 +389,51 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
+		spec := trafficgen.Spec{Seed: seed, Size: size, Flows: flows}
+		// DPI payload shaping: the generator derives the same signature
+		// set as a seed-configured SignatureClassifier, so SIG_HIT is the
+		// scenario's exact match rate.
+		sigHit, err := args.Float64("SIG_HIT", 0)
+		if err != nil {
+			return nil, err
+		}
+		sigShift, err := args.Float64("SIG_SHIFT", 0)
+		if err != nil {
+			return nil, err
+		}
+		if sigHit > 0 || sigShift > 0 {
+			sigCount, err := args.Int("SIG_COUNT", 16)
+			if err != nil {
+				return nil, err
+			}
+			if sigCount <= 0 {
+				return nil, fmt.Errorf("elements: FromDevice SIG_COUNT must be positive")
+			}
+			sigSeed, err := args.Uint64("SIG_SEED", env.Seed)
+			if err != nil {
+				return nil, err
+			}
+			shiftAfter, err := args.Int("SIG_SHIFT_AFTER", 0)
+			if err != nil {
+				return nil, err
+			}
+			spec.Signatures = dpi.Signatures(sigSeed, sigCount)
+			spec.SigHit = sigHit
+			spec.SigHitShift = sigShift
+			spec.SigShiftAfter = int64(shiftAfter)
+		}
+		lowEnt, err := args.Float64("LOW_ENTROPY", 0)
+		if err != nil {
+			return nil, err
+		}
+		lowBits, err := args.Int("LOW_ENTROPY_BITS", 0)
+		if err != nil {
+			return nil, err
+		}
+		spec.LowEntropy = lowEnt
+		spec.LowEntropyBits = lowBits
 		return NewFromDevice(env, FromDeviceConfig{
-			Traffic: trafficgen.Spec{Seed: seed, Size: size, Flows: flows},
+			Traffic: spec,
 			Buffers: bufs,
 			Count:   int64(count),
 			Batch:   batch,

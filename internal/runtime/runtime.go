@@ -389,19 +389,6 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		} else {
 			st.rate = rate
 		}
-		if !spec.Type.Synthetic() {
-			// The flow population scales with the replica count so that
-			// RSS sharding delivers each replica roughly TrafficFlows
-			// distinct flows — the workload the solo profile was
-			// measured under. (With a fixed population, sharding would
-			// shrink each core's working set and every replica would
-			// beat its solo baseline.)
-			st.gen = trafficgen.New(trafficgen.Spec{
-				Seed:  core.SeedFor(spec.Type, 1000+ai),
-				Size:  pktSize,
-				Flows: cfg.Params.TrafficFlows * spec.Workers,
-			})
-		}
 		stages := cfg.Params.Stages(spec.Type)
 		for k := 0; k < spec.Workers; k++ {
 			w := r.workers[widx]
@@ -430,6 +417,38 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 				w.bind(f)
 				widx++
 			}
+		}
+		if !spec.Type.Synthetic() {
+			// The flow population scales with the replica count so that
+			// RSS sharding delivers each replica roughly TrafficFlows
+			// distinct flows — the workload the solo profile was
+			// measured under. (With a fixed population, sharding would
+			// shrink each core's working set and every replica would
+			// beat its solo baseline.)
+			genSpec := trafficgen.Spec{
+				Seed:  core.SeedFor(spec.Type, 1000+ai),
+				Size:  pktSize,
+				Flows: cfg.Params.TrafficFlows * spec.Workers,
+			}
+			// The graph's own source was what generated traffic during
+			// offline profiling; the ring-fed runtime must match it. Its
+			// payload shaping (signature injection, entropy distribution)
+			// carries over, and a packet-size disagreement is a
+			// configuration error — the profile and the runtime would
+			// silently measure different workloads.
+			if src := st.flows[0].traffic; src != nil {
+				if src.Size != pktSize {
+					return nil, fmt.Errorf("runtime: app %q: graph source generates %d-byte packets but the flow's packet size is %d (set PACKET_SIZE to match the source's SIZE)",
+						spec.Name, src.Size, pktSize)
+				}
+				genSpec.Signatures = src.Signatures
+				genSpec.SigHit = src.SigHit
+				genSpec.SigHitShift = src.SigHitShift
+				genSpec.SigShiftAfter = src.SigShiftAfter
+				genSpec.LowEntropy = src.LowEntropy
+				genSpec.LowEntropyBits = src.LowEntropyBits
+			}
+			st.gen = trafficgen.New(genSpec)
 		}
 		states = append(states, st)
 	}
@@ -514,6 +533,7 @@ func (r *Runtime) buildFlow(st *appState, replica int, arenas []*mem.Arena) (*fl
 		replica:    replica,
 		pipe:       inst.Pipeline,
 		control:    inst.Control,
+		traffic:    inst.Traffic,
 		state:      inst.StateBindings(-1),
 		stateBytes: inst.StateBytes(-1),
 		stateHome:  r.platform.DomainHome(arenas[0].Domain()),

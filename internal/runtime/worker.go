@@ -8,6 +8,7 @@ import (
 	"pktpredict/internal/mem"
 	"pktpredict/internal/nic"
 	"pktpredict/internal/obs"
+	"pktpredict/internal/trafficgen"
 )
 
 // Receive-path attribution matches elements.FromDevice, so a runtime
@@ -32,6 +33,7 @@ type flow struct {
 	raw     hw.PacketSource   // non-nil for synthetic flows
 	ring    *Ring             // nil for synthetic flows
 	control *elements.Control // non-nil when the app carries admission control
+	traffic *trafficgen.Spec  // the build-time source's generator spec, when it had one
 
 	// stages is non-nil for cross-worker service chains: one entry per
 	// pipeline stage, each bound to its own worker (see chain.go). A

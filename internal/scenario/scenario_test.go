@@ -190,6 +190,68 @@ func TestNatChainRunsEndToEnd(t *testing.T) {
 	}
 }
 
+func TestIDSChainRunsEndToEnd(t *testing.T) {
+	s := loadShipped(t, "ids_chain")
+	cfg, err := s.Config(testCfg(), apps.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.QuantumCycles = 100_000
+	cfg.ControlEvery = 4
+	cfg.Warmup = 0.0003
+	r, err := runtime.NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids *runtime.AppReport
+	for i := range rep.Apps {
+		if rep.Apps[i].Name == "ids" {
+			ids = &rep.Apps[i]
+		}
+	}
+	if ids == nil {
+		t.Fatal("no ids app in report")
+	}
+	if ids.Processed == 0 {
+		t.Fatal("IDS chain processed nothing")
+	}
+	// The cascade's exits: clean traffic, low-entropy suspects, and
+	// first-sighting suspects finish at (distinct anonymous) ToDevice
+	// instances; banned repeat offenders drop at the Discard. With
+	// SIG_HIT 0.06, LOW_ENTROPY 0.5 and 4096 sources, every exit must
+	// see traffic, and the fast path must dominate.
+	var wires []uint64
+	var banned uint64
+	for _, br := range ids.Branches {
+		if strings.HasPrefix(br.Node, "ToDevice") && br.Finished > 0 {
+			wires = append(wires, br.Finished)
+		}
+		if strings.HasPrefix(br.Node, "Discard") {
+			banned += br.Dropped
+		}
+	}
+	if len(wires) != 3 {
+		t.Fatalf("want 3 live ToDevice exits (clean, low-entropy, first-sighting), got %d (branches %+v)", len(wires), ids.Branches)
+	}
+	var total, max uint64
+	for _, w := range wires {
+		total += w
+		if w > max {
+			max = w
+		}
+	}
+	if max*100 < total*90 {
+		t.Fatalf("fast path carries %d of %d finished packets, want >= 90%% at a 6%% signature-hit rate", max, total)
+	}
+	if banned == 0 {
+		t.Fatal("no repeat offender was banned; the BanTable tail never fired")
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []struct{ name, text, wantSub string }{
 		{"no scenario decl", `mon :: Flow(TYPE MON);`, "missing scenario"},

@@ -50,6 +50,28 @@ type Spec struct {
 	HistorySize int
 	// TTL is the initial TTL (default 64).
 	TTL uint8
+
+	// Signatures enables DPI payload shaping: with probability SigHit a
+	// packet's payload embeds one of these byte patterns at a random
+	// offset. Patterns are random byte strings (see dpi.Signatures), so
+	// a payload that was not injected does not contain one by accident
+	// — the hit rate is controlled exactly.
+	Signatures [][]byte
+	// SigHit is the probability a payload embeds a signature.
+	SigHit float64
+	// SigHitShift, when SigShiftAfter > 0, replaces SigHit after that
+	// many packets — the DPI analogue of the hidden aggressor's
+	// trigger, for exercising profile-drift detection: traffic whose
+	// signature-hit rate shifts mid-run invalidates the detector
+	// chain's offline profile.
+	SigHitShift   float64
+	SigShiftAfter int64
+	// LowEntropy is the probability a payload is drawn from a small
+	// alphabet of 2^LowEntropyBits byte values instead of uniformly
+	// random bytes, giving a controllable bimodal entropy distribution
+	// for the entropy-gate detector (0 bits = a single repeated value).
+	LowEntropy     float64
+	LowEntropyBits int
 }
 
 func (s Spec) withDefaults() Spec {
@@ -77,6 +99,30 @@ func (s Spec) Validate() error {
 	if s.ZipfS > 0 && s.Flows <= 0 {
 		return fmt.Errorf("trafficgen: ZipfS requires Flows > 0")
 	}
+	if s.SigHit < 0 || s.SigHit > 1 {
+		return fmt.Errorf("trafficgen: SigHit %v outside [0,1]", s.SigHit)
+	}
+	if s.SigHitShift < 0 || s.SigHitShift > 1 {
+		return fmt.Errorf("trafficgen: SigHitShift %v outside [0,1]", s.SigHitShift)
+	}
+	if (s.SigHit > 0 || s.SigHitShift > 0) && len(s.Signatures) == 0 {
+		return fmt.Errorf("trafficgen: SigHit requires Signatures")
+	}
+	for i, sig := range s.Signatures {
+		if len(sig) == 0 {
+			return fmt.Errorf("trafficgen: signature %d is empty", i)
+		}
+		if len(sig) > s.Size-netpkt.IPv4HeaderLen-8 {
+			return fmt.Errorf("trafficgen: signature %d (%d bytes) does not fit a %d-byte packet's payload",
+				i, len(sig), s.Size)
+		}
+	}
+	if s.LowEntropy < 0 || s.LowEntropy > 1 {
+		return fmt.Errorf("trafficgen: LowEntropy %v outside [0,1]", s.LowEntropy)
+	}
+	if s.LowEntropyBits < 0 || s.LowEntropyBits > 8 {
+		return fmt.Errorf("trafficgen: LowEntropyBits %d outside [0,8]", s.LowEntropyBits)
+	}
 	return nil
 }
 
@@ -88,6 +134,7 @@ type gen struct {
 	history [][]byte
 	histLen int
 	id      uint16
+	pkts    int64
 }
 
 // New builds a generator from spec. It panics on invalid specs: generator
@@ -129,6 +176,15 @@ func randomTuple(r *rng.RNG) netpkt.FiveTuple {
 	}
 }
 
+// sigHit returns the live signature-hit probability: SigHit until
+// SigShiftAfter packets, SigHitShift afterwards.
+func (g *gen) sigHit() float64 {
+	if g.spec.SigShiftAfter > 0 && g.pkts > g.spec.SigShiftAfter {
+		return g.spec.SigHitShift
+	}
+	return g.spec.SigHit
+}
+
 // Next implements Generator.
 func (g *gen) Next(b []byte) int {
 	size := g.spec.Size
@@ -167,6 +223,24 @@ func (g *gen) Next(b []byte) int {
 		}
 	} else {
 		g.r.Fill(payload)
+	}
+	g.pkts++
+	if g.spec.LowEntropy > 0 && g.r.Float64() < g.spec.LowEntropy {
+		// Collapse the payload onto a 2^LowEntropyBits-value alphabet:
+		// masking uniform bytes keeps the draw uniform over the smaller
+		// alphabet, so the payload's Shannon entropy is LowEntropyBits
+		// bits per byte.
+		mask := byte(1<<g.spec.LowEntropyBits - 1)
+		for i := range payload {
+			payload[i] &= mask
+		}
+	}
+	if hit := g.sigHit(); hit > 0 && g.r.Float64() < hit {
+		sig := g.spec.Signatures[g.r.Intn(len(g.spec.Signatures))]
+		if len(sig) <= len(payload) {
+			off := g.r.Intn(len(payload) - len(sig) + 1)
+			copy(payload[off:], sig)
+		}
 	}
 	if g.history != nil {
 		idx := int(g.id) % len(g.history)
